@@ -1,0 +1,51 @@
+//! Error type of the baseline engines.
+
+use std::fmt;
+
+use lidardb_las::LasError;
+
+/// Errors produced by the baseline engines.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// File-format / I/O failure.
+    Las(LasError),
+    /// A structural invariant was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Las(e) => write!(f, "las: {e}"),
+            BaselineError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Las(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LasError> for BaselineError {
+    fn from(e: LasError) -> Self {
+        BaselineError::Las(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = BaselineError::Invalid("x".into());
+        assert!(e.to_string().contains("x"));
+        let e: BaselineError = LasError::BadMagic(*b"WHAT").into();
+        assert!(e.to_string().contains("LASF"));
+    }
+}

@@ -1,0 +1,61 @@
+//! E1 — loading throughput (paper §3.2): the binary loader versus the
+//! CSV/text route other systems pay, plus the blockstore reorganisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lidardb_baselines::BlockStore;
+use lidardb_bench::Fixture;
+use lidardb_core::{LoadMethod, Loader, PointCloud};
+use lidardb_sfc::Curve;
+
+fn bench_loading(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e1", 1, 400.0, 2, 1.0);
+    let points = fx.pc.num_points() as u64;
+    let mut records = Vec::new();
+    for p in &fx.las_paths {
+        records.extend(lidardb_las::read_las_file(p).expect("read").1);
+    }
+
+    let mut g = c.benchmark_group("e1_loading");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(points));
+    g.bench_function(BenchmarkId::new("binary_loader", points), |b| {
+        b.iter(|| {
+            let mut pc = PointCloud::new();
+            Loader::new(LoadMethod::Binary)
+                .load_files(&mut pc, &fx.las_paths)
+                .expect("load");
+            std::hint::black_box(pc.num_points())
+        })
+    });
+    g.bench_function(BenchmarkId::new("csv_route", points), |b| {
+        b.iter(|| {
+            let mut pc = PointCloud::new();
+            Loader::new(LoadMethod::Csv)
+                .load_files(&mut pc, &fx.las_paths)
+                .expect("load");
+            std::hint::black_box(pc.num_points())
+        })
+    });
+    g.bench_function(BenchmarkId::new("blockstore_ingest", points), |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                BlockStore::build(&records, 512, Curve::Hilbert)
+                    .expect("blocks")
+                    .num_blocks(),
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("lazlite_decode", points), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for p in &fx.lazl_paths {
+                n += lidardb_las::read_las_file(p).expect("read").1.len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_loading);
+criterion_main!(benches);

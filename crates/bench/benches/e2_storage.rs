@@ -1,0 +1,46 @@
+//! E2 — imprint construction cost and codec throughput (paper §3.2:
+//! 5-12% storage overhead; index built lazily on first query).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lidardb_bench::Fixture;
+use lidardb_imprints::ColumnImprints;
+use lidardb_storage::compress::{forpack::ForPacked, rle::Rle};
+
+fn bench_storage(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e2", 2, 400.0, 2, 1.0);
+    let pc = &fx.pc;
+    let n = pc.num_points() as u64;
+
+    let mut g = c.benchmark_group("e2_storage");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    for col in ["x", "y", "classification"] {
+        let column = pc.column(col).expect("column").clone();
+        g.bench_function(format!("imprint_build_{col}"), |b| {
+            b.iter(|| std::hint::black_box(ColumnImprints::build(&column).expect("build").len()))
+        });
+    }
+
+    let class: Vec<u8> = pc
+        .column("classification")
+        .expect("classification")
+        .as_slice::<u8>()
+        .expect("u8")
+        .to_vec();
+    g.bench_function("rle_encode_classification", |b| {
+        b.iter(|| std::hint::black_box(Rle::encode(&class).num_runs()))
+    });
+    let gps: Vec<i64> = pc
+        .f64_column("gps_time")
+        .expect("gps")
+        .iter()
+        .map(|v| (v * 1e4) as i64)
+        .collect();
+    g.bench_function("forpack_encode_gps_time", |b| {
+        b.iter(|| std::hint::black_box(ForPacked::encode(&gps).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

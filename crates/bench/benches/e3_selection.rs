@@ -1,0 +1,60 @@
+//! E3 — spatial selection latency across engines and selectivities
+//! (paper §1: "spatial queries performance on a flat table storage is
+//! comparable to traditional file-based solutions").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidardb_baselines::{BlockStore, FileStore};
+use lidardb_bench::Fixture;
+use lidardb_core::SpatialPredicate;
+use lidardb_geom::{Geometry, Polygon};
+use lidardb_sfc::Curve;
+
+fn bench_selection(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e3", 3, 500.0, 2, 1.0);
+    let pc = &fx.pc;
+    // Build indexes once, outside measurement.
+    pc.imprints_for("x").expect("x imprints");
+    pc.imprints_for("y").expect("y imprints");
+    let mut fs = FileStore::open(fx.lazl_paths[0].parent().unwrap()).expect("open");
+    fs.sort_files(Curve::Hilbert).expect("lassort");
+    fs.build_indexes().expect("lasindex");
+    let mut records = Vec::new();
+    for p in &fx.las_paths {
+        records.extend(lidardb_las::read_las_file(p).expect("read").1);
+    }
+    let bs = BlockStore::build(&records, 512, Curve::Hilbert).expect("blocks");
+    let xs = pc.f64_column("x").expect("x");
+    let ys = pc.f64_column("y").expect("y");
+
+    let mut g = c.benchmark_group("e3_selection");
+    g.sample_size(20);
+    for frac in [1e-4, 1e-2] {
+        let w = fx.window(frac);
+        let pred = SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(&w)));
+        g.bench_function(BenchmarkId::new("imprints_two_step", format!("{frac:e}")), |b| {
+            b.iter(|| std::hint::black_box(pc.select(&pred).expect("select").rows.len()))
+        });
+        g.bench_function(BenchmarkId::new("full_scan", format!("{frac:e}")), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for i in 0..xs.len() {
+                    if xs[i] >= w.min_x && xs[i] <= w.max_x && ys[i] >= w.min_y && ys[i] <= w.max_y
+                    {
+                        hits += 1;
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        g.bench_function(BenchmarkId::new("blockstore", format!("{frac:e}")), |b| {
+            b.iter(|| std::hint::black_box(bs.query_bbox(&w).expect("bbox").0.len()))
+        });
+        g.bench_function(BenchmarkId::new("filestore_indexed", format!("{frac:e}")), |b| {
+            b.iter(|| std::hint::black_box(fs.query_bbox(&w).expect("bbox").0.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E4 — refinement-strategy ablation (paper §3.3: the regular grid lets
+//! most cells be decided "in a single step"; exhaustive per-point checks
+//! are the expensive fallback).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidardb_bench::Fixture;
+use lidardb_core::{RefineStrategy, SpatialPredicate};
+use lidardb_geom::{Geometry, Point, Polygon, Ring};
+
+fn bench_refinement(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e4", 4, 500.0, 2, 1.0);
+    let pc = &fx.pc;
+    pc.imprints_for("x").expect("x");
+    pc.imprints_for("y").expect("y");
+    let env = fx.scene.envelope();
+    let (cx, cy) = (env.center().x, env.center().y);
+    let poly = Polygon::new(
+        Ring::new(vec![
+            Point::new(cx - 160.0, cy - 130.0),
+            Point::new(cx + 170.0, cy - 100.0),
+            Point::new(cx + 60.0, cy + 20.0),
+            Point::new(cx + 160.0, cy + 150.0),
+            Point::new(cx - 140.0, cy + 140.0),
+        ])
+        .expect("ring"),
+        vec![Ring::new(vec![
+            Point::new(cx - 40.0, cy - 40.0),
+            Point::new(cx + 40.0, cy - 40.0),
+            Point::new(cx + 40.0, cy + 40.0),
+            Point::new(cx - 40.0, cy + 40.0),
+        ])
+        .expect("hole")],
+    );
+    let pred = SpatialPredicate::Within(Geometry::Polygon(poly));
+
+    let mut g = c.benchmark_group("e4_refinement");
+    g.sample_size(20);
+    for (name, strat) in [
+        ("exhaustive", RefineStrategy::Exhaustive),
+        ("grid_8", RefineStrategy::Grid { cells: 8 }),
+        ("grid_64", RefineStrategy::Grid { cells: 64 }),
+        ("grid_256", RefineStrategy::Grid { cells: 256 }),
+        ("bbox_only", RefineStrategy::BboxOnly),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                std::hint::black_box(pc.select_with(&pred, strat).expect("select").rows.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E5 — scenario 1 (paper §4.1): the predefined region queries, file-based
+//! engine versus the DBMS engine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidardb_baselines::FileStore;
+use lidardb_bench::Fixture;
+use lidardb_core::SpatialPredicate;
+use lidardb_geom::{Geometry, Polygon};
+use lidardb_sfc::Curve;
+
+fn bench_scenario1(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e5", 5, 500.0, 2, 1.0);
+    let mut fs = FileStore::open(fx.lazl_paths[0].parent().unwrap()).expect("open");
+    fs.sort_files(Curve::Morton).expect("lassort");
+    fs.build_indexes().expect("lasindex");
+    let window = fx.window(1e-2);
+    let pred = SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(&window)));
+    fx.pc.select(&pred).expect("warm indexes");
+
+    let mut g = c.benchmark_group("e5_scenario1");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::from_parameter("q1_points_filebased"), |b| {
+        b.iter(|| std::hint::black_box(fs.query_bbox(&window).expect("fs").0.len()))
+    });
+    g.bench_function(BenchmarkId::from_parameter("q1_points_dbms"), |b| {
+        b.iter(|| std::hint::black_box(fx.pc.select(&pred).expect("select").rows.len()))
+    });
+
+    // Q2 (roads intersect region) exists only on the DBMS side.
+    let env = fx.scene.envelope();
+    let scene = fx.scene.clone();
+    let catalog = lidardb::scene_catalog(Arc::new(fx.pc), &scene);
+    let sql = format!(
+        "SELECT id FROM roads WHERE ST_Intersects(geom, ST_MakeEnvelope({}, {}, {}, {}))",
+        env.min_x + 100.0,
+        env.min_y + 100.0,
+        env.min_x + 350.0,
+        env.min_y + 300.0
+    );
+    g.bench_function(BenchmarkId::from_parameter("q2_roads_dbms_sql"), |b| {
+        b.iter(|| std::hint::black_box(lidardb_sql::query(&catalog, &sql).expect("sql").rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenario1);
+criterion_main!(benches);

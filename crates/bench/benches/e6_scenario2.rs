@@ -1,0 +1,49 @@
+//! E6 — scenario 2 (paper §4.2): ad-hoc multi-dataset SQL, spatial joins
+//! across the point cloud and the vector layers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidardb_bench::Fixture;
+
+fn bench_scenario2(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e6", 6, 500.0, 2, 1.0);
+    let scene = fx.scene.clone();
+    let catalog = lidardb::scene_catalog(Arc::new(fx.pc), &scene);
+
+    let queries = [
+        (
+            "points_near_fast_transit",
+            "SELECT COUNT(*) FROM points p, ua z \
+             WHERE ST_DWithin(ST_Point(p.x, p.y), z.geom, 25) AND z.code = 12210",
+        ),
+        (
+            "avg_elevation_near_fast_transit",
+            "SELECT AVG(p.z) FROM points p, ua z \
+             WHERE ST_DWithin(ST_Point(p.x, p.y), z.geom, 25) AND z.code = 12210",
+        ),
+        (
+            "water_returns_near_river",
+            "SELECT COUNT(*) FROM points p, rivers r \
+             WHERE ST_DWithin(ST_Point(p.x, p.y), r.geom, 12) AND p.classification = 9",
+        ),
+        (
+            "class_histogram",
+            "SELECT classification, COUNT(*) FROM points GROUP BY classification",
+        ),
+    ];
+
+    let mut g = c.benchmark_group("e6_scenario2");
+    g.sample_size(10);
+    for (name, sql) in queries {
+        // Warm lazy indexes once per query shape.
+        lidardb_sql::query(&catalog, sql).expect("warmup");
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| std::hint::black_box(lidardb_sql::query(&catalog, sql).expect("sql").rows.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenario2);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E7 — index robustness on unclustered data (paper §2.1.1: imprints
+//! "remain effective and robust even in the case of unclustered data,
+//! while other state-of-the-art solutions fail").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidardb_bench::Fixture;
+use lidardb_imprints::Imprints;
+use lidardb_storage::zonemap::ZoneMap;
+
+fn orderings(base: &[f64]) -> [(&'static str, Vec<f64>); 3] {
+    let mut shuffled = base.to_vec();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in (1..shuffled.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 24) as usize % (i + 1);
+        shuffled.swap(i, j);
+    }
+    let mut sorted = base.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    [
+        ("acquisition", base.to_vec()),
+        ("shuffled", shuffled),
+        ("sorted", sorted),
+    ]
+}
+
+fn bench_robustness(c: &mut Criterion) {
+    let fx = Fixture::build("crit_e7", 7, 500.0, 2, 1.0);
+    let base = fx.pc.f64_column("x").expect("x").to_vec();
+    let env = fx.scene.envelope();
+    let lo = env.min_x + env.width() * 0.40;
+    let hi = env.min_x + env.width() * 0.41;
+
+    let mut g = c.benchmark_group("e7_robustness");
+    g.sample_size(20);
+    for (name, data) in orderings(&base) {
+        let imp = Imprints::build(&data);
+        let zm = ZoneMap::build(&data, 1024);
+        g.bench_function(BenchmarkId::new("imprints_probe", name), |b| {
+            b.iter(|| std::hint::black_box(imp.probe(lo, hi).num_rows()))
+        });
+        g.bench_function(BenchmarkId::new("zonemap_probe", name), |b| {
+            b.iter(|| std::hint::black_box(zm.candidate_ranges(lo, hi).len()))
+        });
+        // Probe + exact scan over candidates: the end-to-end filter cost.
+        g.bench_function(BenchmarkId::new("imprints_probe_scan", name), |b| {
+            b.iter(|| {
+                let cand = imp.probe(lo, hi);
+                let mut hits = 0usize;
+                for r in cand.ranges() {
+                    if r.all_qualify {
+                        hits += r.end - r.start;
+                    } else {
+                        for &v in &data[r.start..r.end] {
+                            if v >= lo && v <= hi {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    g.bench_function("imprints_build_1m", |b| {
+        b.iter(|| std::hint::black_box(Imprints::build(&base).num_vectors()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E8 — space-filling-curve machinery (paper §2.3: Hilbert-sorted blocks,
+//! lassort's Z-order): raw curve throughput and layout-dependent pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lidardb_baselines::BlockStore;
+use lidardb_bench::Fixture;
+use lidardb_sfc::{hilbert_encode, morton_encode, Curve, Quantizer};
+
+fn bench_sfc(c: &mut Criterion) {
+    // Raw encode throughput.
+    let coords: Vec<(u32, u32)> = (0u64..100_000)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 8) as u32, (h >> 40) as u32)
+        })
+        .collect();
+    let mut g = c.benchmark_group("e8_sfc");
+    g.throughput(Throughput::Elements(coords.len() as u64));
+    g.bench_function("morton_encode_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &coords {
+                acc ^= morton_encode(x, y);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("hilbert_encode_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &coords {
+                acc ^= hilbert_encode(x, y);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // Layout-dependent block pruning.
+    let fx = Fixture::build("crit_e8", 8, 400.0, 2, 1.0);
+    let mut records = Vec::new();
+    for p in &fx.las_paths {
+        records.extend(lidardb_las::read_las_file(p).expect("read").1);
+    }
+    let w = fx.window(1e-2);
+    let stores = [
+        ("unsorted", BlockStore::build_unsorted(&records, 512).expect("unsorted")),
+        ("morton", BlockStore::build(&records, 512, Curve::Morton).expect("morton")),
+        ("hilbert", BlockStore::build(&records, 512, Curve::Hilbert).expect("hilbert")),
+    ];
+    g.sample_size(20);
+    for (name, bs) in &stores {
+        g.bench_function(BenchmarkId::new("blockstore_query", *name), |b| {
+            b.iter(|| std::hint::black_box(bs.query_bbox(&w).expect("bbox").0.len()))
+        });
+    }
+
+    // lassort-style cached-key curve sort.
+    let env = fx.scene.envelope();
+    let q = Quantizer::new(env.min_x, env.min_y, env.max_x, env.max_y, 16);
+    g.sample_size(10);
+    g.bench_function("hilbert_sort_records", |b| {
+        b.iter(|| {
+            let mut copy = records.clone();
+            copy.sort_by_cached_key(|r| {
+                let (cx, cy) = q.cell(r.x, r.y);
+                Curve::Hilbert.encode(cx, cy)
+            });
+            std::hint::black_box(copy.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sfc);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! # lidardb-bench — the experiment harness
+//!
+//! Shared fixtures for the Criterion benches (`benches/e*.rs`, one per
+//! experiment of DESIGN.md §4) and for the `harness` binary that prints
+//! every experiment's table in one run:
+//!
+//! ```text
+//! cargo run --release -p lidardb-bench --bin harness            # all
+//! cargo run --release -p lidardb-bench --bin harness -- e3 e7   # subset
+//! ```
+
+use std::path::PathBuf;
+
+use lidardb_core::{LoadMethod, Loader, PointCloud};
+use lidardb_datagen::{Scene, SceneConfig};
+use lidardb_geom::Envelope;
+use lidardb_las::Compression;
+
+/// Standard experiment fixture: a scene, its tile files on disk, and the
+/// loaded point cloud.
+pub struct Fixture {
+    /// The synthetic world.
+    pub scene: Scene,
+    /// Tile files (uncompressed LAS).
+    pub las_paths: Vec<PathBuf>,
+    /// Tile files (laz-lite).
+    pub lazl_paths: Vec<PathBuf>,
+    /// The loaded flat table.
+    pub pc: PointCloud,
+}
+
+impl Fixture {
+    /// Build a fixture of roughly `extent_m² × density` points.
+    pub fn build(name: &str, seed: u64, extent_m: f64, tiles_per_side: usize, density: f64) -> Self {
+        let scene = Scene::generate(SceneConfig {
+            seed,
+            origin: (100_000.0, 450_000.0),
+            extent_m,
+        });
+        let dir_las = std::env::temp_dir().join(format!("lidardb_bench_{name}_las"));
+        let dir_lazl = std::env::temp_dir().join(format!("lidardb_bench_{name}_lazl"));
+        for d in [&dir_las, &dir_lazl] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        let las_paths =
+            write_tiles(&scene, &dir_las, tiles_per_side, density, Compression::None);
+        let lazl_paths =
+            write_tiles(&scene, &dir_lazl, tiles_per_side, density, Compression::LazLite);
+        let mut pc = PointCloud::new();
+        Loader::new(LoadMethod::Binary)
+            .load_files(&mut pc, &las_paths)
+            .expect("fixture load");
+        Fixture {
+            scene,
+            las_paths,
+            lazl_paths,
+            pc,
+        }
+    }
+
+    /// A query window covering `fraction` of the scene's area, anchored
+    /// a third of the way in (so it straddles tiles).
+    pub fn window(&self, fraction: f64) -> Envelope {
+        let env = self.scene.envelope();
+        let side = (fraction.clamp(0.0, 1.0)).sqrt();
+        let x0 = env.min_x + env.width() * 0.31;
+        let y0 = env.min_y + env.height() * 0.29;
+        Envelope::new(
+            x0,
+            y0,
+            (x0 + env.width() * side).min(env.max_x),
+            (y0 + env.height() * side).min(env.max_y),
+        )
+        .expect("valid window")
+    }
+}
+
+fn write_tiles(
+    scene: &Scene,
+    dir: &std::path::Path,
+    tiles_per_side: usize,
+    density: f64,
+    compression: Compression,
+) -> Vec<PathBuf> {
+    std::fs::create_dir_all(dir).expect("create bench dir");
+    let env = scene.envelope();
+    let template = lidardb_las::LasHeader::builder()
+        .scale(0.01, 0.01, 0.01)
+        .offset(env.min_x, env.min_y, 0.0)
+        .compression(compression)
+        .build();
+    let tiles = lidardb_datagen::TileSet::generate(scene, tiles_per_side, density);
+    let ext = match compression {
+        Compression::None => "las",
+        Compression::LazLite => "lazl",
+    };
+    tiles
+        .tiles()
+        .iter()
+        .map(|tile| {
+            let path = dir.join(format!("{}.{ext}", tile.name));
+            lidardb_las::write_las_file(&path, template, &tile.records).expect("write tile");
+            path
+        })
+        .collect()
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Median-of-`n` timing of a closure (first run discarded as warmup).
+pub fn median_seconds(n: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup (builds lazy indexes etc.)
+    let mut times: Vec<f64> = (0..n.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_windows_scale() {
+        let f = Fixture::build("selftest", 1, 200.0, 2, 0.3);
+        assert!(f.pc.num_points() > 5_000);
+        assert_eq!(f.las_paths.len(), 4);
+        assert_eq!(f.lazl_paths.len(), 4);
+        let small = f.window(0.001);
+        let big = f.window(0.1);
+        assert!(small.area() < big.area());
+        assert!(f.scene.envelope().contains_envelope(&big));
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, s) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+        let m = median_seconds(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(m >= 0.0);
+    }
+}

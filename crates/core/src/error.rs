@@ -1,0 +1,87 @@
+//! Error type of the core engine.
+
+use std::fmt;
+
+use lidardb_geom::GeomError;
+use lidardb_las::LasError;
+use lidardb_storage::StorageError;
+
+/// Errors produced by the point-cloud engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// File-format failure.
+    Las(LasError),
+    /// Geometry failure.
+    Geom(GeomError),
+    /// CSV text could not be parsed.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A query referenced something that does not exist.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Las(e) => write!(f, "las: {e}"),
+            CoreError::Geom(e) => write!(f, "geometry: {e}"),
+            CoreError::CsvParse { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
+            CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Las(e) => Some(e),
+            CoreError::Geom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+impl From<LasError> for CoreError {
+    fn from(e: LasError) -> Self {
+        CoreError::Las(e)
+    }
+}
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        CoreError::Geom(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = StorageError::UnknownColumn("q".into()).into();
+        assert!(e.to_string().contains("storage"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::CsvParse {
+            line: 3,
+            reason: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = CoreError::InvalidQuery("no such column".into());
+        assert!(e.to_string().contains("no such column"));
+    }
+}

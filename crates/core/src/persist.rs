@@ -1,0 +1,213 @@
+//! On-disk persistence of the flat table as per-column binary dumps.
+//!
+//! §3.2 of the paper: the loader "generates a new file that is the binary
+//! dump of a C-array containing the values of the property for all
+//! points" — MonetDB's BAT storage is exactly one memory-mappable file per
+//! column. This module round-trips a [`PointCloud`] through that layout:
+//! a directory with one `<column>.bin` little-endian dump per column plus
+//! a small manifest for validation.
+
+use std::io::Write;
+use std::path::Path;
+
+use lidardb_las::{point_schema, COLUMN_NAMES};
+use lidardb_storage::FlatTable;
+
+use crate::error::CoreError;
+use crate::pointcloud::PointCloud;
+
+/// Manifest file name.
+const MANIFEST: &str = "MANIFEST.lidardb";
+
+/// Manifest format version.
+const VERSION: u32 = 1;
+
+impl PointCloud {
+    /// Write the table as one binary dump per column plus a manifest.
+    ///
+    /// The directory is created if missing; existing dumps are
+    /// overwritten.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(lidardb_las::LasError::Io)?;
+        let schema = point_schema();
+        for field in schema.fields() {
+            let col = self.column(&field.name)?;
+            let path = dir.join(format!("{}.bin", field.name));
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(&path).map_err(lidardb_las::LasError::Io)?,
+            );
+            f.write_all(&col.to_le_bytes())
+                .and_then(|()| f.flush())
+                .map_err(lidardb_las::LasError::Io)?;
+        }
+        let manifest = format!(
+            "lidardb flat table\nversion {VERSION}\nrows {}\ncolumns {}\n",
+            self.num_points(),
+            COLUMN_NAMES.join(",")
+        );
+        std::fs::write(dir.join(MANIFEST), manifest).map_err(lidardb_las::LasError::Io)?;
+        Ok(())
+    }
+
+    /// Load a table previously written by [`PointCloud::save_dir`].
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let dir = dir.as_ref();
+        let manifest =
+            std::fs::read_to_string(dir.join(MANIFEST)).map_err(lidardb_las::LasError::Io)?;
+        let mut rows: Option<usize> = None;
+        let mut version: Option<u32> = None;
+        let mut columns: Option<String> = None;
+        for line in manifest.lines() {
+            if let Some(v) = line.strip_prefix("version ") {
+                version = v.trim().parse().ok();
+            } else if let Some(v) = line.strip_prefix("rows ") {
+                rows = v.trim().parse().ok();
+            } else if let Some(v) = line.strip_prefix("columns ") {
+                columns = Some(v.trim().to_string());
+            }
+        }
+        let bad = |what: &str| CoreError::InvalidQuery(format!("corrupt manifest: {what}"));
+        if version != Some(VERSION) {
+            return Err(bad("unsupported version"));
+        }
+        let rows = rows.ok_or_else(|| bad("missing row count"))?;
+        if columns.as_deref() != Some(&COLUMN_NAMES.join(",")) {
+            return Err(bad("column list mismatch"));
+        }
+
+        let mut pc = PointCloud::new();
+        let schema = point_schema();
+        let mut dumps = Vec::with_capacity(schema.width());
+        for field in schema.fields() {
+            let path = dir.join(format!("{}.bin", field.name));
+            let bytes = std::fs::read(&path).map_err(lidardb_las::LasError::Io)?;
+            let expected = rows * field.ptype.size();
+            if bytes.len() != expected {
+                return Err(CoreError::InvalidQuery(format!(
+                    "column file {} has {} bytes, manifest expects {expected}",
+                    path.display(),
+                    bytes.len()
+                )));
+            }
+            dumps.push(bytes);
+        }
+        pc.append_dumps(&dumps)?;
+        debug_assert_eq!(pc.num_points(), rows);
+        Ok(pc)
+    }
+}
+
+/// Validate a table directory without loading it (catalog-style check).
+pub fn validate_dir(dir: impl AsRef<Path>) -> Result<usize, CoreError> {
+    let dir = dir.as_ref();
+    let manifest =
+        std::fs::read_to_string(dir.join(MANIFEST)).map_err(lidardb_las::LasError::Io)?;
+    let rows: usize = manifest
+        .lines()
+        .find_map(|l| l.strip_prefix("rows "))
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| CoreError::InvalidQuery("corrupt manifest".into()))?;
+    let _ = FlatTable::new(point_schema()); // schema must construct
+    for field in point_schema().fields() {
+        let path = dir.join(format!("{}.bin", field.name));
+        let len = std::fs::metadata(&path)
+            .map_err(lidardb_las::LasError::Io)?
+            .len() as usize;
+        if len != rows * field.ptype.size() {
+            return Err(CoreError::InvalidQuery(format!(
+                "column file {} has wrong size",
+                path.display()
+            )));
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidardb_las::PointRecord;
+
+    fn tdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("lidardb_persist_{name}"));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn cloud(n: usize) -> PointCloud {
+        let mut pc = PointCloud::new();
+        let recs: Vec<PointRecord> = (0..n)
+            .map(|i| PointRecord {
+                x: i as f64 * 0.5,
+                y: 1000.0 - i as f64,
+                z: (i % 40) as f64,
+                classification: (i % 10) as u8,
+                intensity: i as u16,
+                gps_time: 1e5 + i as f64 * 1e-3,
+                wave_offset: i as u64 * 7,
+                ..Default::default()
+            })
+            .collect();
+        pc.append_records(&recs).unwrap();
+        pc
+    }
+
+    #[test]
+    fn save_open_roundtrip_bit_exact() {
+        let dir = tdir("roundtrip");
+        let pc = cloud(5000);
+        pc.save_dir(&dir).unwrap();
+        assert_eq!(validate_dir(&dir).unwrap(), 5000);
+        let back = PointCloud::open_dir(&dir).unwrap();
+        assert_eq!(back.num_points(), 5000);
+        for name in lidardb_las::COLUMN_NAMES {
+            assert_eq!(
+                pc.column(name).unwrap(),
+                back.column(name).unwrap(),
+                "column {name}"
+            );
+        }
+        // Queries work immediately (imprints rebuild lazily).
+        let sel = back
+            .select_query(
+                None,
+                &[crate::query::AttrRange::new("classification", 3.0, 3.0)],
+                Default::default(),
+            )
+            .unwrap();
+        assert_eq!(sel.rows.len(), 500);
+    }
+
+    #[test]
+    fn truncated_column_file_rejected() {
+        let dir = tdir("trunc");
+        cloud(100).save_dir(&dir).unwrap();
+        let victim = dir.join("z.bin");
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(validate_dir(&dir).is_err());
+        assert!(PointCloud::open_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn tampered_manifest_rejected() {
+        let dir = tdir("manifest");
+        cloud(10).save_dir(&dir).unwrap();
+        let m = dir.join(MANIFEST);
+        // Wrong version.
+        std::fs::write(&m, "lidardb flat table\nversion 99\nrows 10\ncolumns x\n").unwrap();
+        assert!(PointCloud::open_dir(&dir).is_err());
+        // Missing manifest entirely.
+        std::fs::remove_file(&m).unwrap();
+        assert!(PointCloud::open_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn empty_cloud_roundtrips() {
+        let dir = tdir("empty");
+        PointCloud::new().save_dir(&dir).unwrap();
+        let back = PointCloud::open_dir(&dir).unwrap();
+        assert_eq!(back.num_points(), 0);
+    }
+}

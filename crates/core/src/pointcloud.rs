@@ -1,0 +1,253 @@
+//! The flat point-cloud table with its lazy imprint cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use lidardb_imprints::ColumnImprints;
+use lidardb_las::{point_schema, PointRecord};
+use lidardb_storage::{Column, FlatTable};
+
+use crate::error::CoreError;
+use crate::soa::ColumnArrays;
+
+/// A point cloud stored as a flat 26-column table (§3.1 of the paper).
+///
+/// Imprint indexes are built lazily: *"Its creation is triggered when it
+/// encounters a range query for the first time"* (§3.2). The cache is
+/// internally synchronised, so a `&PointCloud` can serve queries from
+/// several threads.
+pub struct PointCloud {
+    table: FlatTable,
+    imprints: RwLock<HashMap<String, Arc<ColumnImprints>>>,
+}
+
+impl std::fmt::Debug for PointCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PointCloud")
+            .field("points", &self.num_points())
+            .field("indexed_columns", &self.imprints.read().len())
+            .finish()
+    }
+}
+
+impl Default for PointCloud {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PointCloud {
+    /// An empty point cloud.
+    pub fn new() -> Self {
+        PointCloud {
+            table: FlatTable::new(point_schema()),
+            imprints: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of points (rows).
+    pub fn num_points(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// Raw column payload bytes (storage accounting, E2).
+    pub fn data_bytes(&self) -> usize {
+        self.table.byte_len()
+    }
+
+    /// Total bytes of all imprint indexes built so far (E2).
+    pub fn index_bytes(&self) -> usize {
+        self.imprints.read().values().map(|i| i.byte_size()).sum()
+    }
+
+    /// The underlying flat table.
+    pub fn table(&self) -> &FlatTable {
+        &self.table
+    }
+
+    /// Append a batch of decoded records (transposes, then bulk-appends).
+    ///
+    /// Invalidates the imprint cache — appending changes cacheline
+    /// contents, and the paper's workload is bulk-load-then-query.
+    pub fn append_records(&mut self, records: &[PointRecord]) -> Result<usize, CoreError> {
+        let soa = ColumnArrays::from_records(records);
+        let dumps = soa.to_dumps();
+        self.append_dumps(&dumps)
+    }
+
+    /// `COPY BINARY`: append one little-endian dump per column.
+    pub fn append_dumps(&mut self, dumps: &[Vec<u8>]) -> Result<usize, CoreError> {
+        let refs: Vec<&[u8]> = dumps.iter().map(Vec::as_slice).collect();
+        let n = self.table.copy_binary(&refs)?;
+        self.imprints.get_mut().clear();
+        Ok(n)
+    }
+
+    /// Append one row the slow way (CSV path).
+    pub(crate) fn push_row_values(&mut self, row: &[lidardb_storage::Value]) {
+        self.table.push_row(row);
+        self.imprints.get_mut().clear();
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, CoreError> {
+        Ok(self.table.column_by_name(name)?)
+    }
+
+    /// Typed view of an `f64` column (x, y, z, gps_time).
+    pub fn f64_column(&self, name: &str) -> Result<&[f64], CoreError> {
+        Ok(self.column(name)?.as_slice::<f64>()?)
+    }
+
+    /// The imprint index of a column, building it on first use.
+    pub fn imprints_for(&self, name: &str) -> Result<Arc<ColumnImprints>, CoreError> {
+        if let Some(imp) = self.imprints.read().get(name) {
+            return Ok(Arc::clone(imp));
+        }
+        // Build outside any lock (cheap to race: both builds are identical
+        // and the second insert wins harmlessly).
+        let col = self.table.column_by_name(name)?;
+        let imp = Arc::new(ColumnImprints::build(col)?);
+        self.imprints
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&imp));
+        Ok(imp)
+    }
+
+    /// Whether a column already has an imprint index (observability for
+    /// the lazy-build tests and the EXPLAIN output).
+    pub fn has_imprints(&self, name: &str) -> bool {
+        self.imprints.read().contains_key(name)
+    }
+
+    /// Per-column imprint statistics for every index built so far.
+    pub fn imprint_stats(&self) -> Vec<(String, lidardb_imprints::ImprintStats)> {
+        let mut out: Vec<(String, _)> = self
+            .imprints
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Materialise one record back from the table (cold path: result
+    /// sets, tests, rendering).
+    pub fn record(&self, row: usize) -> Option<PointRecord> {
+        let vals = self.table.row(row)?;
+        let f = |i: usize| vals[i].as_f64();
+        Some(PointRecord {
+            x: f(0),
+            y: f(1),
+            z: f(2),
+            intensity: f(3) as u16,
+            return_number: f(4) as u8,
+            number_of_returns: f(5) as u8,
+            scan_direction: f(6) as u8,
+            edge_of_flight_line: f(7) as u8,
+            classification: f(8) as u8,
+            synthetic: f(9) as u8,
+            key_point: f(10) as u8,
+            withheld: f(11) as u8,
+            scan_angle_rank: f(12) as i8,
+            user_data: f(13) as u8,
+            point_source_id: f(14) as u16,
+            gps_time: f(15),
+            red: f(16) as u16,
+            green: f(17) as u16,
+            blue: f(18) as u16,
+            wave_packet_index: f(19) as u8,
+            wave_offset: f(20) as u64,
+            wave_size: f(21) as u32,
+            wave_return_loc: f(22) as f32,
+            wave_xt: f(23) as f32,
+            wave_yt: f(24) as f32,
+            wave_zt: f(25) as f32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize) -> Vec<PointRecord> {
+        (0..n)
+            .map(|i| PointRecord {
+                x: i as f64,
+                y: (n - i) as f64,
+                z: (i % 30) as f64,
+                classification: (i % 10) as u8,
+                intensity: i as u16,
+                gps_time: i as f64 * 0.01,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut pc = PointCloud::new();
+        pc.append_records(&sample_records(1000)).unwrap();
+        assert_eq!(pc.num_points(), 1000);
+        let xs = pc.f64_column("x").unwrap();
+        assert_eq!(xs[7], 7.0);
+        let rec = pc.record(7).unwrap();
+        assert_eq!(rec.x, 7.0);
+        assert_eq!(rec.y, 993.0);
+        assert_eq!(rec.classification, 7);
+        assert!(pc.record(1000).is_none());
+    }
+
+    #[test]
+    fn imprints_are_lazy_and_cached() {
+        let mut pc = PointCloud::new();
+        pc.append_records(&sample_records(5000)).unwrap();
+        assert!(!pc.has_imprints("x"));
+        let a = pc.imprints_for("x").unwrap();
+        assert!(pc.has_imprints("x"));
+        let b = pc.imprints_for("x").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call hits the cache");
+        assert!(!pc.has_imprints("y"), "only the probed column is indexed");
+    }
+
+    #[test]
+    fn append_invalidates_imprints() {
+        let mut pc = PointCloud::new();
+        pc.append_records(&sample_records(100)).unwrap();
+        pc.imprints_for("x").unwrap();
+        assert!(pc.has_imprints("x"));
+        pc.append_records(&sample_records(100)).unwrap();
+        assert!(!pc.has_imprints("x"), "cache cleared by append");
+        let imp = pc.imprints_for("x").unwrap();
+        assert_eq!(imp.len(), 200);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut pc = PointCloud::new();
+        pc.append_records(&sample_records(10_000)).unwrap();
+        assert_eq!(pc.index_bytes(), 0);
+        pc.imprints_for("x").unwrap();
+        pc.imprints_for("y").unwrap();
+        assert!(pc.index_bytes() > 0);
+        let stats = pc.imprint_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "x");
+        // Row bytes: 81 bytes of unpacked payload per point in the flat
+        // table (the LAS bit-fields each get their own u8 column).
+        assert_eq!(pc.data_bytes(), 10_000 * 81);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let pc = PointCloud::new();
+        assert!(pc.column("wibble").is_err());
+        assert!(pc.imprints_for("wibble").is_err());
+        assert!(pc.f64_column("classification").is_err(), "type mismatch");
+    }
+}

@@ -1,0 +1,922 @@
+//! The two-step spatial query engine (§3.3 of the paper).
+//!
+//! **Step 1 — filter.** The bbox of the query geometry is probed against
+//! the X- and Y-column imprints; the two candidate lists are intersected;
+//! candidate runs whose imprints prove every value qualifies skip the
+//! exact check entirely, the rest get a tight range re-scan.
+//!
+//! **Step 2 — refine.** For a non-rectangular geometry, a regular grid is
+//! laid over the bbox, surviving points are binned to cells, every
+//! *non-empty* cell is classified against the geometry in one step
+//! (INSIDE → take all points, OUTSIDE → drop all), and only BOUNDARY
+//! cells fall back to exact per-point predicate evaluation.
+//!
+//! Every query produces an [`Explain`] — cardinalities and wall-clock per
+//! operator, the breakdown the demo shows its audience.
+
+use std::time::Instant;
+
+use lidardb_geom::{
+    classify_rect_dwithin, classify_rect_polygon, contains_point, dwithin_point, Envelope,
+    Geometry, Point, RectClass,
+};
+use lidardb_storage::scan::{self, CmpOp};
+use lidardb_storage::Native;
+
+use crate::error::CoreError;
+use crate::pointcloud::PointCloud;
+
+/// Default refinement grid resolution (cells per axis).
+pub const DEFAULT_GRID: usize = 64;
+
+/// Largest accepted grid resolution per axis (the cell table is
+/// `cells²` entries; this caps it at 16 MB of bucket heads).
+pub const MAX_GRID: usize = 2048;
+
+/// The spatial predicate of a query.
+#[derive(Debug, Clone)]
+pub enum SpatialPredicate {
+    /// Points inside (or on the boundary of) the geometry.
+    Within(Geometry),
+    /// Points within `distance` of the geometry (`ST_DWithin`).
+    DWithin(Geometry, f64),
+}
+
+impl SpatialPredicate {
+    /// The bbox that bounds every possibly-matching point.
+    pub fn filter_envelope(&self) -> Option<Envelope> {
+        match self {
+            SpatialPredicate::Within(g) => g.envelope(),
+            SpatialPredicate::DWithin(g, d) => g.envelope().map(|e| e.buffered(*d)),
+        }
+    }
+
+    /// Exact per-point test.
+    #[inline]
+    pub fn matches(&self, p: &Point) -> bool {
+        match self {
+            SpatialPredicate::Within(g) => contains_point(g, p),
+            SpatialPredicate::DWithin(g, d) => dwithin_point(g, p, *d),
+        }
+    }
+
+    /// One-step cell classification.
+    fn classify_cell(&self, cell: &Envelope) -> RectClass {
+        match self {
+            SpatialPredicate::Within(g) => match g {
+                Geometry::Polygon(pg) => classify_rect_polygon(cell, pg),
+                Geometry::MultiPolygon(mp) => {
+                    lidardb_geom::classify::classify_rect_multipolygon(cell, mp.polygons())
+                }
+                // Points/lines have no interior: every non-empty cell needs
+                // per-point checks.
+                _ => RectClass::Boundary,
+            },
+            SpatialPredicate::DWithin(g, d) => classify_rect_dwithin(cell, g, *d),
+        }
+    }
+
+    /// Whether the predicate is exactly "inside this axis-aligned
+    /// rectangle", making refinement unnecessary.
+    fn is_pure_bbox(&self) -> Option<Envelope> {
+        if let SpatialPredicate::Within(Geometry::Polygon(pg)) = self {
+            if pg.holes().is_empty() && pg.exterior().vertices().len() == 4 {
+                let env = pg.envelope();
+                let on_env = |p: &Point| {
+                    (p.x == env.min_x || p.x == env.max_x) && (p.y == env.min_y || p.y == env.max_y)
+                };
+                let v = pg.exterior().vertices();
+                // Consecutive corners must share exactly one coordinate —
+                // this rejects self-intersecting "bowtie" vertex orders,
+                // whose region is NOT the bbox.
+                let proper = (0..4).all(|i| {
+                    let (a, b) = (&v[i], &v[(i + 1) % 4]);
+                    (a.x == b.x) != (a.y == b.y)
+                });
+                if proper && v.iter().all(on_env) {
+                    return Some(env);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// How step 2 is executed (the E4 ablation switches this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineStrategy {
+    /// Regular-grid cell classification (the paper's approach).
+    Grid {
+        /// Cells per axis.
+        cells: usize,
+    },
+    /// Regular grid with the resolution chosen from the candidate count
+    /// (~128 candidates per cell, clamped to `8..=MAX_GRID` per axis) —
+    /// the sweet spot the E4 ablation exposes, picked automatically.
+    AdaptiveGrid,
+    /// Exact predicate on every candidate point (no grid).
+    Exhaustive,
+    /// Stop after the bbox filter (returns a superset; used to measure
+    /// the filter step alone).
+    BboxOnly,
+}
+
+impl Default for RefineStrategy {
+    fn default() -> Self {
+        RefineStrategy::Grid {
+            cells: DEFAULT_GRID,
+        }
+    }
+}
+
+/// Per-operator cardinalities and timings of one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Explain {
+    /// Rows surviving the imprint filter (candidate superset).
+    pub after_imprints: usize,
+    /// Rows the imprints proved qualifying without data access.
+    pub sure_rows: usize,
+    /// Rows surviving the exact bbox check.
+    pub after_bbox: usize,
+    /// Non-empty grid cells classified INSIDE.
+    pub cells_inside: usize,
+    /// Non-empty grid cells classified OUTSIDE.
+    pub cells_outside: usize,
+    /// Non-empty grid cells classified BOUNDARY.
+    pub cells_boundary: usize,
+    /// Rows that needed an exact per-point predicate.
+    pub exact_tests: usize,
+    /// Number of attribute-range imprint probes that participated in the
+    /// filter step (thematic pushdown).
+    pub attr_probes: usize,
+    /// Final result cardinality.
+    pub result_rows: usize,
+    /// Wall-clock of the imprint probe + intersection, in seconds.
+    pub t_imprints: f64,
+    /// Wall-clock of the exact bbox scan, in seconds.
+    pub t_bbox: f64,
+    /// Wall-clock of the refinement step, in seconds.
+    pub t_refine: f64,
+}
+
+impl Explain {
+    /// Total measured time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.t_imprints + self.t_bbox + self.t_refine
+    }
+
+    /// Render the per-operator table the demo shows next to each query.
+    pub fn to_table(&self) -> String {
+        format!(
+            "operator            rows        seconds\n\
+             imprint filter      {:<10}  {:.6}\n\
+             exact bbox scan     {:<10}  {:.6}\n\
+             grid refinement     {:<10}  {:.6}\n\
+             (cells in/out/bnd)  {}/{}/{}\n\
+             (sure rows)         {}\n\
+             (exact pt tests)    {}",
+            self.after_imprints,
+            self.t_imprints,
+            self.after_bbox,
+            self.t_bbox,
+            self.result_rows,
+            self.t_refine,
+            self.cells_inside,
+            self.cells_outside,
+            self.cells_boundary,
+            self.sure_rows,
+            self.exact_tests,
+        )
+    }
+}
+
+/// A query result: matching row ids plus the execution breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Matching rows, ascending.
+    pub rows: Vec<usize>,
+    /// Execution breakdown.
+    pub explain: Explain,
+}
+
+/// An inclusive range predicate on one attribute column, expressed on the
+/// `f64` domain (integer columns round the bounds inward).
+///
+/// Column imprints are not a spatial index — they index *any* column
+/// (§2.1.1) — so thematic predicates like `classification = 6` or
+/// `z BETWEEN 0 AND 10` are served by the same probe-and-intersect
+/// machinery as the X/Y filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRange {
+    /// Column name in the flat table.
+    pub column: String,
+    /// Inclusive lower bound (`-inf` for one-sided predicates).
+    pub lo: f64,
+    /// Inclusive upper bound (`+inf` for one-sided predicates).
+    pub hi: f64,
+}
+
+impl AttrRange {
+    /// Convenience constructor.
+    pub fn new(column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        AttrRange {
+            column: column.into(),
+            lo,
+            hi,
+        }
+    }
+}
+
+impl PointCloud {
+    /// Two-step spatial selection with the default grid refinement.
+    pub fn select(&self, pred: &SpatialPredicate) -> Result<Selection, CoreError> {
+        self.select_with(pred, RefineStrategy::default())
+    }
+
+    /// Two-step spatial selection with an explicit refinement strategy.
+    pub fn select_with(
+        &self,
+        pred: &SpatialPredicate,
+        strategy: RefineStrategy,
+    ) -> Result<Selection, CoreError> {
+        self.select_query(Some(pred), &[], strategy)
+    }
+
+    /// The general entry point: an optional spatial predicate plus any
+    /// number of attribute-range predicates, all served by imprints.
+    ///
+    /// Every referenced column gets a (lazily built) imprint; candidate
+    /// lists are intersected before any data is touched; candidate runs
+    /// the imprints prove fully qualifying skip the exact checks.
+    pub fn select_query(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+    ) -> Result<Selection, CoreError> {
+        let mut explain = Explain::default();
+        let env = match pred {
+            Some(p) => match p.filter_envelope() {
+                Some(e) => Some(e),
+                None => return Ok(Selection::default()), // empty geometry
+            },
+            None => None,
+        };
+
+        // ---- Step 1a: imprint probes, intersected. -------------------------
+        let t0 = Instant::now();
+        let mut cand: Option<lidardb_imprints::CandidateList> = None;
+        let mut probe = |cl: lidardb_imprints::CandidateList| {
+            cand = Some(match cand.take() {
+                Some(c) => c.intersect(&cl),
+                None => cl,
+            });
+        };
+        if let Some(env) = &env {
+            probe(self.imprints_for("x")?.probe_f64(env.min_x, env.max_x));
+            probe(self.imprints_for("y")?.probe_f64(env.min_y, env.max_y));
+        }
+        for a in attrs {
+            if a.lo > a.hi {
+                return Ok(Selection::default());
+            }
+            probe(self.imprints_for(&a.column)?.probe_f64(a.lo, a.hi));
+            explain.attr_probes += 1;
+        }
+        let cand = match cand {
+            Some(c) => c,
+            None => {
+                // No predicates at all: everything matches.
+                let mut all = lidardb_imprints::CandidateList::empty();
+                all.push(0, self.num_points(), true);
+                all
+            }
+        };
+        explain.after_imprints = cand.num_rows();
+        explain.sure_rows = cand.num_sure_rows();
+        explain.t_imprints = t0.elapsed().as_secs_f64();
+
+        // ---- Step 1b: exact checks over candidate runs. --------------------
+        let t0 = Instant::now();
+        let mut rows: Vec<usize> = Vec::new();
+        let (xs, ys) = if env.is_some() {
+            (self.f64_column("x")?, self.f64_column("y")?)
+        } else {
+            (&[][..], &[][..])
+        };
+        for r in cand.ranges() {
+            if r.all_qualify {
+                rows.extend(r.start..r.end);
+            } else if let Some(env) = &env {
+                scan::range_scan_ranges(xs, &[(r.start, r.end)], env.min_x, env.max_x, &mut rows);
+            } else {
+                rows.extend(r.start..r.end);
+            }
+        }
+        // Runs are ordered, so `rows` is sorted. Refine the remaining
+        // predicates exactly; rows from sure runs satisfy everything and
+        // simply pass through.
+        if let Some(env) = &env {
+            scan::refine_range(ys, &mut rows, env.min_y, env.max_y);
+        }
+        for a in attrs {
+            self.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
+        }
+        explain.after_bbox = rows.len();
+        explain.t_bbox = t0.elapsed().as_secs_f64();
+
+        // ---- Step 2: spatial refinement. ------------------------------------
+        let t0 = Instant::now();
+        if let (Some(pred), Some(env)) = (pred, &env) {
+            let pure_bbox = pred.is_pure_bbox().is_some();
+            match strategy {
+                RefineStrategy::BboxOnly => {}
+                _ if pure_bbox => {} // bbox check was already exact
+                RefineStrategy::Exhaustive => {
+                    explain.exact_tests = rows.len();
+                    rows.retain(|&i| pred.matches(&Point::new(xs[i], ys[i])));
+                }
+                RefineStrategy::Grid { cells } => {
+                    // Clamp the grid: the cell table is cells² entries, so an
+                    // unbounded request would allocate without limit.
+                    let cells = cells.clamp(1, MAX_GRID);
+                    self.grid_refine(pred, env, cells, xs, ys, &mut rows, &mut explain);
+                }
+                RefineStrategy::AdaptiveGrid => {
+                    let cells = ((rows.len() as f64 / 128.0).sqrt() as usize).clamp(8, MAX_GRID);
+                    self.grid_refine(pred, env, cells, xs, ys, &mut rows, &mut explain);
+                }
+            }
+        }
+        explain.t_refine = t0.elapsed().as_secs_f64();
+        explain.result_rows = rows.len();
+        Ok(Selection { rows, explain })
+    }
+
+    /// Exact inclusive range check on any numeric column, on the `f64`
+    /// domain.
+    fn refine_attr_range(
+        &self,
+        rows: &mut Vec<usize>,
+        column: &str,
+        lo: f64,
+        hi: f64,
+    ) -> Result<(), CoreError> {
+        let col = self.column(column)?;
+        macro_rules! go {
+            ($t:ty) => {{
+                let data = col.as_slice::<$t>()?;
+                scan::refine_by(data, rows, |v| {
+                    let v = v.to_f64();
+                    v >= lo && v <= hi
+                });
+            }};
+        }
+        match col.ptype() {
+            lidardb_storage::PhysicalType::I8 => go!(i8),
+            lidardb_storage::PhysicalType::I16 => go!(i16),
+            lidardb_storage::PhysicalType::I32 => go!(i32),
+            lidardb_storage::PhysicalType::I64 => go!(i64),
+            lidardb_storage::PhysicalType::U8 => go!(u8),
+            lidardb_storage::PhysicalType::U16 => go!(u16),
+            lidardb_storage::PhysicalType::U32 => go!(u32),
+            lidardb_storage::PhysicalType::U64 => go!(u64),
+            lidardb_storage::PhysicalType::F32 => go!(f32),
+            lidardb_storage::PhysicalType::F64 => go!(f64),
+        }
+        Ok(())
+    }
+
+    /// Regular-grid refinement over the candidate rows.
+    #[allow(clippy::too_many_arguments)]
+    fn grid_refine(
+        &self,
+        pred: &SpatialPredicate,
+        env: &Envelope,
+        cells: usize,
+        xs: &[f64],
+        ys: &[f64],
+        rows: &mut Vec<usize>,
+        explain: &mut Explain,
+    ) {
+        let w = env.width().max(f64::MIN_POSITIVE);
+        let h = env.height().max(f64::MIN_POSITIVE);
+        let cell_of = |x: f64, y: f64| -> usize {
+            let cx = (((x - env.min_x) / w) * cells as f64) as usize;
+            let cy = (((y - env.min_y) / h) * cells as f64) as usize;
+            cy.min(cells - 1) * cells + cx.min(cells - 1)
+        };
+        // Bin candidate points to cells.
+        let mut buckets: HashMapLite = HashMapLite::new(cells * cells);
+        for (k, &row) in rows.iter().enumerate() {
+            buckets.push(cell_of(xs[row], ys[row]), k);
+        }
+        // Classify each non-empty cell once, then dispatch its points.
+        let mut keep = vec![false; rows.len()];
+        for (cell, members) in buckets.iter_non_empty() {
+            let cx = cell % cells;
+            let cy = cell / cells;
+            let cell_env = Envelope {
+                min_x: env.min_x + w * cx as f64 / cells as f64,
+                min_y: env.min_y + h * cy as f64 / cells as f64,
+                max_x: env.min_x + w * (cx + 1) as f64 / cells as f64,
+                max_y: env.min_y + h * (cy + 1) as f64 / cells as f64,
+            };
+            match pred.classify_cell(&cell_env) {
+                RectClass::Inside => {
+                    explain.cells_inside += 1;
+                    for k in members {
+                        keep[k] = true;
+                    }
+                }
+                RectClass::Outside => {
+                    explain.cells_outside += 1;
+                }
+                RectClass::Boundary => {
+                    explain.cells_boundary += 1;
+                    for k in members {
+                        let row = rows[k];
+                        explain.exact_tests += 1;
+                        keep[k] = pred.matches(&Point::new(xs[row], ys[row]));
+                    }
+                }
+            }
+        }
+        let mut w_idx = 0;
+        for k in 0..rows.len() {
+            if keep[k] {
+                rows[w_idx] = rows[k];
+                w_idx += 1;
+            }
+        }
+        rows.truncate(w_idx);
+    }
+
+    /// Thematic refinement: keep rows whose `column` satisfies `op rhs`
+    /// (e.g. `classification = 6`). Works on any numeric column.
+    pub fn filter_attr(
+        &self,
+        rows: &mut Vec<usize>,
+        column: &str,
+        op: CmpOp,
+        rhs: f64,
+    ) -> Result<(), CoreError> {
+        let col = self.column(column)?;
+        macro_rules! go {
+            ($t:ty) => {{
+                let data = col.as_slice::<$t>()?;
+                scan::refine_by(data, rows, |v| op.eval(v.to_f64(), rhs));
+            }};
+        }
+        match col.ptype() {
+            lidardb_storage::PhysicalType::I8 => go!(i8),
+            lidardb_storage::PhysicalType::I16 => go!(i16),
+            lidardb_storage::PhysicalType::I32 => go!(i32),
+            lidardb_storage::PhysicalType::I64 => go!(i64),
+            lidardb_storage::PhysicalType::U8 => go!(u8),
+            lidardb_storage::PhysicalType::U16 => go!(u16),
+            lidardb_storage::PhysicalType::U32 => go!(u32),
+            lidardb_storage::PhysicalType::U64 => go!(u64),
+            lidardb_storage::PhysicalType::F32 => go!(f32),
+            lidardb_storage::PhysicalType::F64 => go!(f64),
+        }
+        Ok(())
+    }
+
+    /// Aggregate a column over a selection. Returns `None` for an empty
+    /// selection (except `count`, which is always defined).
+    pub fn aggregate(
+        &self,
+        rows: &[usize],
+        column: &str,
+        agg: Aggregate,
+    ) -> Result<Option<f64>, CoreError> {
+        if agg == Aggregate::Count {
+            return Ok(Some(rows.len() as f64));
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        let col = self.column(column)?;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &r in rows {
+            let v = col.get(r).ok_or_else(|| {
+                CoreError::InvalidQuery(format!("row {r} out of range in aggregate"))
+            })?;
+            let v = v.as_f64();
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Ok(Some(match agg {
+            Aggregate::Count => unreachable!("handled above"),
+            Aggregate::Sum => sum,
+            Aggregate::Avg => sum / rows.len() as f64,
+            Aggregate::Min => min,
+            Aggregate::Max => max,
+        }))
+    }
+}
+
+/// Aggregates supported over selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+/// A dense "hash map" from cell id to member list, tuned for the grid
+/// (cell ids are small and dense, so it is really a paged Vec).
+struct HashMapLite {
+    heads: Vec<i32>,
+    // Linked list over member indexes: (value, next).
+    nodes: Vec<(usize, i32)>,
+    non_empty: Vec<usize>,
+}
+
+impl HashMapLite {
+    fn new(cells: usize) -> Self {
+        HashMapLite {
+            heads: vec![-1; cells],
+            nodes: Vec::new(),
+            non_empty: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, cell: usize, member: usize) {
+        if self.heads[cell] == -1 {
+            self.non_empty.push(cell);
+        }
+        self.nodes.push((member, self.heads[cell]));
+        self.heads[cell] = (self.nodes.len() - 1) as i32;
+    }
+
+    fn iter_non_empty(&self) -> impl Iterator<Item = (usize, Vec<usize>)> + '_ {
+        self.non_empty.iter().map(move |&cell| {
+            let mut members = Vec::new();
+            let mut cur = self.heads[cell];
+            while cur != -1 {
+                let (v, next) = self.nodes[cur as usize];
+                members.push(v);
+                cur = next;
+            }
+            (cell, members)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidardb_geom::Polygon;
+    use lidardb_las::PointRecord;
+
+    /// A 100x100 grid of points at integer coordinates.
+    fn grid_cloud() -> PointCloud {
+        let mut pc = PointCloud::new();
+        let recs: Vec<PointRecord> = (0..100)
+            .flat_map(|y| {
+                (0..100).map(move |x| PointRecord {
+                    x: x as f64,
+                    y: y as f64,
+                    z: (x + y) as f64 / 10.0,
+                    classification: if x > 50 { 6 } else { 2 },
+                    intensity: (x * y) as u16,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        pc.append_records(&recs).unwrap();
+        pc
+    }
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialPredicate {
+        SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(
+            &Envelope::new(x0, y0, x1, y1).unwrap(),
+        )))
+    }
+
+    fn brute(pc: &PointCloud, pred: &SpatialPredicate) -> Vec<usize> {
+        let xs = pc.f64_column("x").unwrap();
+        let ys = pc.f64_column("y").unwrap();
+        (0..pc.num_points())
+            .filter(|&i| pred.matches(&Point::new(xs[i], ys[i])))
+            .collect()
+    }
+
+    #[test]
+    fn bbox_select_matches_bruteforce() {
+        let pc = grid_cloud();
+        let pred = rect(10.0, 20.0, 30.5, 40.5);
+        let sel = pc.select(&pred).unwrap();
+        assert_eq!(sel.rows, brute(&pc, &pred));
+        assert_eq!(sel.explain.result_rows, 21 * 21);
+        assert!(sel.explain.after_imprints >= sel.explain.after_bbox);
+        // Pure-bbox query needs no refinement work at all.
+        assert_eq!(sel.explain.exact_tests, 0);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_polygon() {
+        let pc = grid_cloud();
+        let tri = SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::from_exterior(vec![
+                Point::new(5.0, 5.0),
+                Point::new(80.0, 10.0),
+                Point::new(40.0, 90.0),
+            ])
+            .unwrap(),
+        ));
+        let expect = brute(&pc, &tri);
+        for strat in [
+            RefineStrategy::Grid { cells: 64 },
+            RefineStrategy::Grid { cells: 7 },
+            RefineStrategy::Grid { cells: 1 },
+            RefineStrategy::AdaptiveGrid,
+            RefineStrategy::Exhaustive,
+        ] {
+            let sel = pc.select_with(&tri, strat).unwrap();
+            let mut rows = sel.rows.clone();
+            rows.sort_unstable();
+            assert_eq!(rows, expect, "{strat:?}");
+        }
+        // BboxOnly returns a superset.
+        let sup = pc.select_with(&tri, RefineStrategy::BboxOnly).unwrap();
+        assert!(sup.rows.len() >= expect.len());
+        for r in &expect {
+            assert!(sup.rows.contains(r));
+        }
+    }
+
+    #[test]
+    fn grid_skips_most_exact_tests() {
+        let pc = grid_cloud();
+        let big = SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::from_exterior(vec![
+                Point::new(2.0, 2.0),
+                Point::new(97.0, 3.0),
+                Point::new(96.0, 95.0),
+                Point::new(3.0, 96.0),
+            ])
+            .unwrap(),
+        ));
+        let grid = pc
+            .select_with(&big, RefineStrategy::Grid { cells: 64 })
+            .unwrap();
+        let exhaustive = pc.select_with(&big, RefineStrategy::Exhaustive).unwrap();
+        assert_eq!(grid.rows.len(), exhaustive.rows.len());
+        assert!(
+            grid.explain.exact_tests < exhaustive.explain.exact_tests / 2,
+            "grid {} vs exhaustive {} exact tests",
+            grid.explain.exact_tests,
+            exhaustive.explain.exact_tests
+        );
+        assert!(grid.explain.cells_inside > 0);
+    }
+
+    #[test]
+    fn dwithin_selection() {
+        let pc = grid_cloud();
+        let road = Geometry::LineString(
+            lidardb_geom::LineString::new(vec![Point::new(0.0, 50.0), Point::new(99.0, 50.0)])
+                .unwrap(),
+        );
+        let pred = SpatialPredicate::DWithin(road, 3.0);
+        let sel = pc.select(&pred).unwrap();
+        assert_eq!(sel.rows, brute(&pc, &pred));
+        // 7 rows of the grid (y in 47..=53).
+        assert_eq!(sel.rows.len(), 7 * 100);
+    }
+
+    #[test]
+    fn empty_and_miss_queries() {
+        let pc = grid_cloud();
+        let sel = pc.select(&rect(200.0, 200.0, 300.0, 300.0)).unwrap();
+        assert!(sel.rows.is_empty());
+        let empty_geom = SpatialPredicate::Within(Geometry::MultiPolygon(
+            lidardb_geom::MultiPolygon::new(vec![]),
+        ));
+        assert!(pc.select(&empty_geom).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn thematic_filter_and_aggregates() {
+        let pc = grid_cloud();
+        let mut sel = pc.select(&rect(40.0, 0.0, 60.0, 99.0)).unwrap();
+        pc.filter_attr(&mut sel.rows, "classification", CmpOp::Eq, 6.0)
+            .unwrap();
+        // x in 51..=60 after class filter: 10 columns x 100 rows.
+        assert_eq!(sel.rows.len(), 1000);
+        let avg_x = pc
+            .aggregate(&sel.rows, "x", Aggregate::Avg)
+            .unwrap()
+            .unwrap();
+        assert!((avg_x - 55.5).abs() < 1e-9);
+        let count = pc
+            .aggregate(&sel.rows, "z", Aggregate::Count)
+            .unwrap()
+            .unwrap();
+        assert_eq!(count, 1000.0);
+        let max_z = pc
+            .aggregate(&sel.rows, "z", Aggregate::Max)
+            .unwrap()
+            .unwrap();
+        assert!((max_z - (60.0 + 99.0) / 10.0).abs() < 1e-9);
+        assert_eq!(
+            pc.aggregate(&[], "z", Aggregate::Avg).unwrap(),
+            None,
+            "empty avg is NULL"
+        );
+        assert_eq!(
+            pc.aggregate(&[], "z", Aggregate::Count).unwrap(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn explain_is_populated() {
+        let pc = grid_cloud();
+        let tri = SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::from_exterior(vec![
+                Point::new(5.0, 5.0),
+                Point::new(60.0, 10.0),
+                Point::new(30.0, 70.0),
+            ])
+            .unwrap(),
+        ));
+        let sel = pc.select(&tri).unwrap();
+        let e = &sel.explain;
+        assert!(e.after_imprints >= e.after_bbox);
+        assert!(e.after_bbox >= e.result_rows);
+        assert!(e.cells_boundary > 0);
+        assert!(e.total_seconds() >= 0.0);
+        let table = e.to_table();
+        assert!(table.contains("imprint filter"));
+        assert!(table.contains("grid refinement"));
+    }
+
+    #[test]
+    fn attr_pushdown_matches_residual_filtering() {
+        let pc = grid_cloud();
+        let window = rect(20.0, 20.0, 70.0, 70.0);
+        // Index-driven: spatial + classification + z range in one call.
+        let sel = pc
+            .select_query(
+                Some(&window),
+                &[
+                    AttrRange::new("classification", 6.0, 6.0),
+                    AttrRange::new("z", 8.0, 12.0),
+                ],
+                RefineStrategy::default(),
+            )
+            .unwrap();
+        assert_eq!(sel.explain.attr_probes, 2);
+        // Oracle: spatial then exact filters.
+        let mut oracle = pc.select(&window).unwrap().rows;
+        pc.filter_attr(&mut oracle, "classification", CmpOp::Eq, 6.0)
+            .unwrap();
+        let zs = pc.f64_column("z").unwrap();
+        oracle.retain(|&i| zs[i] >= 8.0 && zs[i] <= 12.0);
+        assert_eq!(sel.rows, oracle);
+        assert!(!sel.rows.is_empty());
+        // The attr probes must have tightened the candidate set vs the
+        // purely spatial filter.
+        let spatial_only = pc.select(&window).unwrap();
+        assert!(sel.explain.after_imprints <= spatial_only.explain.after_imprints);
+    }
+
+    #[test]
+    fn attr_only_query_uses_imprints_without_spatial() {
+        let pc = grid_cloud();
+        let sel = pc
+            .select_query(
+                None,
+                &[AttrRange::new("intensity", 100.0, 200.0)],
+                RefineStrategy::default(),
+            )
+            .unwrap();
+        let ints = pc.column("intensity").unwrap().as_slice::<u16>().unwrap();
+        let oracle: Vec<usize> = (0..pc.num_points())
+            .filter(|&i| ints[i] >= 100 && ints[i] <= 200)
+            .collect();
+        assert_eq!(sel.rows, oracle);
+        assert!(pc.has_imprints("intensity"), "lazy build on the attribute");
+        assert!(!pc.has_imprints("x"), "x untouched without spatial");
+        assert!(
+            sel.explain.after_imprints < pc.num_points(),
+            "imprints must prune"
+        );
+    }
+
+    #[test]
+    fn no_predicates_returns_everything() {
+        let pc = grid_cloud();
+        let sel = pc
+            .select_query(None, &[], RefineStrategy::default())
+            .unwrap();
+        assert_eq!(sel.rows.len(), pc.num_points());
+    }
+
+    #[test]
+    fn inverted_attr_range_is_empty() {
+        let pc = grid_cloud();
+        let sel = pc
+            .select_query(
+                None,
+                &[AttrRange::new("z", 10.0, 5.0)],
+                RefineStrategy::default(),
+            )
+            .unwrap();
+        assert!(sel.rows.is_empty());
+    }
+
+    #[test]
+    fn lazy_imprint_build_is_triggered_by_select() {
+        let pc = grid_cloud();
+        assert!(!pc.has_imprints("x") && !pc.has_imprints("y"));
+        pc.select(&rect(0.0, 0.0, 5.0, 5.0)).unwrap();
+        assert!(pc.has_imprints("x") && pc.has_imprints("y"));
+    }
+}
+
+#[cfg(test)]
+mod review_regressions {
+    use super::*;
+    use lidardb_geom::Polygon;
+    use lidardb_las::PointRecord;
+
+    fn cloud() -> PointCloud {
+        let mut pc = PointCloud::new();
+        let recs: Vec<PointRecord> = (0..20)
+            .flat_map(|y| {
+                (0..20).map(move |x| PointRecord {
+                    x: x as f64,
+                    y: y as f64,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        pc.append_records(&recs).unwrap();
+        pc
+    }
+
+    #[test]
+    fn bowtie_polygon_is_not_treated_as_bbox() {
+        // Self-intersecting vertex order over the same four corners: the
+        // region is two triangles, NOT the bounding box.
+        let pc = cloud();
+        let bowtie = Polygon::from_exterior(vec![
+            Point::new(2.0, 2.0),
+            Point::new(12.0, 12.0),
+            Point::new(12.0, 2.0),
+            Point::new(2.0, 12.0),
+        ])
+        .unwrap();
+        let pred = SpatialPredicate::Within(Geometry::Polygon(bowtie.clone()));
+        let grid = pc.select(&pred).unwrap();
+        let exhaustive = pc
+            .select_with(&pred, RefineStrategy::Exhaustive)
+            .unwrap();
+        assert_eq!(grid.rows, exhaustive.rows, "paths must agree");
+        // And strictly fewer points than the bbox holds.
+        let bbox_count = 11 * 11;
+        assert!(grid.rows.len() < bbox_count, "{} rows", grid.rows.len());
+        // Proper rectangles still take the fast path (no exact tests).
+        let rect = SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(
+            &Envelope::new(2.0, 2.0, 12.0, 12.0).unwrap(),
+        )));
+        let sel = pc.select(&rect).unwrap();
+        assert_eq!(sel.rows.len(), bbox_count);
+        assert_eq!(sel.explain.exact_tests, 0);
+    }
+
+    #[test]
+    fn absurd_grid_request_is_clamped_not_oom() {
+        let pc = cloud();
+        let tri = SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::from_exterior(vec![
+                Point::new(0.0, 0.0),
+                Point::new(19.0, 0.0),
+                Point::new(0.0, 19.0),
+            ])
+            .unwrap(),
+        ));
+        let sel = pc
+            .select_with(&tri, RefineStrategy::Grid { cells: usize::MAX })
+            .unwrap();
+        let oracle = pc
+            .select_with(&tri, RefineStrategy::Exhaustive)
+            .unwrap();
+        assert_eq!(sel.rows, oracle.rows);
+    }
+}

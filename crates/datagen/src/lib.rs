@@ -1,0 +1,38 @@
+//! # lidardb-datagen — synthetic AHN2 / OSM / Urban Atlas generators
+//!
+//! The demo uses three datasets (§4): the **AHN2** national LIDAR scan
+//! (640 billion points in 60,185 LAZ tiles), **OpenStreetMap** vectors
+//! (roads, rivers, points of interest) and the EEA **Urban Atlas** land-use
+//! polygons. None of them can ship with a laptop-scale reproduction, so
+//! this crate generates seeded synthetic stand-ins that preserve the
+//! properties the paper's techniques exploit (DESIGN.md §2, substitution 1):
+//!
+//! * a consistent [`Scene`] — one simulated Dutch-style municipality where
+//!   the three datasets agree with each other (buildings stand in urban
+//!   land-use zones, LIDAR returns over water are classified 9, the
+//!   motorway has a matching Urban Atlas *fast transit road* zone with
+//!   nomenclature code 12220, …);
+//! * **acquisition order**: points are emitted in serpentine flight-line
+//!   order with slowly increasing GPS time, which is exactly the "local
+//!   clustering or partial ordering as a side effect of the construction
+//!   process" (§2.1.1) that makes column imprints compress;
+//! * **spatial tiling**: the scene is cut into per-file tiles like AHN2's
+//!   bladnr distribution, so the file-based baseline has realistic
+//!   header-bbox selectivity;
+//! * full 26-attribute records with realistic distributions
+//!   (classification codes, multi-return vegetation, intensity by surface
+//!   type, RGB by land cover, oscillating scan angles).
+//!
+//! Everything is deterministic in the seed.
+
+pub mod osm;
+pub mod scene;
+pub mod terrain;
+pub mod tiles;
+pub mod urban_atlas;
+
+pub use osm::{Poi, River, Road, RoadClass};
+pub use scene::{Scene, SceneConfig};
+pub use terrain::Terrain;
+pub use tiles::{Tile, TileSet};
+pub use urban_atlas::{LandUseClass, LandUseZone};

@@ -1,0 +1,335 @@
+//! OSM-like vector features: roads, rivers, points of interest.
+//!
+//! The generated network is deliberately simple but structured the way the
+//! demo's queries need it: a functional road hierarchy (the motorway is
+//! the "fast transit road" of scenario 2), a meandering river, and named
+//! POIs — all deterministic in the scene seed.
+
+use lidardb_geom::{Envelope, LineString, Point};
+
+/// Functional class of a road, mirroring OSM `highway=*` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoadClass {
+    /// Grade-separated fast transit road (OSM `motorway`).
+    Motorway,
+    /// Major connecting road (OSM `primary`).
+    Primary,
+    /// Local street (OSM `residential`).
+    Residential,
+}
+
+impl RoadClass {
+    /// Tag value as it would appear in OSM.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RoadClass::Motorway => "motorway",
+            RoadClass::Primary => "primary",
+            RoadClass::Residential => "residential",
+        }
+    }
+
+    /// Pavement half-width in metres (used when rasterising and when the
+    /// scene classifies LIDAR returns as road surface).
+    pub fn half_width(self) -> f64 {
+        match self {
+            RoadClass::Motorway => 14.0,
+            RoadClass::Primary => 7.0,
+            RoadClass::Residential => 3.0,
+        }
+    }
+}
+
+/// One road feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Road {
+    /// Stable feature id.
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Functional class.
+    pub class: RoadClass,
+    /// Centreline geometry.
+    pub geometry: LineString,
+}
+
+/// One river feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct River {
+    /// Stable feature id.
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Half-width of the water surface in metres.
+    pub half_width: f64,
+    /// Centreline geometry.
+    pub geometry: LineString,
+}
+
+/// A point of interest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poi {
+    /// Stable feature id.
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// OSM-ish amenity tag.
+    pub amenity: String,
+    /// Location.
+    pub location: Point,
+}
+
+/// The analytic centreline of the scene's river: a north-south sine wave.
+/// Kept analytic so the point generator can classify water returns with a
+/// cheap closed-form distance instead of a polyline scan.
+#[derive(Debug, Clone, Copy)]
+pub struct RiverCourse {
+    /// Mean easting of the course.
+    pub center_x: f64,
+    /// Meander amplitude in metres.
+    pub amplitude: f64,
+    /// Meander wavelength in metres.
+    pub wavelength: f64,
+    /// Half-width of the water surface.
+    pub half_width: f64,
+}
+
+impl RiverCourse {
+    /// Easting of the centreline at a given northing.
+    pub fn x_at(&self, y: f64) -> f64 {
+        self.center_x + self.amplitude * (y / self.wavelength * std::f64::consts::TAU).sin()
+    }
+
+    /// Approximate horizontal distance from a point to the centreline.
+    pub fn distance(&self, x: f64, y: f64) -> f64 {
+        (x - self.x_at(y)).abs()
+    }
+
+    /// Materialise as a polyline with `n` vertices across `env`.
+    pub fn to_linestring(&self, env: &Envelope, n: usize) -> LineString {
+        let n = n.max(2);
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let y = env.min_y + env.height() * i as f64 / (n - 1) as f64;
+                Point::new(self.x_at(y), y)
+            })
+            .collect();
+        LineString::new(pts).expect("n >= 2 vertices")
+    }
+}
+
+/// Build the road network for a square region.
+///
+/// Layout: one east-west motorway through the middle, primary roads on a
+/// ~500 m grid, residential streets on a ~125 m grid inside the urban
+/// quarter (the north-east quadrant around the centre).
+pub fn build_roads(env: &Envelope) -> Vec<Road> {
+    let mut roads = Vec::new();
+    let mut id = 1u64;
+    let mut push = |roads: &mut Vec<Road>, name: String, class: RoadClass, pts: Vec<Point>| {
+        let geometry = LineString::new(pts).expect("two endpoints");
+        roads.push(Road {
+            id,
+            name,
+            class,
+            geometry,
+        });
+        id += 1;
+    };
+
+    let cy = env.min_y + env.height() * 0.5;
+    // The motorway: slight chevron so it is not axis-degenerate.
+    push(
+        &mut roads,
+        "A99 motorway".to_string(),
+        RoadClass::Motorway,
+        vec![
+            Point::new(env.min_x, cy - env.height() * 0.02),
+            Point::new(env.min_x + env.width() * 0.5, cy + env.height() * 0.03),
+            Point::new(env.max_x, cy - env.height() * 0.01),
+        ],
+    );
+
+    // Primary grid at ~500 m within the region.
+    let step = (env.width() / 8.0).max(1.0);
+    let mut k = 1;
+    let mut x = env.min_x + step;
+    while x < env.max_x - step * 0.5 {
+        push(
+            &mut roads,
+            format!("N{k:03} north-south"),
+            RoadClass::Primary,
+            vec![Point::new(x, env.min_y), Point::new(x, env.max_y)],
+        );
+        k += 1;
+        x += step * 2.0;
+    }
+    let mut y = env.min_y + step;
+    while y < env.max_y - step * 0.5 {
+        push(
+            &mut roads,
+            format!("N{k:03} east-west"),
+            RoadClass::Primary,
+            vec![Point::new(env.min_x, y), Point::new(env.max_x, y)],
+        );
+        k += 1;
+        y += step * 2.0;
+    }
+
+    // Residential streets inside the urban quarter.
+    let urban = urban_quarter(env);
+    let rstep = (urban.width() / 8.0).max(0.5);
+    let mut s = 1;
+    let mut x = urban.min_x + rstep;
+    while x < urban.max_x {
+        push(
+            &mut roads,
+            format!("Dorpsstraat {s}"),
+            RoadClass::Residential,
+            vec![Point::new(x, urban.min_y), Point::new(x, urban.max_y)],
+        );
+        s += 1;
+        x += rstep;
+    }
+    let mut y = urban.min_y + rstep;
+    while y < urban.max_y {
+        push(
+            &mut roads,
+            format!("Kerkstraat {s}"),
+            RoadClass::Residential,
+            vec![Point::new(urban.min_x, y), Point::new(urban.max_x, y)],
+        );
+        s += 1;
+        y += rstep;
+    }
+    roads
+}
+
+/// The urban quarter of the scene: the block north-east of the centre.
+pub fn urban_quarter(env: &Envelope) -> Envelope {
+    Envelope::new(
+        env.min_x + env.width() * 0.55,
+        env.min_y + env.height() * 0.55,
+        env.min_x + env.width() * 0.9,
+        env.min_y + env.height() * 0.9,
+    )
+    .expect("fractions of a valid envelope")
+}
+
+/// The analytic river course of the scene.
+pub fn river_course(env: &Envelope) -> RiverCourse {
+    RiverCourse {
+        center_x: env.min_x + env.width() * 0.25,
+        amplitude: env.width() * 0.04,
+        wavelength: env.height() * 0.8,
+        half_width: (env.width() * 0.008).clamp(2.0, 25.0),
+    }
+}
+
+/// Build the river features (a single main river).
+pub fn build_rivers(env: &Envelope) -> Vec<River> {
+    let course = river_course(env);
+    vec![River {
+        id: 1,
+        name: "Oude Gracht".to_string(),
+        half_width: course.half_width,
+        geometry: course.to_linestring(env, 64),
+    }]
+}
+
+/// Build named POIs: one per primary/residential intersection corner of
+/// the urban quarter plus civic amenities near the centre.
+pub fn build_pois(env: &Envelope) -> Vec<Poi> {
+    let urban = urban_quarter(env);
+    let amenities = ["cafe", "school", "library", "station", "market"];
+    let mut pois = Vec::new();
+    for (i, amenity) in amenities.iter().enumerate() {
+        let f = (i as f64 + 1.0) / (amenities.len() as f64 + 1.0);
+        pois.push(Poi {
+            id: i as u64 + 1,
+            name: format!("{} {}", amenity, i + 1),
+            amenity: (*amenity).to_string(),
+            location: Point::new(
+                urban.min_x + urban.width() * f,
+                urban.min_y + urban.height() * (1.0 - f),
+            ),
+        });
+    }
+    pois
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Envelope {
+        Envelope::new(0.0, 0.0, 4000.0, 4000.0).unwrap()
+    }
+
+    #[test]
+    fn network_has_all_classes() {
+        let roads = build_roads(&env());
+        assert_eq!(
+            roads
+                .iter()
+                .filter(|r| r.class == RoadClass::Motorway)
+                .count(),
+            1
+        );
+        assert!(roads.iter().any(|r| r.class == RoadClass::Primary));
+        assert!(roads.iter().any(|r| r.class == RoadClass::Residential));
+        // Ids unique.
+        let mut ids: Vec<u64> = roads.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), roads.len());
+    }
+
+    #[test]
+    fn roads_stay_in_region() {
+        let e = env();
+        for r in build_roads(&e) {
+            for p in r.geometry.vertices() {
+                assert!(e.buffered(1e-9).contains(p), "{} leaves region", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn river_course_is_consistent() {
+        let e = env();
+        let c = river_course(&e);
+        let ls = c.to_linestring(&e, 100);
+        for p in ls.vertices() {
+            assert!((p.x - c.x_at(p.y)).abs() < 1e-9);
+        }
+        assert_eq!(c.distance(c.x_at(123.0) + 5.0, 123.0), 5.0);
+        let rivers = build_rivers(&e);
+        assert_eq!(rivers.len(), 1);
+        assert!(rivers[0].half_width > 0.0);
+    }
+
+    #[test]
+    fn pois_inside_urban_quarter() {
+        let e = env();
+        let q = urban_quarter(&e);
+        let pois = build_pois(&e);
+        assert_eq!(pois.len(), 5);
+        for p in &pois {
+            assert!(q.contains(&p.location), "{} outside quarter", p.name);
+        }
+    }
+
+    #[test]
+    fn class_metadata() {
+        assert_eq!(RoadClass::Motorway.tag(), "motorway");
+        assert!(RoadClass::Motorway.half_width() > RoadClass::Residential.half_width());
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = env();
+        assert_eq!(build_roads(&e), build_roads(&e));
+        assert_eq!(build_rivers(&e), build_rivers(&e));
+        assert_eq!(build_pois(&e), build_pois(&e));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type of the geometry crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A ring needs at least three distinct vertices.
+    DegenerateRing(usize),
+    /// A linestring needs at least two vertices.
+    DegenerateLine(usize),
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// WKT text failed to parse; carries a human-readable reason and the
+    /// byte offset where parsing stopped.
+    WktParse {
+        /// What went wrong.
+        reason: String,
+        /// Byte offset into the input.
+        offset: usize,
+    },
+    /// An envelope was constructed with inverted bounds.
+    InvertedEnvelope,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DegenerateRing(n) => {
+                write!(f, "polygon ring needs >= 3 distinct vertices, got {n}")
+            }
+            GeomError::DegenerateLine(n) => {
+                write!(f, "linestring needs >= 2 vertices, got {n}")
+            }
+            GeomError::NonFiniteCoordinate => write!(f, "non-finite coordinate"),
+            GeomError::WktParse { reason, offset } => {
+                write!(f, "WKT parse error at byte {offset}: {reason}")
+            }
+            GeomError::InvertedEnvelope => write!(f, "envelope bounds are inverted"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GeomError::DegenerateRing(2).to_string().contains("3"));
+        let e = GeomError::WktParse {
+            reason: "expected number".into(),
+            offset: 7,
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

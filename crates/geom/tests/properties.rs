@@ -1,0 +1,171 @@
+//! Property-based tests of the geometry invariants.
+
+use lidardb_geom::{
+    classify_rect_dwithin, classify_rect_polygon, wkt, Envelope, Geometry, LineString, Point,
+    Polygon, RectClass, Segment,
+};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A random convex polygon: points on a circle with jittered radius,
+/// sorted by angle.
+fn convex_polygon() -> impl Strategy<Value = Polygon> {
+    (
+        3usize..10,
+        10.0f64..60.0,
+        -30.0f64..30.0,
+        -30.0f64..30.0,
+        any::<u64>(),
+    )
+        .prop_map(|(n, r, cx, cy, seed)| {
+            let mut pts = Vec::with_capacity(n);
+            for i in 0..n {
+                let angle = i as f64 / n as f64 * std::f64::consts::TAU;
+                let jitter = 0.6 + 0.4 * ((seed.wrapping_mul(i as u64 + 1) >> 32) as f64
+                    / u32::MAX as f64);
+                pts.push(Point::new(
+                    cx + r * jitter * angle.cos(),
+                    cy + r * jitter * angle.sin(),
+                ));
+            }
+            Polygon::from_exterior(pts).expect("convex ring")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn convex_containment_matches_halfplane_oracle(poly in convex_polygon(), p in pt()) {
+        // For a convex CCW polygon, inside == left-of-or-on every edge.
+        let inside_oracle = poly
+            .exterior()
+            .edges()
+            .all(|e| lidardb_geom::segment::orient(&e.a, &e.b, &p) >= 0.0);
+        // Skip near-boundary points where float noise decides differently.
+        let boundary_dist = poly
+            .exterior()
+            .edges()
+            .map(|e| e.distance_point(&p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assume!(boundary_dist > 1e-9);
+        prop_assert_eq!(poly.contains_point(&p), inside_oracle);
+    }
+
+    #[test]
+    fn distance_zero_iff_contained(poly in convex_polygon(), p in pt()) {
+        let d = poly.distance_point(&p);
+        if poly.contains_point(&p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+        // Intersecting segments are at distance zero and vice versa.
+        let dist = s1.distance_segment(&s2);
+        prop_assert_eq!(s1.intersects(&s2), dist == 0.0);
+        prop_assert_eq!(dist, s2.distance_segment(&s1));
+    }
+
+    #[test]
+    fn envelope_relations_consistent(a in pt(), b in pt(), c in pt(), d in pt(), p in pt()) {
+        let e1 = Envelope::of_points(&[a, b]).unwrap();
+        let e2 = Envelope::of_points(&[c, d]).unwrap();
+        prop_assert_eq!(e1.intersects(&e2), e2.intersects(&e1));
+        if e1.contains_envelope(&e2) {
+            prop_assert!(e1.intersects(&e2));
+        }
+        if e1.contains(&p) {
+            prop_assert_eq!(e1.distance_point(&p), 0.0);
+        } else {
+            prop_assert!(e1.distance_point(&p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn wkt_roundtrip_polygon(poly in convex_polygon()) {
+        let g = Geometry::Polygon(poly);
+        let text = wkt::to_wkt(&g);
+        let back = wkt::parse_wkt(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wkt_roundtrip_linestring(pts in prop::collection::vec(pt(), 2..12)) {
+        let g = Geometry::LineString(LineString::new(pts).unwrap());
+        let back = wkt::parse_wkt(&wkt::to_wkt(&g)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn rect_classification_is_sound(
+        poly in convex_polygon(),
+        x0 in -80.0f64..80.0,
+        y0 in -80.0f64..80.0,
+        w in 0.5f64..40.0,
+        h in 0.5f64..40.0,
+    ) {
+        let cell = Envelope::new(x0, y0, x0 + w, y0 + h).unwrap();
+        let label = classify_rect_polygon(&cell, &poly);
+        // Sample a 4x4 lattice of interior points of the cell.
+        for i in 0..4 {
+            for j in 0..4 {
+                let p = Point::new(
+                    cell.min_x + cell.width() * (i as f64 + 0.5) / 4.0,
+                    cell.min_y + cell.height() * (j as f64 + 0.5) / 4.0,
+                );
+                let inside = poly.contains_point(&p);
+                match label {
+                    RectClass::Inside => prop_assert!(inside, "outside point in INSIDE cell"),
+                    RectClass::Outside => prop_assert!(!inside, "inside point in OUTSIDE cell"),
+                    RectClass::Boundary => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dwithin_classification_is_sound(
+        line in prop::collection::vec(pt(), 2..6),
+        x0 in -80.0f64..80.0,
+        y0 in -80.0f64..80.0,
+        side in 0.5f64..30.0,
+        dist in 0.5f64..50.0,
+    ) {
+        let g = Geometry::LineString(LineString::new(line).unwrap());
+        let cell = Envelope::new(x0, y0, x0 + side, y0 + side).unwrap();
+        let label = classify_rect_dwithin(&cell, &g, dist);
+        for i in 0..3 {
+            for j in 0..3 {
+                let p = Point::new(
+                    cell.min_x + cell.width() * (i as f64 + 0.5) / 3.0,
+                    cell.min_y + cell.height() * (j as f64 + 0.5) / 3.0,
+                );
+                let within = lidardb_geom::dwithin_point(&g, &p, dist);
+                match label {
+                    RectClass::Inside => prop_assert!(within),
+                    RectClass::Outside => prop_assert!(!within),
+                    RectClass::Boundary => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersects_is_symmetric_for_polygons(a in convex_polygon(), b in convex_polygon()) {
+        let (ga, gb) = (Geometry::Polygon(a), Geometry::Polygon(b));
+        prop_assert_eq!(
+            lidardb_geom::intersects(&ga, &gb),
+            lidardb_geom::intersects(&gb, &ga)
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Candidate lists — the result of probing an imprint.
+//!
+//! The filtering step of the two-step query model (§3.3) produces "a
+//! superset of the solution": maximal runs of rows whose cachelines may hold
+//! qualifying values. Ranges where the imprint proves that *every* value
+//! qualifies carry the `all_qualify` flag, which lets the executor emit the
+//! whole run without reading the data at all.
+
+/// One maximal candidate run of rows, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateRange {
+    /// First candidate row.
+    pub start: usize,
+    /// One past the last candidate row.
+    pub end: usize,
+    /// Whether the imprint guarantees every row in the run qualifies.
+    pub all_qualify: bool,
+}
+
+impl CandidateRange {
+    /// Number of rows in the run.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// An ordered, non-overlapping list of candidate runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateList {
+    ranges: Vec<CandidateRange>,
+}
+
+impl CandidateList {
+    /// An empty list (no cacheline can match).
+    pub fn empty() -> Self {
+        CandidateList::default()
+    }
+
+    /// Append a run, merging with the previous one when contiguous and of
+    /// equal `all_qualify` status.
+    pub fn push(&mut self, start: usize, end: usize, all_qualify: bool) {
+        if start >= end {
+            return;
+        }
+        if let Some(last) = self.ranges.last_mut() {
+            debug_assert!(last.end <= start, "ranges must be pushed in order");
+            if last.end == start && last.all_qualify == all_qualify {
+                last.end = end;
+                return;
+            }
+        }
+        self.ranges.push(CandidateRange {
+            start,
+            end,
+            all_qualify,
+        });
+    }
+
+    /// The runs in increasing row order.
+    pub fn ranges(&self) -> &[CandidateRange] {
+        &self.ranges
+    }
+
+    /// Total number of candidate rows.
+    pub fn num_rows(&self) -> usize {
+        self.ranges.iter().map(CandidateRange::len).sum()
+    }
+
+    /// Number of rows in `all_qualify` runs.
+    pub fn num_sure_rows(&self) -> usize {
+        self.ranges
+            .iter()
+            .filter(|r| r.all_qualify)
+            .map(CandidateRange::len)
+            .sum()
+    }
+
+    /// Whether no rows are candidates.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether `row` is inside some candidate run.
+    pub fn contains(&self, row: usize) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if row < r.start {
+                    std::cmp::Ordering::Greater
+                } else if row >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Drop the qualify flags, yielding plain `(start, end)` ranges for the
+    /// scan kernels.
+    pub fn as_plain_ranges(&self) -> Vec<(usize, usize)> {
+        self.ranges.iter().map(|r| (r.start, r.end)).collect()
+    }
+
+    /// Intersect two candidate lists (used to AND the X- and Y-imprint
+    /// results in the spatial filter). A row qualifies-for-sure only when
+    /// both sides say so.
+    pub fn intersect(&self, other: &CandidateList) -> CandidateList {
+        let mut out = CandidateList::empty();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let a = self.ranges[i];
+            let b = other.ranges[j];
+            let start = a.start.max(b.start);
+            let end = a.end.min(b.end);
+            if start < end {
+                out.push(start, end, a.all_qualify && b.all_qualify);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_compatible_runs() {
+        let mut c = CandidateList::empty();
+        c.push(0, 8, false);
+        c.push(8, 16, false);
+        c.push(16, 24, true); // different flag: no merge
+        c.push(32, 40, true); // gap: no merge
+        assert_eq!(c.ranges().len(), 3);
+        assert_eq!(c.num_rows(), 32);
+        assert_eq!(c.num_sure_rows(), 16);
+    }
+
+    #[test]
+    fn empty_push_ignored() {
+        let mut c = CandidateList::empty();
+        c.push(5, 5, true);
+        assert!(c.is_empty());
+        assert_eq!(c.num_rows(), 0);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let mut c = CandidateList::empty();
+        c.push(10, 20, false);
+        c.push(30, 31, true);
+        assert!(!c.contains(9));
+        assert!(c.contains(10));
+        assert!(c.contains(19));
+        assert!(!c.contains(20));
+        assert!(c.contains(30));
+        assert!(!c.contains(31));
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let mut a = CandidateList::empty();
+        a.push(0, 10, true);
+        a.push(20, 30, false);
+        let mut b = CandidateList::empty();
+        b.push(5, 25, true);
+        let c = a.intersect(&b);
+        assert_eq!(
+            c.ranges(),
+            &[
+                CandidateRange {
+                    start: 5,
+                    end: 10,
+                    all_qualify: true
+                },
+                CandidateRange {
+                    start: 20,
+                    end: 25,
+                    all_qualify: false
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let mut a = CandidateList::empty();
+        a.push(0, 100, true);
+        assert!(a.intersect(&CandidateList::empty()).is_empty());
+        assert!(CandidateList::empty().intersect(&a).is_empty());
+    }
+
+    #[test]
+    fn intersect_is_commutative() {
+        let mut a = CandidateList::empty();
+        a.push(0, 4, false);
+        a.push(6, 12, true);
+        a.push(14, 20, false);
+        let mut b = CandidateList::empty();
+        b.push(2, 8, true);
+        b.push(10, 16, true);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.num_rows(), 2 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn plain_ranges() {
+        let mut c = CandidateList::empty();
+        c.push(1, 3, true);
+        c.push(7, 9, false);
+        assert_eq!(c.as_plain_ranges(), vec![(1, 3), (7, 9)]);
+    }
+}

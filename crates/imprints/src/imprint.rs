@@ -1,0 +1,370 @@
+//! The imprint vector array and its cacheline dictionary.
+//!
+//! One 64-bit vector summarises one 64-byte cacheline of column values.
+//! Consecutive identical vectors — extremely common on acquisition-ordered
+//! LIDAR data, where a flight line sweeps slowly through X/Y — are collapsed
+//! by the SIGMOD'13 *cacheline dictionary*: a sequence of `(count, repeat)`
+//! entries where `repeat = 1` means "the next `count` cachelines all share
+//! the single following vector" and `repeat = 0` means "`count` individual
+//! vectors follow".
+
+use lidardb_storage::Native;
+
+use crate::bins::BinMap;
+use crate::candidates::CandidateList;
+
+/// A packed cacheline-dictionary entry: 31-bit counter + 1 repeat bit, the
+/// 4-byte layout of the original implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DictEntry(u32);
+
+const COUNT_MAX: u32 = (1 << 31) - 1;
+
+impl DictEntry {
+    #[inline]
+    fn new(count: u32, repeat: bool) -> Self {
+        debug_assert!(count <= COUNT_MAX);
+        DictEntry(count | (u32::from(repeat) << 31))
+    }
+    #[inline]
+    pub(crate) fn count(self) -> u32 {
+        self.0 & COUNT_MAX
+    }
+    #[inline]
+    pub(crate) fn repeat(self) -> bool {
+        self.0 >> 31 == 1
+    }
+}
+
+/// A column imprints index over values of type `T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Imprints<T> {
+    bins: BinMap<T>,
+    dict: Vec<DictEntry>,
+    vectors: Vec<u64>,
+    values_per_line: usize,
+    len: usize,
+}
+
+impl<T: Native> Imprints<T> {
+    /// Build an imprint index over `data` with sampled bin borders.
+    pub fn build(data: &[T]) -> Self {
+        Self::build_with_bins(data, BinMap::from_data(data))
+    }
+
+    /// Build with an explicit bin layout (E7 ablations, tests).
+    pub fn build_with_bins(data: &[T], bins: BinMap<T>) -> Self {
+        let values_per_line = T::PHYS.values_per_cacheline();
+        let mut dict: Vec<DictEntry> = Vec::new();
+        let mut vectors: Vec<u64> = Vec::new();
+        for line in data.chunks(values_per_line) {
+            let mut d = 0u64;
+            for &v in line {
+                d |= bins.bit_of(v);
+            }
+            match (vectors.last(), dict.last_mut()) {
+                (Some(&prev), Some(last)) if prev == d && last.count() < COUNT_MAX => {
+                    if last.repeat() {
+                        *last = DictEntry::new(last.count() + 1, true);
+                    } else if last.count() == 1 {
+                        *last = DictEntry::new(2, true);
+                    } else {
+                        // Split the trailing vector of the non-repeat run
+                        // into a fresh repeat entry of length 2.
+                        *last = DictEntry::new(last.count() - 1, false);
+                        dict.push(DictEntry::new(2, true));
+                    }
+                }
+                _ => {
+                    vectors.push(d);
+                    match dict.last_mut() {
+                        Some(last) if !last.repeat() && last.count() < COUNT_MAX => {
+                            *last = DictEntry::new(last.count() + 1, false);
+                        }
+                        _ => dict.push(DictEntry::new(1, false)),
+                    }
+                }
+            }
+        }
+        Imprints {
+            bins,
+            dict,
+            vectors,
+            values_per_line,
+            len: data.len(),
+        }
+    }
+
+    /// The bin layout.
+    pub fn bins(&self) -> &BinMap<T> {
+        &self.bins
+    }
+
+    /// Number of indexed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index covers no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of values summarised per imprint vector.
+    pub fn values_per_line(&self) -> usize {
+        self.values_per_line
+    }
+
+    /// Number of cachelines covered.
+    pub fn num_lines(&self) -> usize {
+        self.len.div_ceil(self.values_per_line)
+    }
+
+    /// Number of stored (compressed) imprint vectors.
+    pub fn num_vectors(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Number of cacheline-dictionary entries.
+    pub fn num_dict_entries(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Index size in bytes: vectors + packed dictionary + borders.
+    pub fn byte_size(&self) -> usize {
+        self.vectors.len() * 8 + self.dict.len() * 4 + self.bins.borders().len() * T::PHYS.size()
+    }
+
+    /// Probe the index with the inclusive range `[lo, hi]`.
+    ///
+    /// Returns maximal candidate row runs; see [`CandidateList`].
+    pub fn probe(&self, lo: T, hi: T) -> CandidateList {
+        if lo.total_cmp(&hi).is_gt() {
+            return CandidateList::empty();
+        }
+        let (mask, inner) = self.bins.range_masks(lo, hi);
+        self.probe_masks(mask, inner)
+    }
+
+    /// Probe with precomputed `(mask, innermask)` bit masks.
+    pub fn probe_masks(&self, mask: u64, inner: u64) -> CandidateList {
+        let mut out = CandidateList::empty();
+        let mut line = 0usize;
+        let mut vi = 0usize;
+        for &e in &self.dict {
+            let count = e.count() as usize;
+            if e.repeat() {
+                let d = self.vectors[vi];
+                vi += 1;
+                if d & mask != 0 {
+                    let all = d & !inner == 0;
+                    self.push_lines(&mut out, line, line + count, all);
+                }
+                line += count;
+            } else {
+                for k in 0..count {
+                    let d = self.vectors[vi + k];
+                    if d & mask != 0 {
+                        let all = d & !inner == 0;
+                        self.push_lines(&mut out, line + k, line + k + 1, all);
+                    }
+                }
+                vi += count;
+                line += count;
+            }
+        }
+        debug_assert_eq!(vi, self.vectors.len());
+        debug_assert_eq!(line, self.num_lines());
+        out
+    }
+
+    #[inline]
+    fn push_lines(&self, out: &mut CandidateList, from_line: usize, to_line: usize, all: bool) {
+        let start = from_line * self.values_per_line;
+        let end = (to_line * self.values_per_line).min(self.len);
+        out.push(start, end, all);
+    }
+
+    /// Expand the compressed representation back into one vector per
+    /// cacheline (tests and stats only — queries never need this).
+    pub fn expand_vectors(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.num_lines());
+        let mut vi = 0usize;
+        for &e in &self.dict {
+            let count = e.count() as usize;
+            if e.repeat() {
+                out.extend(std::iter::repeat_n(self.vectors[vi], count));
+                vi += 1;
+            } else {
+                out.extend_from_slice(&self.vectors[vi..vi + count]);
+                vi += count;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(data: &[i64], lo: i64, hi: i64) -> Vec<usize> {
+        data.iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= lo && v <= hi)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn assert_sound(data: &[i64], imp: &Imprints<i64>, lo: i64, hi: i64) {
+        let cand = imp.probe(lo, hi);
+        // No false negatives.
+        for row in brute_force(data, lo, hi) {
+            assert!(cand.contains(row), "row {row} missed for [{lo},{hi}]");
+        }
+        // all_qualify runs contain only matches.
+        for r in cand.ranges() {
+            if r.all_qualify {
+                for (off, &v) in data[r.start..r.end].iter().enumerate() {
+                    assert!(
+                        v >= lo && v <= hi,
+                        "row {}={v} falsely sure for [{lo},{hi}]",
+                        r.start + off
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dict_entry_packing() {
+        let e = DictEntry::new(12345, true);
+        assert_eq!(e.count(), 12345);
+        assert!(e.repeat());
+        let e = DictEntry::new(COUNT_MAX, false);
+        assert_eq!(e.count(), COUNT_MAX);
+        assert!(!e.repeat());
+    }
+
+    #[test]
+    fn clustered_data_compresses() {
+        // 8 i64 per cacheline; 8000 sorted values -> long runs of identical
+        // imprint vectors.
+        let data: Vec<i64> = (0..8000).map(|i| i / 500).collect();
+        let imp = Imprints::build(&data);
+        assert_eq!(imp.num_lines(), 1000);
+        assert!(
+            imp.num_vectors() < 100,
+            "sorted data should compress: {} vectors",
+            imp.num_vectors()
+        );
+        assert_eq!(imp.expand_vectors().len(), 1000);
+        assert_sound(&data, &imp, 3, 7);
+        assert_sound(&data, &imp, 0, 0);
+    }
+
+    #[test]
+    fn shuffled_data_still_sound() {
+        let mut data: Vec<i64> = (0..4096).collect();
+        // Deterministic shuffle.
+        for i in 0..data.len() {
+            let j = (i * 2654435761) % data.len();
+            data.swap(i, j);
+        }
+        let imp = Imprints::build(&data);
+        for (lo, hi) in [(0, 10), (1000, 1100), (4000, 5000), (-5, -1)] {
+            assert_sound(&data, &imp, lo, hi);
+        }
+    }
+
+    #[test]
+    fn probe_empty_range_and_miss() {
+        let data: Vec<i64> = (0..100).collect();
+        let imp = Imprints::build(&data);
+        assert!(imp.probe(50, 40).is_empty(), "inverted range");
+        // Out-of-domain probes may hit the open-ended first/last bins; they
+        // must still be supersets (possibly non-empty) — just verify
+        // soundness.
+        assert_sound(&data, &imp, 1000, 2000);
+    }
+
+    #[test]
+    fn partial_last_cacheline_clamped() {
+        let data: Vec<i64> = (0..13).collect(); // 8 + 5 values
+        let imp = Imprints::build(&data);
+        assert_eq!(imp.num_lines(), 2);
+        let cand = imp.probe(0, 100);
+        assert_eq!(cand.num_rows(), 13, "rows must clamp to len");
+        assert_sound(&data, &imp, 9, 20);
+    }
+
+    #[test]
+    fn empty_column() {
+        let imp = Imprints::<i64>::build(&[]);
+        assert!(imp.is_empty());
+        assert_eq!(imp.num_lines(), 0);
+        assert!(imp.probe(0, 1).is_empty());
+    }
+
+    #[test]
+    fn all_qualify_fast_path_fires() {
+        // Sorted data, probe a range covering whole inner bins: the middle
+        // cachelines must be flagged all_qualify.
+        let data: Vec<i64> = (0..64_000).collect();
+        let imp = Imprints::build(&data);
+        let borders = imp.bins().borders().to_vec();
+        assert!(borders.len() > 10);
+        // Pick a range aligned on borders: [borders[5], borders[20] - 1].
+        let (lo, hi) = (borders[5], borders[20] - 1);
+        let cand = imp.probe(lo, hi);
+        assert!(
+            cand.num_sure_rows() > 0,
+            "border-aligned probe should produce sure rows"
+        );
+        assert_sound(&data, &imp, lo, hi);
+    }
+
+    #[test]
+    fn repeat_run_split_is_correct() {
+        // Force the dictionary split path: several distinct vectors, then a
+        // repeat of the last one.
+        let mut data = Vec::new();
+        for line in 0..4 {
+            for _ in 0..8 {
+                data.push(line * 1000); // distinct vector per line
+            }
+        }
+        // 5 more cachelines repeating the 4th vector.
+        data.extend(std::iter::repeat_n(3000, 5 * 8));
+        let imp = Imprints::build_with_bins(
+            &data,
+            BinMap::from_borders(vec![500, 1500, 2500]),
+        );
+        assert_eq!(imp.expand_vectors().len(), imp.num_lines());
+        // Vector storage: 4 distinct vectors only.
+        assert_eq!(imp.num_vectors(), 4);
+        assert_sound(&data, &imp, 3000, 3000);
+        let cand = imp.probe(3000, 3000);
+        assert_eq!(cand.num_rows(), 6 * 8); // line 3 + the 5 repeats
+    }
+
+    #[test]
+    fn u8_column_uses_64_values_per_line() {
+        let data: Vec<u8> = (0..=255).cycle().take(1024).collect();
+        let imp = Imprints::build(&data);
+        assert_eq!(imp.values_per_line(), 64);
+        assert_eq!(imp.num_lines(), 16);
+        let cand = imp.probe(0, 255);
+        assert_eq!(cand.num_rows(), 1024);
+    }
+
+    #[test]
+    fn byte_size_accounts_all_parts() {
+        let data: Vec<i64> = (0..8000).collect();
+        let imp = Imprints::build(&data);
+        let expect =
+            imp.num_vectors() * 8 + imp.num_dict_entries() * 4 + imp.bins().borders().len() * 8;
+        assert_eq!(imp.byte_size(), expect);
+        assert!(imp.byte_size() < data.len() * 8 / 4, "index far smaller than data");
+    }
+}

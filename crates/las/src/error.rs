@@ -1,0 +1,90 @@
+//! Error type for LAS / laz-lite I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading or writing point-cloud files.
+#[derive(Debug)]
+pub enum LasError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `LASF` signature.
+    BadMagic([u8; 4]),
+    /// The header declares an unsupported version.
+    UnsupportedVersion(u8, u8),
+    /// The file ends before the declared data does.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A structural invariant of the file is violated.
+    Corrupt(String),
+    /// A quantised coordinate falls outside the i32 range of the header's
+    /// scale/offset.
+    CoordinateOverflow {
+        /// The offending world coordinate.
+        value: f64,
+        /// Which axis.
+        axis: char,
+    },
+}
+
+impl fmt::Display for LasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LasError::Io(e) => write!(f, "I/O error: {e}"),
+            LasError::BadMagic(m) => write!(f, "bad file signature {m:?}, expected \"LASF\""),
+            LasError::UnsupportedVersion(ma, mi) => {
+                write!(f, "unsupported LAS version {ma}.{mi}")
+            }
+            LasError::Truncated {
+                what,
+                expected,
+                got,
+            } => write!(f, "truncated {what}: expected {expected} bytes, got {got}"),
+            LasError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            LasError::CoordinateOverflow { value, axis } => write!(
+                f,
+                "coordinate {value} on axis {axis} overflows the header quantisation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LasError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LasError {
+    fn from(e: io::Error) -> Self {
+        LasError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LasError::BadMagic(*b"XXXX");
+        assert!(e.to_string().contains("LASF"));
+        let e = LasError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = LasError::Truncated {
+            what: "point data",
+            expected: 100,
+            got: 7,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

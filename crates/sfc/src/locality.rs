@@ -1,0 +1,106 @@
+//! Locality statistics of a curve ordering (experiment E8).
+//!
+//! Measures how well a 1-D ordering preserves 2-D proximity: for points laid
+//! out in curve order, how far apart in space are consecutive points, and —
+//! the metric that matters for the block-store baseline — how many distinct
+//! fixed-size 1-D blocks does a small 2-D query window touch.
+
+use crate::Curve;
+
+/// Summary of the spatial coherence of a 1-D ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityStats {
+    /// Mean Euclidean distance (in lattice cells) between consecutive
+    /// points of the ordering.
+    pub mean_step: f64,
+    /// Maximum consecutive-step distance.
+    pub max_step: f64,
+    /// Number of points measured.
+    pub count: usize,
+}
+
+/// Measure consecutive-step locality of `curve` over the given lattice
+/// points. The points are sorted along the curve first.
+pub fn curve_locality(curve: Curve, pts: &[(u32, u32)]) -> LocalityStats {
+    if pts.len() < 2 {
+        return LocalityStats {
+            mean_step: 0.0,
+            max_step: 0.0,
+            count: pts.len(),
+        };
+    }
+    let mut keys: Vec<(u64, u32, u32)> = pts
+        .iter()
+        .map(|&(x, y)| (curve.encode(x, y), x, y))
+        .collect();
+    keys.sort_unstable();
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    for w in keys.windows(2) {
+        let dx = f64::from(w[1].1) - f64::from(w[0].1);
+        let dy = f64::from(w[1].2) - f64::from(w[0].2);
+        let d = (dx * dx + dy * dy).sqrt();
+        sum += d;
+        if d > max {
+            max = d;
+        }
+    }
+    LocalityStats {
+        mean_step: sum / (keys.len() - 1) as f64,
+        max_step: max,
+        count: pts.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_grid(n: u32) -> Vec<(u32, u32)> {
+        (0..n).flat_map(|y| (0..n).map(move |x| (x, y))).collect()
+    }
+
+    #[test]
+    fn hilbert_steps_are_unit_on_full_grid() {
+        // On a complete grid, the Hilbert curve moves by exactly one cell
+        // per step — the defining locality property.
+        let s = curve_locality(Curve::Hilbert, &full_grid(16));
+        assert!((s.mean_step - 1.0).abs() < 1e-12);
+        assert!((s.max_step - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn morton_has_long_jumps() {
+        let s = curve_locality(Curve::Morton, &full_grid(16));
+        assert!(s.mean_step > 1.0);
+        assert!(s.max_step > 10.0, "Z-order crosses the grid diagonally");
+    }
+
+    #[test]
+    fn hilbert_beats_morton_on_random_points() {
+        // Deterministic pseudo-random points.
+        let pts: Vec<(u32, u32)> = (0u64..4000)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 13) as u32 & 0x3FF, (h >> 40) as u32 & 0x3FF)
+            })
+            .collect();
+        let h = curve_locality(Curve::Hilbert, &pts);
+        let m = curve_locality(Curve::Morton, &pts);
+        assert!(
+            h.mean_step < m.mean_step,
+            "hilbert {} vs morton {}",
+            h.mean_step,
+            m.mean_step
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let s = curve_locality(Curve::Hilbert, &[]);
+        assert_eq!(s.count, 0);
+        let s = curve_locality(Curve::Morton, &[(5, 5)]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_step, 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Morton (Z-order) curve: bit interleaving of two 32-bit coordinates.
+
+/// Spread the bits of `v` so that bit `i` moves to bit `2 i`.
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut v = v as u64;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Inverse of [`spread`]: collect every second bit.
+#[inline]
+fn squash(v: u64) -> u32 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v >> 16)) & 0x0000_0000_FFFF_FFFF;
+    v as u32
+}
+
+/// Interleave `x` (even bits) and `y` (odd bits) into a 64-bit Morton key.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Invert [`morton_encode`].
+#[inline]
+pub fn morton_decode(key: u64) -> (u32, u32) {
+    (squash(key), squash(key >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(1, 0), 0b01);
+        assert_eq!(morton_encode(0, 1), 0b10);
+        assert_eq!(morton_encode(1, 1), 0b11);
+        assert_eq!(morton_encode(2, 0), 0b0100);
+        assert_eq!(morton_encode(3, 3), 0b1111);
+        assert_eq!(morton_encode(7, 5), 0b110111);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0xDEAD_BEEF, 0x1234_5678),
+        ] {
+            assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn z_order_visits_quadrants_in_order() {
+        // Within a 4x4 grid the curve visits quadrant (0,0) first, then
+        // (x-high), then (y-high), then both-high.
+        let q00 = morton_encode(1, 1);
+        let q10 = morton_encode(3, 1);
+        let q01 = morton_encode(1, 3);
+        let q11 = morton_encode(3, 3);
+        assert!(q00 < q10 && q10 < q01 && q01 < q11);
+    }
+
+    #[test]
+    fn monotone_in_each_coordinate() {
+        for y in 0..16u32 {
+            for x in 0..15u32 {
+                assert!(morton_encode(x, y) < morton_encode(x + 1, y));
+                assert!(morton_encode(y, x) < morton_encode(y, x + 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The table catalog: point-cloud tables and in-memory vector tables.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lidardb_core::PointCloud;
+use lidardb_geom::Geometry;
+
+use crate::error::SqlError;
+use crate::value::SqlValue;
+
+/// A column of a vector table.
+#[derive(Debug, Clone)]
+pub enum VColumn {
+    /// Doubles.
+    Float(Vec<f64>),
+    /// Integers.
+    Int(Vec<i64>),
+    /// Text.
+    Str(Vec<String>),
+    /// Geometries.
+    Geom(Vec<Geometry>),
+}
+
+impl VColumn {
+    fn len(&self) -> usize {
+        match self {
+            VColumn::Float(v) => v.len(),
+            VColumn::Int(v) => v.len(),
+            VColumn::Str(v) => v.len(),
+            VColumn::Geom(v) => v.len(),
+        }
+    }
+
+    fn get(&self, row: usize) -> SqlValue {
+        match self {
+            VColumn::Float(v) => SqlValue::Float(v[row]),
+            VColumn::Int(v) => SqlValue::Int(v[row]),
+            VColumn::Str(v) => SqlValue::Str(v[row].clone()),
+            VColumn::Geom(v) => SqlValue::Geom(v[row].clone()),
+        }
+    }
+}
+
+/// A small in-memory feature table (roads, zones, POIs).
+#[derive(Debug, Clone, Default)]
+pub struct VectorTable {
+    names: Vec<String>,
+    columns: Vec<VColumn>,
+}
+
+impl VectorTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        VectorTable::default()
+    }
+
+    /// Add a column. All columns must end up the same length.
+    pub fn with_column(mut self, name: impl Into<String>, col: VColumn) -> Self {
+        self.names.push(name.into());
+        self.columns.push(col);
+        self
+    }
+
+    /// Column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, VColumn::len)
+    }
+
+    /// Validate equal column lengths.
+    pub fn validate(&self) -> Result<(), SqlError> {
+        let n = self.num_rows();
+        for (name, c) in self.names.iter().zip(&self.columns) {
+            if c.len() != n {
+                return Err(SqlError::Plan(format!(
+                    "vector table column {name} has {} rows, expected {n}",
+                    c.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Value of `column` at `row`.
+    pub fn value(&self, column: &str, row: usize) -> Result<SqlValue, SqlError> {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == column)
+            .ok_or_else(|| SqlError::Exec(format!("unknown column {column}")))?;
+        if row >= self.num_rows() {
+            return Err(SqlError::Exec(format!("row {row} out of range")));
+        }
+        Ok(self.columns[idx].get(row))
+    }
+
+    /// Whether the table has a column.
+    pub fn has_column(&self, column: &str) -> bool {
+        self.names.iter().any(|n| n == column)
+    }
+}
+
+/// A registered table.
+#[derive(Debug, Clone)]
+pub enum Table {
+    /// The flat point-cloud table served by the two-step engine.
+    Points(Arc<PointCloud>),
+    /// An in-memory vector table.
+    Vector(Arc<VectorTable>),
+}
+
+/// The catalog of queryable tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a point cloud under `name`.
+    pub fn register_pointcloud(&mut self, name: impl Into<String>, pc: Arc<PointCloud>) {
+        self.tables.insert(name.into(), Table::Points(pc));
+    }
+
+    /// Register a vector table under `name`.
+    pub fn register_vector(&mut self, name: impl Into<String>, t: VectorTable) {
+        self.tables.insert(name.into(), Table::Vector(Arc::new(t)));
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::Plan(format!("unknown table {name}")))
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Column names of a table (for `SELECT *` expansion).
+    pub fn columns_of(&self, name: &str) -> Result<Vec<String>, SqlError> {
+        match self.table(name)? {
+            Table::Points(_) => Ok(lidardb_las::COLUMN_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect()),
+            Table::Vector(v) => Ok(v.column_names().to_vec()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidardb_geom::Point;
+
+    fn roads() -> VectorTable {
+        VectorTable::new()
+            .with_column("id", VColumn::Int(vec![1, 2]))
+            .with_column(
+                "class",
+                VColumn::Str(vec!["motorway".into(), "primary".into()]),
+            )
+            .with_column(
+                "geom",
+                VColumn::Geom(vec![
+                    Geometry::Point(Point::new(0.0, 0.0)),
+                    Geometry::Point(Point::new(1.0, 1.0)),
+                ]),
+            )
+    }
+
+    #[test]
+    fn vector_table_access() {
+        let t = roads();
+        t.validate().unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value("id", 0).unwrap(), SqlValue::Int(1));
+        assert_eq!(t.value("class", 1).unwrap(), SqlValue::Str("primary".into()));
+        assert!(matches!(t.value("geom", 0).unwrap(), SqlValue::Geom(_)));
+        assert!(t.value("nope", 0).is_err());
+        assert!(t.value("id", 5).is_err());
+        assert!(t.has_column("class") && !t.has_column("speed"));
+    }
+
+    #[test]
+    fn invalid_lengths_detected() {
+        let t = VectorTable::new()
+            .with_column("a", VColumn::Int(vec![1, 2]))
+            .with_column("b", VColumn::Int(vec![1]));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut c = Catalog::new();
+        c.register_vector("roads", roads());
+        c.register_pointcloud("points", Arc::new(PointCloud::new()));
+        assert_eq!(c.table_names(), vec!["points", "roads"]);
+        assert!(c.table("points").is_ok());
+        assert!(c.table("missing").is_err());
+        assert_eq!(c.columns_of("points").unwrap().len(), 26);
+        assert_eq!(c.columns_of("roads").unwrap(), vec!["id", "class", "geom"]);
+    }
+}

@@ -1,0 +1,511 @@
+//! Recursive-descent parser for the SELECT subset.
+
+use crate::ast::{BinOp, Expr, SelectItem, SelectStmt, Statement, TableRef};
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse one statement.
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, reason: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            reason: reason.into(),
+            offset: self.offset(),
+        }
+    }
+
+    /// Whether the current token is the given keyword (case-insensitive).
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SqlError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, SqlError> {
+        let explain = self.eat_kw("EXPLAIN");
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let items = self.parse_select_items()?;
+        self.expect_kw("FROM")?;
+        let from = self.parse_from()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if *self.peek() != TokenKind::Comma {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if *self.peek() != TokenKind::Comma {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                TokenKind::Number(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+                _ => return Err(self.err("LIMIT expects a non-negative integer")),
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStmt {
+            explain,
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        }))
+    }
+
+    fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            if *self.peek() == TokenKind::Star {
+                self.bump();
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if *self.peek() != TokenKind::Comma {
+                break;
+            }
+            self.bump();
+        }
+        Ok(items)
+    }
+
+    fn parse_from(&mut self) -> Result<Vec<TableRef>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            // Optional alias: a bare identifier that is not a clause
+            // keyword.
+            let alias = match self.peek() {
+                TokenKind::Ident(s)
+                    if !["WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS"]
+                        .iter()
+                        .any(|k| s.eq_ignore_ascii_case(k)) =>
+                {
+                    self.ident()?
+                }
+                _ => {
+                    if self.eat_kw("AS") {
+                        self.ident()?
+                    } else {
+                        name.clone()
+                    }
+                }
+            };
+            out.push(TableRef { name, alias });
+            if *self.peek() != TokenKind::Comma {
+                break;
+            }
+            self.bump();
+        }
+        Ok(out)
+    }
+
+    // ---- expression precedence climbing -----------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, SqlError> {
+        let left = self.parse_additive()?;
+        // BETWEEN lo AND hi
+        if self.at_kw("BETWEEN") {
+            self.bump();
+            let lo = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SqlError> {
+        match self.bump() {
+            TokenKind::Number(v) => Ok(Expr::Number(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(first) => {
+                match self.peek() {
+                    // Function call.
+                    TokenKind::LParen => {
+                        self.bump();
+                        let name = first.to_ascii_uppercase();
+                        if name == "COUNT" && *self.peek() == TokenKind::Star {
+                            self.bump();
+                            self.expect(TokenKind::RParen)?;
+                            return Ok(Expr::CountStar);
+                        }
+                        let mut args = Vec::new();
+                        if *self.peek() != TokenKind::RParen {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if *self.peek() != TokenKind::Comma {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                        Ok(Expr::Func { name, args })
+                    }
+                    // Qualified column.
+                    TokenKind::Dot => {
+                        self.bump();
+                        let name = self.ident()?;
+                        Ok(Expr::Column {
+                            table: Some(first),
+                            name,
+                        })
+                    }
+                    _ => Ok(Expr::Column {
+                        table: None,
+                        name: first,
+                    }),
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+        }
+    }
+
+    #[test]
+    fn minimal() {
+        let s = select("SELECT * FROM points");
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from[0].name, "points");
+        assert_eq!(s.from[0].alias, "points");
+        assert!(s.where_clause.is_none());
+        assert!(!s.explain);
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let s = select(
+            "EXPLAIN SELECT classification, COUNT(*) AS n FROM points p \
+             WHERE z BETWEEN 0 AND 10 AND classification = 6 \
+             GROUP BY classification ORDER BY n DESC LIMIT 5",
+        );
+        assert!(s.explain);
+        assert_eq!(s.from[0].alias, "p");
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(!s.order_by[0].1, "DESC");
+        assert_eq!(s.limit, Some(5));
+        let w = s.where_clause.unwrap();
+        assert!(w.render().contains("BETWEEN"));
+    }
+
+    #[test]
+    fn precedence() {
+        let s = select("SELECT 1 + 2 * 3 FROM t");
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr.render(), "(1 + (2 * 3))");
+            }
+            _ => panic!(),
+        }
+        let s = select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        let w = s.where_clause.unwrap().render();
+        assert_eq!(w, "((a = 1) OR ((b = 2) AND (c = 3)))");
+    }
+
+    #[test]
+    fn functions_and_qualified_columns() {
+        let s = select(
+            "SELECT AVG(p.z) FROM points p, roads r \
+             WHERE ST_DWithin(ST_Point(p.x, p.y), r.geom, 50.0) AND r.class = 'motorway'",
+        );
+        assert_eq!(s.from.len(), 2);
+        let w = s.where_clause.unwrap().render();
+        assert!(w.contains("ST_DWITHIN(ST_POINT(p.x, p.y), r.geom, 50)"));
+        assert!(w.contains("'motorway'"));
+    }
+
+    #[test]
+    fn count_star_and_empty_args() {
+        let s = select("SELECT COUNT(*), NOW() FROM t");
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Expr {
+                expr: Expr::CountStar,
+                ..
+            }
+        ));
+        match &s.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Func { name, args },
+                ..
+            } => {
+                assert_eq!(name, "NOW");
+                assert!(args.is_empty());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn not_and_negation() {
+        let s = select("SELECT * FROM t WHERE NOT a > -5");
+        let w = s.where_clause.unwrap().render();
+        assert_eq!(w, "(NOT (a > (-5)))");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT 2.5").is_err());
+        assert!(parse("SELECT * FROM t extra garbage tokens").is_err());
+        assert!(parse("INSERT INTO t VALUES (1)").is_err());
+        assert!(parse("SELECT (1 FROM t").is_err());
+    }
+
+    #[test]
+    fn distinct_and_having() {
+        let s = select(
+            "SELECT DISTINCT classification FROM points \
+             GROUP BY classification HAVING COUNT(*) > 10 ORDER BY classification",
+        );
+        assert!(s.distinct);
+        assert!(s.having.is_some());
+        assert!(s.having.unwrap().render().contains("COUNT(*)"));
+        let s = select("SELECT x FROM points");
+        assert!(!s.distinct);
+        assert!(s.having.is_none());
+    }
+
+    #[test]
+    fn alias_forms() {
+        let s = select("SELECT * FROM roads AS r WHERE r.id = 1");
+        assert_eq!(s.from[0].alias, "r");
+        let s = select("SELECT * FROM roads r");
+        assert_eq!(s.from[0].alias, "r");
+    }
+}

@@ -1,0 +1,400 @@
+//! End-to-end SQL tests over a real point cloud and vector tables.
+
+use std::sync::Arc;
+
+use lidardb_core::PointCloud;
+use lidardb_geom::{Geometry, LineString, Point, Polygon};
+use lidardb_las::PointRecord;
+use lidardb_sql::catalog::VColumn;
+use lidardb_sql::{query, Catalog, SqlValue, VectorTable};
+
+/// 100x100 integer grid; classification 6 for x > 50, else 2; z = x/10.
+fn setup() -> Catalog {
+    let mut pc = PointCloud::new();
+    let recs: Vec<PointRecord> = (0..100)
+        .flat_map(|y| {
+            (0..100).map(move |x| PointRecord {
+                x: x as f64,
+                y: y as f64,
+                z: x as f64 / 10.0,
+                classification: if x > 50 { 6 } else { 2 },
+                intensity: 100,
+                ..Default::default()
+            })
+        })
+        .collect();
+    pc.append_records(&recs).unwrap();
+
+    let roads = VectorTable::new()
+        .with_column("id", VColumn::Int(vec![1, 2]))
+        .with_column(
+            "class",
+            VColumn::Str(vec!["motorway".into(), "residential".into()]),
+        )
+        .with_column(
+            "geom",
+            VColumn::Geom(vec![
+                Geometry::LineString(
+                    LineString::new(vec![Point::new(0.0, 50.0), Point::new(99.0, 50.0)]).unwrap(),
+                ),
+                Geometry::LineString(
+                    LineString::new(vec![Point::new(20.0, 0.0), Point::new(20.0, 99.0)]).unwrap(),
+                ),
+            ]),
+        );
+
+    let zones = VectorTable::new()
+        .with_column("id", VColumn::Int(vec![10]))
+        .with_column("code", VColumn::Int(vec![12210]))
+        .with_column(
+            "geom",
+            VColumn::Geom(vec![Geometry::Polygon(
+                Polygon::from_exterior(vec![
+                    Point::new(0.0, 45.0),
+                    Point::new(99.0, 45.0),
+                    Point::new(99.0, 55.0),
+                    Point::new(0.0, 55.0),
+                ])
+                .unwrap(),
+            )]),
+        );
+
+    let mut c = Catalog::new();
+    c.register_pointcloud("points", Arc::new(pc));
+    c.register_vector("roads", roads);
+    c.register_vector("ua", zones);
+    c
+}
+
+#[test]
+fn count_points_in_region() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(10, 10, 20, 20), ST_Point(x, y))",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(11 * 11));
+    // The trace shows the two-step engine ran.
+    assert!(rs
+        .trace
+        .iter()
+        .any(|t| t.operator.contains("imprint filter")));
+}
+
+#[test]
+fn thematic_and_spatial_combined() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(40, 0, 60, 99), ST_Point(x, y)) \
+         AND classification = 6",
+    )
+    .unwrap();
+    // x in 51..=60 -> 10 columns x 100 rows.
+    assert_eq!(rs.rows[0][0], SqlValue::Int(1000));
+}
+
+#[test]
+fn aggregates_and_group_by() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT classification, COUNT(*) AS n, AVG(z) AS mean_z FROM points \
+         GROUP BY classification ORDER BY n DESC",
+    )
+    .unwrap();
+    assert_eq!(rs.columns, vec!["classification", "n", "mean_z"]);
+    assert_eq!(rs.rows.len(), 2);
+    // Class 2 (x 0..=50): 51 cols -> majority group first.
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2));
+    assert_eq!(rs.rows[0][1], SqlValue::Int(5100));
+    assert_eq!(rs.rows[1][1], SqlValue::Int(4900));
+    // AVG z of class 2 = avg(x in 0..=50)/10 = 2.5.
+    assert_eq!(rs.rows[0][2], SqlValue::Float(2.5));
+}
+
+#[test]
+fn select_star_projection() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT * FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(0, 0, 1, 0), ST_Point(x, y)) LIMIT 5",
+    )
+    .unwrap();
+    assert_eq!(rs.columns.len(), 26);
+    assert_eq!(rs.rows.len(), 2); // (0,0) and (1,0)
+}
+
+#[test]
+fn roads_intersecting_region() {
+    let c = setup();
+    // Scenario 1: "select all roads that intersect a given region".
+    let rs = query(
+        &c,
+        "SELECT id, class FROM roads WHERE \
+         ST_Intersects(geom, ST_MakeEnvelope(0, 40, 99, 60))",
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 2, "both roads cross the band");
+    let rs = query(
+        &c,
+        "SELECT id FROM roads WHERE \
+         ST_Intersects(geom, ST_MakeEnvelope(15, 60, 25, 70))",
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 1, "only the vertical road");
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2));
+}
+
+#[test]
+fn scenario2_points_near_fast_transit_road() {
+    let c = setup();
+    // "select all LIDAR points near a fast transit road".
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points p, roads r WHERE \
+         ST_DWithin(ST_Point(p.x, p.y), r.geom, 2) AND r.class = 'motorway'",
+    )
+    .unwrap();
+    // y in 48..=52 -> 5 rows x 100 cols.
+    assert_eq!(rs.rows[0][0], SqlValue::Int(500));
+    assert!(rs.trace.iter().any(|t| t.operator.contains("spatial join")));
+}
+
+#[test]
+fn scenario2_average_elevation_near_road() {
+    let c = setup();
+    // "compute the average elevation of the LIDAR points near ...".
+    let rs = query(
+        &c,
+        "SELECT AVG(p.z) AS elev FROM points p, roads r WHERE \
+         ST_DWithin(ST_Point(p.x, p.y), r.geom, 2) AND r.class = 'motorway'",
+    )
+    .unwrap();
+    // All x columns are included, avg z = avg(0..=99)/10 = 4.95.
+    match &rs.rows[0][0] {
+        SqlValue::Float(v) => assert!((v - 4.95).abs() < 1e-9, "{v}"),
+        other => panic!("wrong type {other:?}"),
+    }
+}
+
+#[test]
+fn join_with_zone_table_contains() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points p, ua z WHERE \
+         ST_Contains(z.geom, ST_Point(p.x, p.y)) AND z.code = 12210",
+    )
+    .unwrap();
+    // y in 45..=55 -> 11 rows x 100 cols.
+    assert_eq!(rs.rows[0][0], SqlValue::Int(1100));
+}
+
+#[test]
+fn explain_returns_plan() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "EXPLAIN SELECT COUNT(*) FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(0, 0, 10, 10), ST_Point(x, y))",
+    )
+    .unwrap();
+    assert_eq!(rs.columns, vec!["plan"]);
+    let text: String = rs
+        .rows
+        .iter()
+        .map(|r| r[0].render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("spatial pushdown"));
+    assert!(rs.trace.is_empty(), "EXPLAIN does not execute");
+}
+
+#[test]
+fn order_by_and_limit() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT x, y FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(0, 0, 3, 0), ST_Point(x, y)) \
+         ORDER BY x DESC LIMIT 2",
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][0], SqlValue::Float(3.0));
+    assert_eq!(rs.rows[1][0], SqlValue::Float(2.0));
+    // Ordinal form.
+    let rs = query(
+        &c,
+        "SELECT x FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(0, 0, 3, 0), ST_Point(x, y)) ORDER BY 1 LIMIT 1",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Float(0.0));
+}
+
+#[test]
+fn between_and_arithmetic() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points WHERE x BETWEEN 10 AND 12 AND y = 0",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(3));
+    let rs = query(&c, "SELECT MAX(z) * 10 + 1 AS v FROM points").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Float(100.0)); // max z = 9.9
+}
+
+#[test]
+fn empty_results() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*), AVG(z) FROM points WHERE x > 1000",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(0));
+    assert_eq!(rs.rows[0][1], SqlValue::Null);
+    let rs = query(&c, "SELECT x FROM points WHERE x > 1000").unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn errors_are_reported() {
+    let c = setup();
+    assert!(query(&c, "SELECT nope FROM points LIMIT 1").is_err());
+    assert!(query(&c, "SELECT * FROM missing_table").is_err());
+    assert!(query(&c, "SELECT COUNT(*) FROM points p, roads r WHERE p.x = 1").is_err());
+    assert!(query(&c, "SELECT x, COUNT(*) FROM points").is_err());
+    assert!(query(&c, "SELECT ST_X(x) FROM points LIMIT 1").is_err());
+}
+
+#[test]
+fn render_tables() {
+    let c = setup();
+    let rs = query(&c, "SELECT id, class FROM roads ORDER BY id").unwrap();
+    let text = rs.render();
+    assert!(text.contains("motorway"));
+    assert!(text.contains("2 row(s)"));
+    assert!(!rs.render_trace().is_empty());
+}
+
+#[test]
+fn thematic_predicates_are_index_driven() {
+    let c = setup();
+    // Attribute-only query: the classification imprint should serve it.
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points WHERE classification = 6 AND z BETWEEN 6 AND 8",
+    )
+    .unwrap();
+    // class 6 = x in 51..=99; z = x/10 in [6,8] -> x in 60..=80 -> 21 cols.
+    assert_eq!(rs.rows[0][0], SqlValue::Int(21 * 100));
+    let probe_trace = rs
+        .trace
+        .iter()
+        .find(|t| t.operator.contains("imprint filter"))
+        .expect("imprint filter must appear in the trace");
+    assert!(
+        probe_trace.operator.contains("attribute probes"),
+        "trace: {}",
+        probe_trace.operator
+    );
+    // EXPLAIN names the pushdowns.
+    let rs = query(
+        &c,
+        "EXPLAIN SELECT COUNT(*) FROM points WHERE classification = 6 AND z BETWEEN 6 AND 8",
+    )
+    .unwrap();
+    let text: String = rs
+        .rows
+        .iter()
+        .map(|r| r[0].render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("attribute pushdown: classification in [6, 6]"));
+    assert!(text.contains("attribute pushdown: z in [6, 8]"));
+}
+
+#[test]
+fn strict_bounds_stay_exact_under_pushdown() {
+    let c = setup();
+    // z > 5.0 must NOT include z == 5.0 even though the index range is
+    // widened to [5, inf].
+    let rs = query(&c, "SELECT COUNT(*) FROM points WHERE z > 5.0 AND y = 0").unwrap();
+    // z = x/10 > 5 -> x in 51..=99 -> 49 points on row y=0.
+    assert_eq!(rs.rows[0][0], SqlValue::Int(49));
+    let rs = query(&c, "SELECT COUNT(*) FROM points WHERE z >= 5.0 AND y = 0").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(50), "inclusive keeps x=50");
+}
+
+#[test]
+fn distinct_and_having() {
+    let c = setup();
+    // DISTINCT: classification takes exactly two values.
+    let rs = query(
+        &c,
+        "SELECT DISTINCT classification FROM points ORDER BY classification",
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2));
+    assert_eq!(rs.rows[1][0], SqlValue::Int(6));
+    // HAVING filters groups by an aggregate.
+    let rs = query(
+        &c,
+        "SELECT classification, COUNT(*) AS n FROM points \
+         GROUP BY classification HAVING COUNT(*) > 5000",
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 1, "only class 2 has 5100 rows");
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2));
+    // HAVING without GROUP BY applies to the single global group.
+    let rs = query(&c, "SELECT COUNT(*) FROM points HAVING COUNT(*) > 1000000").unwrap();
+    assert!(rs.rows.is_empty());
+    let rs = query(&c, "SELECT COUNT(*) FROM points HAVING COUNT(*) > 100").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+#[test]
+fn having_applies_to_empty_global_group() {
+    let c = setup();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points WHERE x > 100000 HAVING COUNT(*) > 0",
+    )
+    .unwrap();
+    assert!(rs.rows.is_empty(), "zero-count group filtered by HAVING");
+    let rs = query(&c, "SELECT COUNT(*), AVG(z) FROM points WHERE x > 100000").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], SqlValue::Int(0));
+    assert_eq!(rs.rows[0][1], SqlValue::Null);
+}
+
+#[test]
+fn st_buffer_envelope_numpoints() {
+    let c = setup();
+    // Buffer the motorway and count points inside the corridor — should
+    // match the ST_DWithin count for the same distance (corridor is the
+    // flat-cap buffer; the grid points near segment interiors agree).
+    let rs = query(
+        &c,
+        "SELECT ST_NumPoints(ST_Buffer(ST_GeomFromText('LINESTRING (0 50, 99 50)'), 2)) AS n \
+         FROM roads LIMIT 1",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(4), "corridor of a 2-vertex line");
+    let rs = query(
+        &c,
+        "SELECT ST_AsText(ST_Envelope(ST_GeomFromText('LINESTRING (1 2, 5 9)'))) AS e \
+         FROM roads LIMIT 1",
+    )
+    .unwrap();
+    assert!(rs.rows[0][0].render().contains("POLYGON"));
+}

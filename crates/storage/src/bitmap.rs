@@ -1,0 +1,224 @@
+//! A dense, word-packed bitset.
+//!
+//! Used by the query engine to represent candidate cacheline sets: the
+//! two-step spatial filter of §3.3 intersects the candidate sets produced by
+//! the X- and Y-column imprints with a word-wise AND before any data is
+//! touched.
+
+/// A fixed-length dense bitmap over `len` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create a bitmap of `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Create a bitmap of `len` bits, all one (trailing bits of the last
+    /// word are kept zero so `count_ones` stays exact).
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`. Out-of-range reads return `false`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Iterate the indexes of the set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Collapse the set bits into maximal runs `[start, end)` of consecutive
+    /// indexes. The query engine turns candidate cachelines into row ranges
+    /// this way so that the exact-check scan is sequential.
+    pub fn runs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(usize, usize)> = None;
+        for i in self.iter_ones() {
+            match cur {
+                Some((s, e)) if e == i => cur = Some((s, i + 1)),
+                Some(r) => {
+                    out.push(r);
+                    cur = Some((i, i + 1));
+                }
+                None => cur = Some((i, i + 1)),
+            }
+        }
+        if let Some(r) = cur {
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(130);
+        assert!(!b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(!b.get(70));
+        assert!(!b.get(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::zeros(4).set(4);
+    }
+
+    #[test]
+    fn and_or() {
+        let mut a = Bitmap::zeros(100);
+        let mut b = Bitmap::zeros(100);
+        a.set(3);
+        a.set(70);
+        b.set(70);
+        b.set(99);
+        let mut u = a.clone();
+        u.or_assign(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![3, 70, 99]);
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![70]);
+    }
+
+    #[test]
+    fn runs_collapse_consecutive() {
+        let mut b = Bitmap::zeros(20);
+        for i in [0, 1, 2, 5, 9, 10, 19] {
+            b.set(i);
+        }
+        assert_eq!(b.runs(), vec![(0, 3), (5, 6), (9, 11), (19, 20)]);
+        assert_eq!(Bitmap::zeros(8).runs(), vec![]);
+        assert_eq!(Bitmap::ones(8).runs(), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut b = Bitmap::zeros(200);
+        let idx = [0usize, 63, 64, 127, 128, 199];
+        for &i in &idx {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.runs(), vec![]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Lightweight column codecs.
+//!
+//! §3.1 of the paper argues that the flat-table layout "is more flexible to
+//! exploit compression techniques which are more advantageous for
+//! column-stores such as run length encoding". This module provides the two
+//! codecs the system uses for cold attribute columns:
+//!
+//! * [`rle`] — run-length encoding, ideal for low-cardinality attributes
+//!   (classification, return counts, flags) that are constant over long
+//!   acquisition stretches;
+//! * [`forpack`] — frame-of-reference + bit packing for slowly varying
+//!   numeric attributes (GPS time, intensity, scaled coordinates), also the
+//!   building block of the `laz-lite` file codec in `lidardb-las`.
+
+pub mod forpack;
+pub mod rle;
+
+pub use forpack::ForPacked;
+pub use rle::Rle;
+
+/// Compression statistics for reporting (experiment E2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecStats {
+    /// Size of the raw column payload in bytes.
+    pub raw_bytes: usize,
+    /// Size of the encoded representation in bytes.
+    pub encoded_bytes: usize,
+}
+
+impl CodecStats {
+    /// Compression ratio `raw / encoded` (∞-free: 0 when encoded is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+use crate::types::PhysicalType;
+
+/// Errors produced by storage-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operation expected a column of one physical type but found another.
+    TypeMismatch {
+        /// The type the caller expected.
+        expected: PhysicalType,
+        /// The type the column actually has.
+        found: PhysicalType,
+    },
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// Two columns of the same table disagree on length.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length the table expected.
+        expected: usize,
+        /// Length the column has.
+        found: usize,
+    },
+    /// A binary buffer has a length that is not a multiple of the value size.
+    MisalignedBuffer {
+        /// The physical type being decoded.
+        ptype: PhysicalType,
+        /// The buffer length in bytes.
+        len: usize,
+    },
+    /// A duplicate column name was supplied when building a schema.
+    DuplicateColumn(String),
+    /// A compressed buffer failed validation during decode.
+    CorruptEncoding(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected:?}, found {found:?}")
+            }
+            StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StorageError::LengthMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "length mismatch in column {column}: expected {expected}, found {found}"
+            ),
+            StorageError::MisalignedBuffer { ptype, len } => write!(
+                f,
+                "binary buffer of {len} bytes is not a multiple of {:?} width",
+                ptype
+            ),
+            StorageError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            StorageError::CorruptEncoding(what) => write!(f, "corrupt encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::TypeMismatch {
+            expected: PhysicalType::F64,
+            found: PhysicalType::I32,
+        };
+        let s = e.to_string();
+        assert!(s.contains("F64") && s.contains("I32"));
+        assert!(StorageError::UnknownColumn("zz".into())
+            .to_string()
+            .contains("zz"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StorageError::CorruptEncoding("rle"));
+        assert!(e.to_string().contains("rle"));
+    }
+}

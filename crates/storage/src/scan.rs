@@ -1,0 +1,204 @@
+//! Vectorised predicate-evaluation kernels.
+//!
+//! These are the MonetDB-style "operator-at-a-time" primitives: each kernel
+//! makes one tight pass over a typed slice (or a selected subset of it) and
+//! produces or refines a *selection vector* of qualifying row ids. The
+//! two-step spatial query engine composes them: the imprint filter yields
+//! candidate row ranges, `range_scan_ranges` performs the exact check over
+//! just those ranges, and thematic predicates refine the selection further.
+
+use crate::types::Native;
+
+/// Inclusive range predicate `lo <= v <= hi` over a full column.
+///
+/// Appends qualifying row ids to `out` and returns the number appended.
+pub fn range_scan<T: Native>(data: &[T], lo: T, hi: T, out: &mut Vec<usize>) -> usize {
+    let before = out.len();
+    for (i, v) in data.iter().enumerate() {
+        // `>=` / `<=` on floats is false for NaN, which is the correct
+        // semantics: NaN never satisfies a range predicate.
+        if *v >= lo && *v <= hi {
+            out.push(i);
+        }
+    }
+    out.len() - before
+}
+
+/// Inclusive range predicate evaluated only inside the given row ranges.
+///
+/// `ranges` holds half-open `[start, end)` row intervals, as produced by the
+/// imprint candidate list. Row ids pushed to `out` are absolute.
+pub fn range_scan_ranges<T: Native>(
+    data: &[T],
+    ranges: &[(usize, usize)],
+    lo: T,
+    hi: T,
+    out: &mut Vec<usize>,
+) -> usize {
+    let before = out.len();
+    for &(start, end) in ranges {
+        let end = end.min(data.len());
+        for (off, v) in data[start.min(end)..end].iter().enumerate() {
+            if *v >= lo && *v <= hi {
+                out.push(start + off);
+            }
+        }
+    }
+    out.len() - before
+}
+
+/// Refine an existing selection with an inclusive range predicate.
+///
+/// Keeps only the rows of `sel` whose value satisfies `lo <= v <= hi`,
+/// compacting in place, and returns the new length.
+pub fn refine_range<T: Native>(data: &[T], sel: &mut Vec<usize>, lo: T, hi: T) -> usize {
+    sel.retain(|&i| {
+        let v = data[i];
+        v >= lo && v <= hi
+    });
+    sel.len()
+}
+
+/// Refine an existing selection with an arbitrary predicate.
+pub fn refine_by<T: Native>(
+    data: &[T],
+    sel: &mut Vec<usize>,
+    mut pred: impl FnMut(T) -> bool,
+) -> usize {
+    sel.retain(|&i| pred(data[i]));
+    sel.len()
+}
+
+/// Comparison operators supported by thematic filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to a pair of partially ordered values.
+    ///
+    /// Incomparable pairs (NaN) satisfy only `Ne`, matching SQL-ish
+    /// semantics for floating NaN under `<>`.
+    #[inline]
+    pub fn eval<T: PartialOrd>(self, v: T, rhs: T) -> bool {
+        match self {
+            CmpOp::Eq => v == rhs,
+            CmpOp::Ne => v != rhs,
+            CmpOp::Lt => v < rhs,
+            CmpOp::Le => v <= rhs,
+            CmpOp::Gt => v > rhs,
+            CmpOp::Ge => v >= rhs,
+        }
+    }
+}
+
+/// Refine a selection with `v <op> rhs`.
+pub fn refine_cmp<T: Native>(data: &[T], sel: &mut Vec<usize>, op: CmpOp, rhs: T) -> usize {
+    sel.retain(|&i| op.eval(data[i], rhs));
+    sel.len()
+}
+
+/// Count (without materialising) the rows in `ranges` satisfying the range
+/// predicate — the kernel behind `SELECT COUNT(*)` with pushed-down filters.
+pub fn count_range_ranges<T: Native>(data: &[T], ranges: &[(usize, usize)], lo: T, hi: T) -> usize {
+    let mut n = 0;
+    for &(start, end) in ranges {
+        let end = end.min(data.len());
+        for v in &data[start.min(end)..end] {
+            if *v >= lo && *v <= hi {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_scan() {
+        let data = [5i32, 1, 9, 3, 7, 3];
+        let mut sel = Vec::new();
+        assert_eq!(range_scan(&data, 3, 7, &mut sel), 4);
+        assert_eq!(sel, vec![0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn range_scan_over_ranges_is_absolute_and_clamped() {
+        let data: Vec<i64> = (0..100).collect();
+        let mut sel = Vec::new();
+        range_scan_ranges(&data, &[(10, 20), (90, 200)], 15, 95, &mut sel);
+        assert_eq!(sel, (15..20).chain(90..96).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn refine_keeps_order() {
+        let data = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let mut sel = vec![4, 2, 0];
+        refine_range(&data, &mut sel, 2.5, 5.0);
+        assert_eq!(sel, vec![4, 2]);
+    }
+
+    #[test]
+    fn nan_never_matches_ranges() {
+        let data = [1.0f64, f64::NAN, 3.0];
+        let mut sel = Vec::new();
+        range_scan(&data, f64::NEG_INFINITY, f64::INFINITY, &mut sel);
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Eq.eval(f64::NAN, f64::NAN));
+        assert!(CmpOp::Ne.eval(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn refine_cmp_and_by() {
+        let data = [2u8, 6, 2, 9];
+        let mut sel = vec![0, 1, 2, 3];
+        refine_cmp(&data, &mut sel, CmpOp::Eq, 2);
+        assert_eq!(sel, vec![0, 2]);
+        let mut sel = vec![0, 1, 2, 3];
+        refine_by(&data, &mut sel, |v| v % 3 == 0);
+        assert_eq!(sel, vec![1, 3]);
+    }
+
+    #[test]
+    fn count_matches_materialised_scan() {
+        let data: Vec<u32> = (0..1000).map(|i| i * 7 % 101).collect();
+        let ranges = [(0usize, 500usize), (700, 1000)];
+        let mut sel = Vec::new();
+        range_scan_ranges(&data, &ranges, 10, 50, &mut sel);
+        assert_eq!(count_range_ranges(&data, &ranges, 10, 50), sel.len());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let data: [i32; 0] = [];
+        let mut sel = Vec::new();
+        assert_eq!(range_scan(&data, 0, 10, &mut sel), 0);
+        assert_eq!(range_scan_ranges(&data, &[(0, 10)], 0, 10, &mut sel), 0);
+        assert!(sel.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Regenerate the paper's two figures with the QGIS stand-in renderer:
+//!
+//! * Figure 1 — the LIDAR point cloud, elevation-coloured and hillshaded,
+//!   written to `out/figure1_ahn2.ppm`;
+//! * Figure 2 — roads, rivers and land cover from the OSM-like and
+//!   Urban-Atlas-like layers, written to `out/figure2_osm_ua.svg`.
+//!
+//! Run with: `cargo run --release --example render_maps`
+
+use lidardb::prelude::*;
+use lidardb::viz::colormap::{self, classification_color, elevation_color};
+use lidardb::viz::{Raster, SvgMap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("out")?;
+    let scene = Scene::generate(SceneConfig {
+        seed: 2015,
+        origin: (0.0, 0.0),
+        extent_m: 1500.0,
+    });
+    let tiles = TileSet::generate(&scene, 3, 1.2);
+    let env = *scene.envelope();
+
+    // ---- Figure 1: elevation-coloured point cloud --------------------------
+    let (z_min, z_max) = tiles
+        .tiles()
+        .iter()
+        .flat_map(|t| t.records.iter().map(|r| r.z))
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), z| {
+            (lo.min(z), hi.max(z))
+        });
+    let mut fig1 = Raster::new(900, 900, env, (248, 248, 244));
+    for tile in tiles.tiles() {
+        for r in &tile.records {
+            let base = elevation_color(r.z, z_min, z_max);
+            // Cheap hillshade: sample the terrain gradient at the point.
+            let t = scene.terrain();
+            let shade = colormap::hillshade(
+                t.height(r.x, r.y),
+                t.height(r.x + 2.0, r.y),
+                t.height(r.x, r.y + 2.0),
+                2.0,
+            );
+            fig1.plot(r.x, r.y, colormap::shaded(base, shade + 0.25));
+        }
+    }
+    fig1.write_ppm("out/figure1_ahn2.ppm")?;
+    println!(
+        "figure 1: {} points, z in [{z_min:.1}, {z_max:.1}] m -> out/figure1_ahn2.ppm",
+        tiles.num_points()
+    );
+
+    // ---- Figure 1b (bonus): classification map -----------------------------
+    let mut fig1b = Raster::new(900, 900, env, (248, 248, 244));
+    for tile in tiles.tiles() {
+        for r in &tile.records {
+            fig1b.plot(r.x, r.y, classification_color(r.classification));
+        }
+    }
+    fig1b.write_ppm("out/figure1b_classification.ppm")?;
+    println!("figure 1b: classification map -> out/figure1b_classification.ppm");
+
+    // ---- Figure 2: layered vector map ---------------------------------------
+    let mut fig2 = SvgMap::new(900, 900, env);
+    // Land cover first (fills)...
+    for zone in scene.zones() {
+        let fill = match zone.class.code() {
+            11100 => (220, 130, 130), // urban fabric
+            12210 => (120, 120, 130), // fast transit corridor
+            14100 => (150, 210, 150), // green urban
+            23000 => (210, 230, 170), // pastures
+            31000 => (90, 160, 90),   // forest
+            50000 => (150, 190, 235), // water
+            _ => (200, 200, 200),
+        };
+        fig2.add_polygon(&zone.polygon, fill, 0.75);
+    }
+    // ...then rivers and roads (strokes)...
+    for river in scene.rivers() {
+        fig2.add_polyline(&river.geometry, (60, 120, 210), 5.0);
+    }
+    for road in scene.roads() {
+        let (color, width) = match road.class {
+            RoadClassTag::Motorway => ((230, 120, 30), 5.0),
+            RoadClassTag::Primary => ((250, 210, 90), 3.0),
+            RoadClassTag::Residential => ((255, 255, 255), 1.5),
+        };
+        fig2.add_polyline(&road.geometry, color, width);
+    }
+    // ...and POIs with labels on top.
+    for poi in scene.pois() {
+        fig2.add_point(&poi.location, (160, 30, 140), 4.0);
+        fig2.add_label(
+            &lidardb::geom::Point::new(poi.location.x + 8.0, poi.location.y),
+            &poi.name,
+            11.0,
+        );
+    }
+    fig2.write("out/figure2_osm_ua.svg")?;
+    println!(
+        "figure 2: {} zones, {} roads, {} rivers, {} POIs -> out/figure2_osm_ua.svg",
+        scene.zones().len(),
+        scene.roads().len(),
+        scene.rivers().len(),
+        scene.pois().len()
+    );
+    Ok(())
+}
+
+use lidardb::datagen::RoadClass as RoadClassTag;

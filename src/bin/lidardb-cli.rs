@@ -1,0 +1,161 @@
+//! `lidardb-cli` — the interactive demo session.
+//!
+//! The paper's demonstration lets the audience type "pre-defined queries
+//! or user defined queries" against the spatially-enabled column store
+//! (§1, §4.2). This binary is that session: it generates (or loads) a
+//! synthetic municipality, registers the point cloud and the vector
+//! layers, and drops into a SQL REPL with `EXPLAIN` and per-operator
+//! timings.
+//!
+//! ```text
+//! cargo run --release --bin lidardb-cli                  # default 1 km² scene
+//! cargo run --release --bin lidardb-cli -- --extent 2000 --density 2 --seed 7
+//! echo "SELECT COUNT(*) FROM points" | cargo run --release --bin lidardb-cli
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use lidardb::prelude::*;
+use lidardb::scene_catalog;
+
+struct Opts {
+    seed: u64,
+    extent: f64,
+    density: f64,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        seed: 2015,
+        extent: 1000.0,
+        density: 1.0,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> Result<f64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<f64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match a.as_str() {
+            "--seed" => opts.seed = num("--seed")? as u64,
+            "--extent" => opts.extent = num("--extent")?,
+            "--density" => opts.density = num("--density")?,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "lidardb-cli — interactive SQL over a synthetic LIDAR scene\n\
+                     options: --seed N  --extent METRES  --density PTS_PER_M2  --quiet\n\
+                     REPL commands: \\tables  \\help  \\quit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.extent.is_nan() || opts.extent <= 0.0 || opts.density.is_nan() || opts.density <= 0.0 {
+        return Err("--extent and --density must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scene = Scene::generate(SceneConfig {
+        seed: opts.seed,
+        origin: (120_000.0, 480_000.0),
+        extent_m: opts.extent,
+    });
+    let tiles_per_side = ((opts.extent / 250.0).round() as usize).clamp(1, 16);
+    let tiles = TileSet::generate(&scene, tiles_per_side, opts.density);
+    let mut pc = PointCloud::new();
+    for tile in tiles.tiles() {
+        pc.append_records(&tile.records).expect("append tile");
+    }
+    let env = *scene.envelope();
+    let catalog = scene_catalog(Arc::new(pc), &scene);
+    if !opts.quiet {
+        println!(
+            "lidardb demo session — {} points over {:.0} m x {:.0} m at ({}, {})",
+            tiles.num_points(),
+            env.width(),
+            env.height(),
+            env.min_x,
+            env.min_y
+        );
+        println!("tables: points (26 cols), roads, rivers, pois, ua");
+        println!("try:    SELECT classification, COUNT(*) FROM points GROUP BY classification");
+        println!("        EXPLAIN SELECT ... ;  \\tables ;  \\quit\n");
+    }
+
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    let mut buf = String::new();
+    loop {
+        if interactive {
+            print!("lidardb> ");
+            std::io::stdout().flush().ok();
+        }
+        buf.clear();
+        match stdin.lock().read_line(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = buf.trim().trim_end_matches(';').trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\quit" | "\\q" | "exit" | "quit" => break,
+            "\\tables" => {
+                for t in catalog.table_names() {
+                    let cols = catalog.columns_of(t).unwrap_or_default();
+                    println!("{t} ({} columns): {}", cols.len(), cols.join(", "));
+                }
+                continue;
+            }
+            "\\help" => {
+                println!(
+                    "SELECT [EXPLAIN] ... FROM points|roads|rivers|pois|ua \
+                     [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n]\n\
+                     functions: ST_Point ST_MakeEnvelope ST_GeomFromText ST_Contains \
+                     ST_Within ST_Intersects ST_DWithin ST_Distance ST_X ST_Y ST_Area ST_Length"
+                );
+                continue;
+            }
+            _ => {}
+        }
+        match lidardb::sql::query(&catalog, line) {
+            Ok(rs) => {
+                print!("{}", rs.render());
+                if !rs.trace.is_empty() {
+                    print!("{}", rs.render_trace());
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Minimal tty check without a dependency: assume non-interactive when
+/// stdin is redirected (heuristic via env; piped runs set no prompt).
+fn atty_stdin() -> bool {
+    // On Linux, /proc/self/fd/0 points at a tty device when interactive.
+    std::fs::read_link("/proc/self/fd/0")
+        .map(|p| p.to_string_lossy().contains("/dev/pts") || p.to_string_lossy().contains("tty"))
+        .unwrap_or(false)
+}
