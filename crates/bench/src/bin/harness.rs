@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use lidardb_baselines::{BlockStore, FileStore};
 use lidardb_bench::{median_seconds, timed, Fixture};
-use lidardb_core::{LoadMethod, Loader, PointCloud, RefineStrategy, SpatialPredicate};
+use lidardb_core::{LoadMethod, LoadPolicy, Loader, PointCloud, RefineStrategy, SpatialPredicate};
 use lidardb_geom::{Geometry, Point, Polygon, Ring};
 use lidardb_imprints::Imprints;
 use lidardb_sfc::{curve_locality, Curve, Quantizer};
@@ -532,6 +532,120 @@ fn e7_robustness() {
             rate * 100.0
         );
     }
+
+    // E7b: fault injection — robustness against the *environment*, not
+    // just the data distribution. Three demonstrations of the durability
+    // contract: checksummed persistence, quarantining ingestion, and
+    // query-time degradation.
+    println!("\nfault injection (deterministic seeded faults, lidardb_core::fault):");
+
+    // 1. Corruption detection: save, flip one seeded byte, reopen.
+    let save_dir = std::env::temp_dir().join("lidardb_e7_fault_save");
+    let trials = 64u64;
+    let mut detected = 0usize;
+    let mut state = 0xA076_1D64_78BD_642Fu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for _ in 0..trials {
+        let _ = std::fs::remove_dir_all(&save_dir);
+        pc.save_dir(&save_dir).expect("save");
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&save_dir)
+            .expect("read_dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        files.sort();
+        let victim = &files[(next() % files.len() as u64) as usize];
+        let mut bytes = std::fs::read(victim).expect("read file");
+        let pos = (next() % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << (next() % 8);
+        std::fs::write(victim, &bytes).expect("write corruption");
+        if PointCloud::open_dir(&save_dir).is_err() {
+            detected += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&save_dir);
+    println!(
+        "  single-byte corruption of a saved dir: detected {detected}/{trials} ({:.1}%)",
+        detected as f64 / trials as f64 * 100.0
+    );
+
+    // 2. Quarantining ingestion: 16 tiles, 3 corrupted three ways.
+    let tile_dir = std::env::temp_dir().join("lidardb_e7_fault_tiles");
+    let _ = std::fs::remove_dir_all(&tile_dir);
+    std::fs::create_dir_all(&tile_dir).expect("mkdir");
+    let mut paths = Vec::new();
+    for i in 0..16usize {
+        let src = &fx.las_paths[i % fx.las_paths.len()];
+        let dst = tile_dir.join(format!("tile{i:02}.las"));
+        std::fs::copy(src, &dst).expect("copy tile");
+        paths.push(dst);
+    }
+    std::fs::write(&paths[2], b"not a point cloud").expect("garbage");
+    let bytes = std::fs::read(&paths[7]).expect("read");
+    std::fs::write(&paths[7], &bytes[..bytes.len() / 2]).expect("truncate");
+    let mut bytes = std::fs::read(&paths[11]).expect("read");
+    bytes[0] ^= 0xFF;
+    std::fs::write(&paths[11], &bytes).expect("bad magic");
+    let mut loaded = PointCloud::new();
+    let (report, secs) = timed(|| {
+        Loader::new(LoadMethod::Binary)
+            .with_policy(LoadPolicy::SkipCorrupt { max_retries: 2 })
+            .load_files_report(&mut loaded, &paths)
+            .expect("skip-corrupt load")
+    });
+    let quarantined: Vec<String> = report
+        .quarantined()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    println!(
+        "  SkipCorrupt ingest of 16 tiles (3 corrupt): {} files / {} points in {:.1} ms",
+        report.stats.files,
+        report.stats.points,
+        secs * 1e3
+    );
+    println!("  quarantined: {}", quarantined.join(", "));
+    let _ = std::fs::remove_dir_all(&tile_dir);
+
+    // 3. Query-time degradation: a failed imprint build falls back to a
+    // full scan instead of failing the query.
+    let w = fx.window(1e-2);
+    let pred = SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(&w)));
+    let healthy = pc.select(&pred).expect("select");
+    let t_healthy = median_seconds(5, || {
+        std::hint::black_box(pc.select(&pred).expect("select").rows.len());
+    });
+    let mut degraded_pc = PointCloud::new();
+    Loader::new(LoadMethod::Binary)
+        .load_files(&mut degraded_pc, &fx.las_paths)
+        .expect("load");
+    let fi = Arc::new(lidardb_core::FaultInjector::new());
+    fi.inject_n(
+        lidardb_core::FaultStage::ImprintBuild,
+        Some("x"),
+        lidardb_core::FaultKind::IoError,
+        0,
+        u32::MAX,
+    );
+    degraded_pc.set_fault_injector(fi);
+    let degraded = degraded_pc.select(&pred).expect("degraded select");
+    let t_degraded = median_seconds(5, || {
+        std::hint::black_box(degraded_pc.select(&pred).expect("select").rows.len());
+    });
+    println!(
+        "  degraded x-imprint query: rows {} vs healthy {} (identical: {}), \
+         {:.3} ms vs {:.3} ms, degraded probes: {}",
+        degraded.rows.len(),
+        healthy.rows.len(),
+        degraded.rows == healthy.rows,
+        t_degraded * 1e3,
+        t_healthy * 1e3,
+        degraded.explain.degraded_probes
+    );
     println!();
 }
 

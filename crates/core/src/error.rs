@@ -24,6 +24,32 @@ pub enum CoreError {
     },
     /// A query referenced something that does not exist.
     InvalidQuery(String),
+    /// On-disk state failed an integrity check (bad checksum, malformed
+    /// manifest, impossible sizes).
+    Corrupt(String),
+    /// A loader worker thread panicked; the panic was contained and
+    /// converted to this error instead of tearing down the process.
+    WorkerPanic(String),
+    /// A specific input file failed during bulk load (fail-fast path);
+    /// names the file so a 50 000-tile ingest is debuggable.
+    FileLoad {
+        /// The file that failed.
+        path: std::path::PathBuf,
+        /// Why it failed.
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Whether retrying the failed operation could plausibly succeed
+    /// (transient I/O conditions, as opposed to corrupt data).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CoreError::Las(e) => e.is_transient(),
+            CoreError::FileLoad { source, .. } => source.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +62,11 @@ impl fmt::Display for CoreError {
                 write!(f, "CSV parse error at line {line}: {reason}")
             }
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            CoreError::WorkerPanic(msg) => write!(f, "loader worker panicked: {msg}"),
+            CoreError::FileLoad { path, source } => {
+                write!(f, "load of {} failed: {source}", path.display())
+            }
         }
     }
 }
@@ -46,6 +77,7 @@ impl std::error::Error for CoreError {
             CoreError::Storage(e) => Some(e),
             CoreError::Las(e) => Some(e),
             CoreError::Geom(e) => Some(e),
+            CoreError::FileLoad { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -83,5 +115,34 @@ mod tests {
         assert!(e.to_string().contains("line 3"));
         let e = CoreError::InvalidQuery("no such column".into());
         assert!(e.to_string().contains("no such column"));
+        let e = CoreError::Corrupt("checksum mismatch".into());
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(!e.is_transient());
+        let e = CoreError::WorkerPanic("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+        let e = CoreError::FileLoad {
+            path: "tiles/t07.las".into(),
+            source: Box::new(CoreError::Corrupt("bad point size".into())),
+        };
+        assert!(e.to_string().contains("t07.las"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transient_classification() {
+        let t: CoreError = LasError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "try again",
+        ))
+        .into();
+        assert!(t.is_transient());
+        let wrapped = CoreError::FileLoad {
+            path: "a.las".into(),
+            source: Box::new(t),
+        };
+        assert!(wrapped.is_transient(), "transience passes through FileLoad");
+        let p: CoreError = LasError::Io(std::io::Error::other("disk on fire")).into();
+        assert!(!p.is_transient());
+        assert!(!CoreError::InvalidQuery("x".into()).is_transient());
     }
 }

@@ -25,9 +25,17 @@
 //!
 //! Every query returns an [`query::Explain`] timing/cardinality breakdown,
 //! mirroring the demo's per-operator plan view.
+//!
+//! The engine is **fault-tolerant by construction**: persistence is
+//! atomic and checksummed ([`persist`]), the bulk loader isolates and
+//! quarantines bad files ([`loader::LoadPolicy`]), queries degrade to
+//! full scans when an imprint cannot be built, and the whole stack is
+//! exercised by a deterministic fault-injection harness ([`fault`]).
 
+pub mod crc;
 pub mod csv;
 pub mod error;
+pub mod fault;
 pub mod loader;
 pub mod persist;
 pub mod pointcloud;
@@ -35,6 +43,9 @@ pub mod query;
 pub mod soa;
 
 pub use error::CoreError;
-pub use loader::{LoadMethod, LoadStats, Loader};
+pub use fault::{FaultInjector, FaultKind, FaultStage};
+pub use loader::{
+    FileOutcome, FileReport, LoadMethod, LoadPolicy, LoadReport, LoadStats, Loader,
+};
 pub use pointcloud::PointCloud;
 pub use query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};

@@ -5,123 +5,364 @@
 //! points" — MonetDB's BAT storage is exactly one memory-mappable file per
 //! column. This module round-trips a [`PointCloud`] through that layout:
 //! a directory with one `<column>.bin` little-endian dump per column plus
-//! a small manifest for validation.
+//! a manifest for validation.
+//!
+//! # Durability model
+//!
+//! Saves are **atomic**: all dumps and the manifest are written to a
+//! staging directory next to the target, then committed with a single
+//! `rename`. A crash at any point leaves either the old state or the new
+//! state at the target path — never a hybrid, and never a directory that
+//! [`PointCloud::open_dir`] accepts by accident (the staging name is not
+//! the target name).
+//!
+//! Integrity is **checksummed** (manifest v2): each column dump gets a
+//! CRC-32 recorded in the manifest, and the manifest itself carries a
+//! trailing CRC-32 over its own preceding bytes. `open_dir` and
+//! [`validate_dir`] verify every checksum, so any single-byte (in fact,
+//! any ≤32-bit burst) corruption of any file is detected. Version-1
+//! directories (no checksums) written by earlier builds still open; they
+//! get size validation only.
 
+use std::collections::HashMap;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use lidardb_las::{point_schema, COLUMN_NAMES};
-use lidardb_storage::FlatTable;
 
+use crate::crc::crc32;
 use crate::error::CoreError;
+use crate::fault::{FaultInjector, FaultKind, FaultStage};
 use crate::pointcloud::PointCloud;
 
 /// Manifest file name.
 const MANIFEST: &str = "MANIFEST.lidardb";
 
-/// Manifest format version.
-const VERSION: u32 = 1;
+/// Current manifest format version (v2 = per-column checksums).
+const VERSION: u32 = 2;
 
-impl PointCloud {
-    /// Write the table as one binary dump per column plus a manifest.
-    ///
-    /// The directory is created if missing; existing dumps are
-    /// overwritten.
-    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(lidardb_las::LasError::Io)?;
-        let schema = point_schema();
-        for field in schema.fields() {
-            let col = self.column(&field.name)?;
-            let path = dir.join(format!("{}.bin", field.name));
-            let mut f = std::io::BufWriter::new(
-                std::fs::File::create(&path).map_err(lidardb_las::LasError::Io)?,
-            );
-            f.write_all(&col.to_le_bytes())
-                .and_then(|()| f.flush())
-                .map_err(lidardb_las::LasError::Io)?;
-        }
-        let manifest = format!(
-            "lidardb flat table\nversion {VERSION}\nrows {}\ncolumns {}\n",
-            self.num_points(),
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Las(lidardb_las::LasError::Io(e))
+}
+
+fn corrupt(msg: impl Into<String>) -> CoreError {
+    CoreError::Corrupt(msg.into())
+}
+
+/// Parsed manifest, shared by `open_dir` and `validate_dir` so the two
+/// enforce identical invariants.
+#[derive(Debug, Clone, PartialEq)]
+struct Manifest {
+    version: u32,
+    rows: usize,
+    /// Per-column CRC-32 of the dump bytes; `None` for v1 manifests.
+    checksums: Option<HashMap<String, u32>>,
+}
+
+impl Manifest {
+    /// Render the v2 manifest text, including its trailing self-CRC.
+    fn render_v2(rows: usize, checksums: &[(String, u32)]) -> String {
+        let mut text = format!(
+            "lidardb flat table\nversion {VERSION}\nrows {rows}\ncolumns {}\n",
             COLUMN_NAMES.join(",")
         );
-        std::fs::write(dir.join(MANIFEST), manifest).map_err(lidardb_las::LasError::Io)?;
-        Ok(())
+        for (name, crc) in checksums {
+            text.push_str(&format!("checksum {name} {crc}\n"));
+        }
+        text.push_str(&format!("manifest_crc {}\n", crc32(text.as_bytes())));
+        text
     }
 
-    /// Load a table previously written by [`PointCloud::save_dir`].
-    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, CoreError> {
-        let dir = dir.as_ref();
-        let manifest =
-            std::fs::read_to_string(dir.join(MANIFEST)).map_err(lidardb_las::LasError::Io)?;
-        let mut rows: Option<usize> = None;
+    /// Parse and validate manifest text (header, version, row count,
+    /// column list; for v2 also the manifest self-CRC and checksum
+    /// coverage of every column).
+    fn parse(text: &str) -> Result<Manifest, CoreError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("lidardb flat table") {
+            return Err(corrupt("manifest: bad header line"));
+        }
         let mut version: Option<u32> = None;
+        let mut rows: Option<usize> = None;
         let mut columns: Option<String> = None;
-        for line in manifest.lines() {
+        let mut checksums: HashMap<String, u32> = HashMap::new();
+        let mut manifest_crc: Option<u32> = None;
+        for line in lines {
             if let Some(v) = line.strip_prefix("version ") {
                 version = v.trim().parse().ok();
             } else if let Some(v) = line.strip_prefix("rows ") {
                 rows = v.trim().parse().ok();
             } else if let Some(v) = line.strip_prefix("columns ") {
                 columns = Some(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("checksum ") {
+                let mut it = v.split_whitespace();
+                match (
+                    it.next(),
+                    it.next().and_then(|c| c.parse::<u32>().ok()),
+                    it.next(),
+                ) {
+                    (Some(name), Some(crc), None) => {
+                        checksums.insert(name.to_string(), crc);
+                    }
+                    _ => return Err(corrupt(format!("manifest: bad checksum line {line:?}"))),
+                }
+            } else if let Some(v) = line.strip_prefix("manifest_crc ") {
+                manifest_crc = v.trim().parse().ok();
             }
         }
-        let bad = |what: &str| CoreError::InvalidQuery(format!("corrupt manifest: {what}"));
-        if version != Some(VERSION) {
-            return Err(bad("unsupported version"));
-        }
-        let rows = rows.ok_or_else(|| bad("missing row count"))?;
+        let version = match version {
+            Some(v @ (1 | 2)) => v,
+            Some(v) => return Err(corrupt(format!("manifest: unsupported version {v}"))),
+            None => return Err(corrupt("manifest: missing version")),
+        };
+        let rows = rows.ok_or_else(|| corrupt("manifest: missing row count"))?;
         if columns.as_deref() != Some(&COLUMN_NAMES.join(",")) {
-            return Err(bad("column list mismatch"));
+            return Err(corrupt("manifest: column list mismatch"));
         }
-
-        let mut pc = PointCloud::new();
-        let schema = point_schema();
-        let mut dumps = Vec::with_capacity(schema.width());
-        for field in schema.fields() {
-            let path = dir.join(format!("{}.bin", field.name));
-            let bytes = std::fs::read(&path).map_err(lidardb_las::LasError::Io)?;
-            let expected = rows * field.ptype.size();
-            if bytes.len() != expected {
-                return Err(CoreError::InvalidQuery(format!(
-                    "column file {} has {} bytes, manifest expects {expected}",
-                    path.display(),
-                    bytes.len()
-                )));
+        if version == 1 {
+            return Ok(Manifest {
+                version,
+                rows,
+                checksums: None,
+            });
+        }
+        // v2: the manifest must checksum itself and every column.
+        let declared = manifest_crc.ok_or_else(|| corrupt("manifest: missing manifest_crc"))?;
+        let body_end = text
+            .find("manifest_crc ")
+            .expect("manifest_crc line parsed above");
+        if crc32(&text.as_bytes()[..body_end]) != declared {
+            return Err(corrupt("manifest: self-checksum mismatch"));
+        }
+        for name in COLUMN_NAMES {
+            if !checksums.contains_key(name) {
+                return Err(corrupt(format!("manifest: missing checksum for {name}")));
             }
-            dumps.push(bytes);
         }
-        pc.append_dumps(&dumps)?;
-        debug_assert_eq!(pc.num_points(), rows);
-        Ok(pc)
+        Ok(Manifest {
+            version,
+            rows,
+            checksums: Some(checksums),
+        })
     }
 }
 
-/// Validate a table directory without loading it (catalog-style check).
-pub fn validate_dir(dir: impl AsRef<Path>) -> Result<usize, CoreError> {
-    let dir = dir.as_ref();
-    let manifest =
-        std::fs::read_to_string(dir.join(MANIFEST)).map_err(lidardb_las::LasError::Io)?;
-    let rows: usize = manifest
-        .lines()
-        .find_map(|l| l.strip_prefix("rows "))
-        .and_then(|v| v.trim().parse().ok())
-        .ok_or_else(|| CoreError::InvalidQuery("corrupt manifest".into()))?;
-    let _ = FlatTable::new(point_schema()); // schema must construct
-    for field in point_schema().fields() {
-        let path = dir.join(format!("{}.bin", field.name));
-        let len = std::fs::metadata(&path)
-            .map_err(lidardb_las::LasError::Io)?
-            .len() as usize;
-        if len != rows * field.ptype.size() {
-            return Err(CoreError::InvalidQuery(format!(
-                "column file {} has wrong size",
+/// Read and parse the manifest of a saved-table directory.
+fn read_manifest(dir: &Path, fi: Option<&FaultInjector>) -> Result<Manifest, CoreError> {
+    let mut bytes = std::fs::read(dir.join(MANIFEST)).map_err(io_err)?;
+    if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::ReadManifest, MANIFEST)) {
+        if kind == FaultKind::IoError {
+            return Err(io_err(kind.to_io_error()));
+        }
+        kind.corrupt(&mut bytes);
+    }
+    let text = String::from_utf8(bytes).map_err(|_| corrupt("manifest: not UTF-8"))?;
+    Manifest::parse(&text)
+}
+
+/// Read one column dump and verify its size (and CRC, for v2 manifests).
+fn read_column(
+    dir: &Path,
+    manifest: &Manifest,
+    field: &lidardb_storage::Field,
+    fi: Option<&FaultInjector>,
+) -> Result<Vec<u8>, CoreError> {
+    let path = dir.join(format!("{}.bin", field.name));
+    let mut bytes = std::fs::read(&path).map_err(io_err)?;
+    if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::ReadColumn, &field.name)) {
+        if kind == FaultKind::IoError {
+            return Err(io_err(kind.to_io_error()));
+        }
+        kind.corrupt(&mut bytes);
+    }
+    let expected = manifest.rows * field.ptype.size();
+    if bytes.len() != expected {
+        return Err(corrupt(format!(
+            "column file {} has {} bytes, manifest expects {expected}",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    if let Some(sums) = &manifest.checksums {
+        let declared = sums[field.name.as_str()];
+        let actual = crc32(&bytes);
+        if actual != declared {
+            return Err(corrupt(format!(
+                "column file {} checksum mismatch: manifest {declared}, data {actual}",
                 path.display()
             )));
         }
     }
-    Ok(rows)
+    Ok(bytes)
+}
+
+/// A staging directory that removes itself on drop unless committed.
+struct Staging {
+    path: PathBuf,
+    committed: bool,
+}
+
+impl Staging {
+    fn for_target(target: &Path) -> Result<Staging, CoreError> {
+        let name = target
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| corrupt(format!("bad save path {}", target.display())))?;
+        // Unique per process+cloud so concurrent saves to different
+        // targets never collide; the leading dot keeps it out of globs.
+        let staging = target.with_file_name(format!(
+            ".{name}.staging.{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&staging); // stale leftover from a crash
+        std::fs::create_dir_all(&staging).map_err(io_err)?;
+        Ok(Staging {
+            path: staging,
+            committed: false,
+        })
+    }
+
+    /// Atomically move the staged state to `target`, replacing whatever
+    /// is there. The new state appears at `target` in one rename.
+    fn commit(mut self, target: &Path) -> Result<(), CoreError> {
+        // `rename` cannot replace a non-empty directory, so an existing
+        // target is moved aside first and dropped after the swap. The
+        // crash window between the two renames leaves *no* directory at
+        // the target — never a partial one.
+        let old = self.path.with_extension("replaced");
+        let _ = std::fs::remove_dir_all(&old);
+        let had_old = match std::fs::rename(target, &old) {
+            Ok(()) => true,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(io_err(e)),
+        };
+        if let Err(e) = std::fs::rename(&self.path, target) {
+            // Roll the old state back so a failed commit is a no-op.
+            if had_old {
+                let _ = std::fs::rename(&old, target);
+            }
+            return Err(io_err(e));
+        }
+        self.committed = true;
+        if had_old {
+            let _ = std::fs::remove_dir_all(&old);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Staging {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+impl PointCloud {
+    /// Write the table as one binary dump per column plus a checksummed
+    /// manifest, atomically (staging directory + rename).
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
+        self.save_dir_with_faults(dir, None)
+    }
+
+    /// [`PointCloud::save_dir`] with fault-injection hooks (tests only).
+    pub fn save_dir_with_faults(
+        &self,
+        dir: impl AsRef<Path>,
+        fi: Option<&FaultInjector>,
+    ) -> Result<(), CoreError> {
+        let dir = dir.as_ref();
+        if let Some(parent) = dir.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(io_err)?;
+            }
+        }
+        let staging = Staging::for_target(dir)?;
+        let schema = point_schema();
+        let mut checksums = Vec::with_capacity(schema.width());
+        for field in schema.fields() {
+            let col = self.column(&field.name)?;
+            let mut bytes = col.to_le_bytes();
+            // CRC first, fault second: an injected write fault models bits
+            // rotting after the checksum was taken, so it stays detectable.
+            checksums.push((field.name.clone(), crc32(&bytes)));
+            if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::WriteColumn, &field.name)) {
+                match kind {
+                    FaultKind::IoError => return Err(io_err(kind.to_io_error())),
+                    FaultKind::Crash => return Err(corrupt("injected crash during column write")),
+                    _ => kind.corrupt(&mut bytes),
+                }
+            }
+            let path = staging.path.join(format!("{}.bin", field.name));
+            let mut f =
+                std::io::BufWriter::new(std::fs::File::create(&path).map_err(io_err)?);
+            f.write_all(&bytes)
+                .and_then(|()| f.flush())
+                .map_err(io_err)?;
+        }
+        let mut manifest = Manifest::render_v2(self.num_points(), &checksums).into_bytes();
+        if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::WriteManifest, MANIFEST)) {
+            match kind {
+                FaultKind::IoError => return Err(io_err(kind.to_io_error())),
+                FaultKind::Crash => return Err(corrupt("injected crash during manifest write")),
+                _ => kind.corrupt(&mut manifest),
+            }
+        }
+        std::fs::write(staging.path.join(MANIFEST), manifest).map_err(io_err)?;
+        if fi
+            .and_then(|fi| fi.fire(FaultStage::Commit, MANIFEST))
+            .is_some()
+        {
+            // Simulated kill right before the commit rename: the staging
+            // directory is abandoned (cleaned by Drop), the target keeps
+            // its previous state.
+            return Err(corrupt("injected crash before commit"));
+        }
+        staging.commit(dir)
+    }
+
+    /// Load a table previously written by [`PointCloud::save_dir`].
+    /// Verifies every checksum the manifest declares.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, CoreError> {
+        Self::open_dir_with_faults(dir, None)
+    }
+
+    /// [`PointCloud::open_dir`] with fault-injection hooks (tests only).
+    pub fn open_dir_with_faults(
+        dir: impl AsRef<Path>,
+        fi: Option<&FaultInjector>,
+    ) -> Result<Self, CoreError> {
+        let dir = dir.as_ref();
+        let manifest = read_manifest(dir, fi)?;
+        let mut pc = PointCloud::new();
+        let schema = point_schema();
+        let mut dumps = Vec::with_capacity(schema.width());
+        for field in schema.fields() {
+            dumps.push(read_column(dir, &manifest, field, fi)?);
+        }
+        pc.append_dumps(&dumps)?;
+        if pc.num_points() != manifest.rows {
+            return Err(corrupt(format!(
+                "table reassembled to {} rows, manifest declares {}",
+                pc.num_points(),
+                manifest.rows
+            )));
+        }
+        Ok(pc)
+    }
+}
+
+/// Validate a table directory without building the in-memory table
+/// (catalog-style check). Enforces the same invariants as
+/// [`PointCloud::open_dir`]: manifest well-formedness, version, column
+/// list, per-column sizes, and (for v2) every checksum.
+pub fn validate_dir(dir: impl AsRef<Path>) -> Result<usize, CoreError> {
+    let dir = dir.as_ref();
+    let manifest = read_manifest(dir, None)?;
+    for field in point_schema().fields() {
+        read_column(dir, &manifest, field, None)?;
+    }
+    Ok(manifest.rows)
 }
 
 #[cfg(test)]
@@ -180,6 +421,23 @@ mod tests {
     }
 
     #[test]
+    fn save_is_atomic_replace() {
+        let dir = tdir("replace");
+        cloud(100).save_dir(&dir).unwrap();
+        cloud(250).save_dir(&dir).unwrap();
+        assert_eq!(PointCloud::open_dir(&dir).unwrap().num_points(), 250);
+        // No staging or backup residue next to the target.
+        let parent = dir.parent().unwrap();
+        let residue: Vec<_> = std::fs::read_dir(parent)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("staging") || n.contains("replaced"))
+            .collect();
+        assert!(residue.is_empty(), "residue: {residue:?}");
+    }
+
+    #[test]
     fn truncated_column_file_rejected() {
         let dir = tdir("trunc");
         cloud(100).save_dir(&dir).unwrap();
@@ -191,16 +449,115 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_in_column_detected_by_checksum() {
+        let dir = tdir("bitflip");
+        cloud(200).save_dir(&dir).unwrap();
+        let victim = dir.join("gps_time.bin");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[777] ^= 0x10; // same length → only the CRC can catch it
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = PointCloud::open_dir(&dir).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Corrupt(m) if m.contains("checksum")),
+            "{err}"
+        );
+        assert!(validate_dir(&dir).is_err(), "validate_dir catches it too");
+    }
+
+    #[test]
     fn tampered_manifest_rejected() {
         let dir = tdir("manifest");
         cloud(10).save_dir(&dir).unwrap();
         let m = dir.join(MANIFEST);
-        // Wrong version.
+        let good = std::fs::read_to_string(&m).unwrap();
+        // Unsupported version.
         std::fs::write(&m, "lidardb flat table\nversion 99\nrows 10\ncolumns x\n").unwrap();
         assert!(PointCloud::open_dir(&dir).is_err());
+        // Single-character edit to the row count: caught by the
+        // manifest's own CRC even though the syntax stays valid.
+        let evil = good.replacen("rows 10", "rows 11", 1);
+        assert_ne!(evil, good);
+        std::fs::write(&m, evil).unwrap();
+        let err = PointCloud::open_dir(&dir).unwrap_err();
+        assert!(matches!(err, CoreError::Corrupt(_)), "{err}");
         // Missing manifest entirely.
         std::fs::remove_file(&m).unwrap();
         assert!(PointCloud::open_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn v1_directories_still_open() {
+        let dir = tdir("v1compat");
+        let pc = cloud(50);
+        pc.save_dir(&dir).unwrap();
+        // Rewrite the manifest as a version-1 build would have written it.
+        let v1 = format!(
+            "lidardb flat table\nversion 1\nrows 50\ncolumns {}\n",
+            COLUMN_NAMES.join(",")
+        );
+        std::fs::write(dir.join(MANIFEST), v1).unwrap();
+        assert_eq!(validate_dir(&dir).unwrap(), 50);
+        let back = PointCloud::open_dir(&dir).unwrap();
+        assert_eq!(back.num_points(), 50);
+        assert_eq!(
+            back.column("x").unwrap(),
+            pc.column("x").unwrap(),
+            "payload intact via v1 manifest"
+        );
+    }
+
+    #[test]
+    fn crash_during_save_leaves_no_accepted_directory() {
+        let parent = tdir("crash");
+        std::fs::create_dir_all(&parent).unwrap();
+        let target = parent.join("table");
+        let pc = cloud(40);
+        for (stage, col) in [
+            (FaultStage::WriteColumn, Some("x")),
+            (FaultStage::WriteColumn, Some("gps_time")),
+            (FaultStage::WriteManifest, None),
+            (FaultStage::Commit, None),
+        ] {
+            let fi = FaultInjector::new();
+            fi.inject(stage, col, FaultKind::Crash);
+            let err = pc.save_dir_with_faults(&target, Some(&fi)).unwrap_err();
+            assert!(matches!(err, CoreError::Corrupt(_)), "{stage:?}: {err}");
+            assert!(
+                PointCloud::open_dir(&target).is_err(),
+                "{stage:?}: interrupted save must not yield an openable dir"
+            );
+        }
+        // A good save over the crash debris succeeds and opens.
+        pc.save_dir(&target).unwrap();
+        assert_eq!(PointCloud::open_dir(&target).unwrap().num_points(), 40);
+        // Crash during an overwrite keeps the previous state intact.
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::Commit, None, FaultKind::Crash);
+        assert!(cloud(99).save_dir_with_faults(&target, Some(&fi)).is_err());
+        assert_eq!(
+            PointCloud::open_dir(&target).unwrap().num_points(),
+            40,
+            "old state survives an interrupted overwrite"
+        );
+    }
+
+    #[test]
+    fn injected_write_corruption_is_self_detected() {
+        // Pristine directory on disk, fault injected on the read path:
+        // the checksum must flag the damaged bytes.
+        let dir = tdir("readfault");
+        cloud(60).save_dir(&dir).unwrap();
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::ReadColumn, Some("y"), FaultKind::BitFlip(42));
+        let err = PointCloud::open_dir_with_faults(&dir, Some(&fi)).unwrap_err();
+        assert!(matches!(&err, CoreError::Corrupt(m) if m.contains("checksum")), "{err}");
+        // Transient read error surfaces as a retryable I/O error.
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::ReadManifest, None, FaultKind::IoError);
+        let err = PointCloud::open_dir_with_faults(&dir, Some(&fi)).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // And with no faults armed the same directory opens fine.
+        assert!(PointCloud::open_dir_with_faults(&dir, Some(&FaultInjector::new())).is_ok());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::soa::ColumnArrays;
 pub struct PointCloud {
     table: FlatTable,
     imprints: RwLock<HashMap<String, Arc<ColumnImprints>>>,
+    fault: Option<Arc<crate::fault::FaultInjector>>,
 }
 
 impl std::fmt::Debug for PointCloud {
@@ -44,7 +45,14 @@ impl PointCloud {
         PointCloud {
             table: FlatTable::new(point_schema()),
             imprints: RwLock::new(HashMap::new()),
+            fault: None,
         }
+    }
+
+    /// Attach fault-injection hooks for the imprint-build path (tests
+    /// only; see [`crate::fault`]).
+    pub fn set_fault_injector(&mut self, fi: Arc<crate::fault::FaultInjector>) {
+        self.fault = Some(fi);
     }
 
     /// Number of points (rows).
@@ -109,6 +117,13 @@ impl PointCloud {
         // Build outside any lock (cheap to race: both builds are identical
         // and the second insert wins harmlessly).
         let col = self.table.column_by_name(name)?;
+        if let Some(fi) = &self.fault {
+            if let Some(kind) = fi.fire(crate::fault::FaultStage::ImprintBuild, name) {
+                return Err(crate::error::CoreError::Corrupt(format!(
+                    "injected imprint-build failure on column {name}: {kind:?}"
+                )));
+            }
+        }
         let imp = Arc::new(ColumnImprints::build(col)?);
         self.imprints
             .write()

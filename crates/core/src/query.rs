@@ -149,6 +149,10 @@ pub struct Explain {
     /// Number of attribute-range imprint probes that participated in the
     /// filter step (thematic pushdown).
     pub attr_probes: usize,
+    /// Imprint probes that could not be served (the imprint failed to
+    /// build) and were degraded to exact scanning. The result is still
+    /// exact — only the pruning is lost.
+    pub degraded_probes: usize,
     /// Final result cardinality.
     pub result_rows: usize,
     /// Wall-clock of the imprint probe + intersection, in seconds.
@@ -174,7 +178,8 @@ impl Explain {
              grid refinement     {:<10}  {:.6}\n\
              (cells in/out/bnd)  {}/{}/{}\n\
              (sure rows)         {}\n\
-             (exact pt tests)    {}",
+             (exact pt tests)    {}\n\
+             (degraded probes)   {}",
             self.after_imprints,
             self.t_imprints,
             self.after_bbox,
@@ -186,6 +191,7 @@ impl Explain {
             self.cells_boundary,
             self.sure_rows,
             self.exact_tests,
+            self.degraded_probes,
         )
     }
 }
@@ -264,6 +270,9 @@ impl PointCloud {
         };
 
         // ---- Step 1a: imprint probes, intersected. -------------------------
+        // A probe whose imprint fails to build (corrupt input, injected
+        // fault) degrades gracefully: that predicate contributes no
+        // pruning and is enforced by the exact scans below instead.
         let t0 = Instant::now();
         let mut cand: Option<lidardb_imprints::CandidateList> = None;
         let mut probe = |cl: lidardb_imprints::CandidateList| {
@@ -272,17 +281,35 @@ impl PointCloud {
                 None => cl,
             });
         };
+        let mut degraded = 0usize;
+        // `x_probed` matters for correctness: runs the candidate list
+        // marks fully-qualifying skip the exact x scan, which is only
+        // sound while the x imprint participated in the intersection.
+        let mut x_probed = false;
         if let Some(env) = &env {
-            probe(self.imprints_for("x")?.probe_f64(env.min_x, env.max_x));
-            probe(self.imprints_for("y")?.probe_f64(env.min_y, env.max_y));
+            match self.imprint_probe("x", env.min_x, env.max_x)? {
+                Some(cl) => {
+                    probe(cl);
+                    x_probed = true;
+                }
+                None => degraded += 1,
+            }
+            match self.imprint_probe("y", env.min_y, env.max_y)? {
+                Some(cl) => probe(cl),
+                None => degraded += 1,
+            }
         }
         for a in attrs {
             if a.lo > a.hi {
                 return Ok(Selection::default());
             }
-            probe(self.imprints_for(&a.column)?.probe_f64(a.lo, a.hi));
+            match self.imprint_probe(&a.column, a.lo, a.hi)? {
+                Some(cl) => probe(cl),
+                None => degraded += 1,
+            }
             explain.attr_probes += 1;
         }
+        explain.degraded_probes = degraded;
         let cand = match cand {
             Some(c) => c,
             None => {
@@ -317,6 +344,11 @@ impl PointCloud {
         // predicates exactly; rows from sure runs satisfy everything and
         // simply pass through.
         if let Some(env) = &env {
+            if !x_probed {
+                // Degraded x probe: "sure" runs carry no x guarantee, so
+                // every candidate gets the exact x check (like y below).
+                scan::refine_range(xs, &mut rows, env.min_x, env.max_x);
+            }
             scan::refine_range(ys, &mut rows, env.min_y, env.max_y);
         }
         for a in attrs {
@@ -351,6 +383,22 @@ impl PointCloud {
         explain.t_refine = t0.elapsed().as_secs_f64();
         explain.result_rows = rows.len();
         Ok(Selection { rows, explain })
+    }
+
+    /// Probe a column's imprint, degrading to `None` (no pruning — the
+    /// caller falls back to exact scans) when the imprint cannot be
+    /// built. A nonexistent column is still a hard error.
+    fn imprint_probe(
+        &self,
+        name: &str,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Option<lidardb_imprints::CandidateList>, CoreError> {
+        self.column(name)?;
+        match self.imprints_for(name) {
+            Ok(imp) => Ok(Some(imp.probe_f64(lo, hi))),
+            Err(_) => Ok(None),
+        }
     }
 
     /// Exact inclusive range check on any numeric column, on the `f64`
@@ -838,6 +886,70 @@ mod tests {
             )
             .unwrap();
         assert!(sel.rows.is_empty());
+    }
+
+    #[test]
+    fn degraded_imprint_probe_falls_back_to_exact_scan() {
+        use crate::fault::{FaultInjector, FaultKind, FaultStage};
+        use std::sync::Arc;
+
+        let tri = SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::from_exterior(vec![
+                Point::new(5.0, 5.0),
+                Point::new(80.0, 10.0),
+                Point::new(40.0, 90.0),
+            ])
+            .unwrap(),
+        ));
+        let healthy = grid_cloud();
+        let oracle = healthy.select(&tri).unwrap();
+        assert_eq!(oracle.explain.degraded_probes, 0);
+
+        // x imprint fails to build: the same query must return the same
+        // rows, with the probe reported as degraded.
+        let mut pc = grid_cloud();
+        let fi = Arc::new(FaultInjector::new());
+        fi.inject(FaultStage::ImprintBuild, Some("x"), FaultKind::IoError);
+        pc.set_fault_injector(Arc::clone(&fi));
+        let sel = pc.select(&tri).unwrap();
+        assert_eq!(sel.rows, oracle.rows, "degraded x probe stays exact");
+        assert_eq!(sel.explain.degraded_probes, 1);
+        assert!(!pc.has_imprints("x"), "failed build is not cached");
+        // The injected fault fired once; the next query rebuilds fine.
+        let again = pc.select(&tri).unwrap();
+        assert_eq!(again.explain.degraded_probes, 0);
+        assert!(pc.has_imprints("x"));
+
+        // Every imprint failing degrades to a correct full scan.
+        let mut pc = grid_cloud();
+        let fi = Arc::new(FaultInjector::new());
+        fi.inject_n(FaultStage::ImprintBuild, None, FaultKind::IoError, 0, 99);
+        pc.set_fault_injector(fi);
+        let sel = pc
+            .select_query(
+                Some(&tri),
+                &[AttrRange::new("classification", 2.0, 2.0)],
+                RefineStrategy::default(),
+            )
+            .unwrap();
+        assert_eq!(sel.explain.degraded_probes, 3);
+        assert_eq!(
+            sel.explain.after_imprints,
+            pc.num_points(),
+            "no pruning at all: full-scan candidates"
+        );
+        let mut oracle = oracle.rows.clone();
+        let class = pc.column("classification").unwrap();
+        oracle.retain(|&i| class.get(i).unwrap().as_f64() == 2.0);
+        assert_eq!(sel.rows, oracle);
+        // Unknown columns are still hard errors, not degradation.
+        assert!(pc
+            .select_query(
+                None,
+                &[AttrRange::new("wibble", 0.0, 1.0)],
+                RefineStrategy::default()
+            )
+            .is_err());
     }
 
     #[test]

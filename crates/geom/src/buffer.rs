@@ -15,7 +15,7 @@ use crate::Point;
 
 /// Buffer a polyline into a corridor polygon of the given half-width.
 pub fn buffer_polyline(line: &LineString, half_width: f64) -> Result<Polygon, GeomError> {
-    if !(half_width > 0.0) || !half_width.is_finite() {
+    if half_width <= 0.0 || !half_width.is_finite() {
         return Err(GeomError::NonFiniteCoordinate);
     }
     let v = line.vertices();
@@ -48,7 +48,7 @@ pub fn buffer_polyline(line: &LineString, half_width: f64) -> Result<Polygon, Ge
 
 /// Buffer a point into a regular `segments`-gon approximating a disc.
 pub fn buffer_point(p: &Point, radius: f64, segments: usize) -> Result<Polygon, GeomError> {
-    if !(radius > 0.0) || !radius.is_finite() {
+    if radius <= 0.0 || !radius.is_finite() {
         return Err(GeomError::NonFiniteCoordinate);
     }
     let n = segments.max(3);

@@ -33,6 +33,24 @@ pub enum LasError {
     },
 }
 
+impl LasError {
+    /// Whether the failure is plausibly transient — an I/O condition a
+    /// bounded retry could clear (interruption, timeout, contention) as
+    /// opposed to structural corruption of the file, which is permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            LasError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ResourceBusy
+            )
+        )
+    }
+}
+
 impl fmt::Display for LasError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -86,5 +104,15 @@ mod tests {
             got: 7,
         };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let t = LasError::from(io::Error::new(io::ErrorKind::Interrupted, "try again"));
+        assert!(t.is_transient());
+        let p = LasError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(!p.is_transient());
+        assert!(!LasError::Corrupt("bad".into()).is_transient());
+        assert!(!LasError::BadMagic(*b"XXXX").is_transient());
     }
 }

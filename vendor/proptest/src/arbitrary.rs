@@ -1,0 +1,125 @@
+//! `any::<T>()` — full-domain generation for primitive types.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+// Floats: uniform over bit patterns (covers subnormals, ±0, ±inf) but
+// NaN is re-rolled — generated values flow into `==`-based roundtrip
+// assertions, mirroring proptest's default non-NaN float strategy.
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if !v.is_nan() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        loop {
+            let v = f32::from_bits(rng.next_u32());
+            if !v.is_nan() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.next_u32() % 0x11_0000) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_arbitrary!(A);
+tuple_arbitrary!(A, B);
+tuple_arbitrary!(A, B, C);
+tuple_arbitrary!(A, B, C, D);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_never_nan_and_cover_signs() {
+        let mut rng = TestRng::from_seed(3);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..200 {
+            let v = f64::arbitrary(&mut rng);
+            assert!(!v.is_nan());
+            neg |= v.is_sign_negative();
+            pos |= v.is_sign_positive();
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn tuples_and_ints() {
+        let mut rng = TestRng::from_seed(4);
+        let (a, b): (u32, u32) = Arbitrary::arbitrary(&mut rng);
+        let (c, d): (u32, u32) = Arbitrary::arbitrary(&mut rng);
+        assert!((a, b) != (c, d), "distinct draws");
+        let s = any::<i64>();
+        let mut seen_neg = false;
+        for _ in 0..100 {
+            seen_neg |= s.generate(&mut rng) < 0;
+        }
+        assert!(seen_neg);
+    }
+}

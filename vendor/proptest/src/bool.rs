@@ -1,0 +1,17 @@
+//! `prop::bool::ANY`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `true` or `false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+pub const ANY: BoolAny = BoolAny;

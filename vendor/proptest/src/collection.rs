@@ -1,0 +1,121 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Accepted size specifications (a fixed count or a half-open range).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo).max(1) as u128) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        // Bounded draws: a narrow element domain may not hold n distinct
+        // values, in which case the set is simply smaller.
+        for _ in 0..n * 10 {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+/// `prop::collection::btree_set(element, size)`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements_in_range() {
+        let mut rng = TestRng::from_seed(5);
+        let s = vec(0i32..10, 2..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+        let fixed = vec(0i32..10, 4usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn btree_set_capped_by_domain() {
+        let mut rng = TestRng::from_seed(6);
+        let s = btree_set(0i32..3, 1..60);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() <= 3);
+            assert!(!set.is_empty());
+        }
+    }
+}

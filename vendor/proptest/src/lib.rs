@@ -1,0 +1,64 @@
+//! Offline API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be resolved. This crate re-implements exactly the
+//! surface the workspace uses (see `vendor/README.md` for the list of
+//! deliberate divergences — chiefly: no shrinking; failures report the
+//! originating seed instead of a minimized case).
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+#[macro_use]
+pub mod macros;
+pub mod prelude;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` namespace (`prop::collection::vec`, `prop::bool::ANY`, …),
+/// mirroring real proptest's module layout.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+#[cfg(test)]
+mod integration {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn tuples_and_ranges((a, b) in (0i32..100, 0i32..100), flip in prop::bool::ANY) {
+            prop_assert!((0..100).contains(&a));
+            prop_assert!((0..100).contains(&b));
+            let _ = flip;
+        }
+
+        fn assume_filters_cases(v in 0u32..1000) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        fn collections(xs in prop::collection::vec(any::<u16>(), 0..20),
+                       s in prop::collection::btree_set(0u8..50, 1..10)) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!(!s.is_empty());
+        }
+
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), (10u8..20)]) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+            prop_assert_ne!(v, 0);
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_are_clonable() {
+        let s: BoxedStrategy<u8> = (0u8..5).boxed();
+        let t = s.clone();
+        let mut rng = crate::rng::TestRng::from_seed(1);
+        assert!(t.generate(&mut rng) < 5);
+        let _ = s;
+    }
+}

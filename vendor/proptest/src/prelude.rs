@@ -1,0 +1,11 @@
+//! One-stop imports, mirroring `proptest::prelude::*`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::prop;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+// Macros are exported at the crate root by #[macro_export]; re-export them
+// here so `use proptest::prelude::*` brings them in like the real crate.
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};

@@ -1,0 +1,428 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::rng::TestRng;
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree / shrinking — `generate` produces the final value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter generated values; rejected draws are retried (bounded).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf, `recurse` wraps an
+    /// inner strategy into a deeper one. `depth` levels are stacked, each
+    /// level choosing between the leaf and the deeper alternative (no
+    /// size accounting, unlike real proptest).
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = recurse(cur).boxed();
+            cur = BoxedStrategy::union(vec![leaf.clone(), deeper]);
+        }
+        cur
+    }
+
+    /// Type-erase the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Uniform choice among alternatives (the engine of `prop_oneof!`).
+    pub fn union(alternatives: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        Union(alternatives).boxed()
+    }
+}
+
+struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u128) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive draws");
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- numeric ranges --------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start as f64
+                    + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                v as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---- regex-ish string strategies -------------------------------------------
+
+/// String literals act as (a small subset of) regex generators, like in
+/// real proptest: literal chars, escapes (`\.`, `\\`), `\PC` (printable),
+/// character classes `[a-z0-9_]`, and `{m,n}` / `{n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// One uniformly chosen char from the listed alternatives.
+    Class(Vec<char>),
+    /// Printable characters (`\PC`): ASCII printable plus a few
+    /// multi-byte code points to exercise UTF-8 handling.
+    Printable,
+}
+
+fn class_chars(spec: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = spec.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in a..=b {
+                out.extend(char::from_u32(c));
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class in pattern");
+    out
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom.
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // \PC / \pC: one-char unicode category spec.
+                        i += 2;
+                        Atom::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                Atom::Class(class_chars(&spec))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Parse an optional {m,n} / {n} quantifier.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("quantifier lower bound"),
+                    b.trim().parse::<usize>().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below((hi - lo + 1) as u128) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(cs) => out.push(cs[rng.below(cs.len() as u128) as usize]),
+                Atom::Printable => {
+                    const EXOTIC: [char; 6] = ['é', 'Ω', '→', '中', '🙂', 'ß'];
+                    if rng.below(8) == 0 {
+                        out.push(EXOTIC[rng.below(EXOTIC.len() as u128) as usize]);
+                    } else {
+                        out.push((0x20 + rng.below(0x5F) as u8) as char);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-10i64..10).generate(&mut r);
+            assert!((-10..10).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut r);
+            assert!((0.5..2.0).contains(&f));
+            let u = (0u64..u64::MAX).generate(&mut r);
+            assert!(u < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn map_filter_just_union() {
+        let mut r = rng();
+        let s = (0i32..5).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+        let f = (0i32..10).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(f.generate(&mut r) % 2, 0);
+        }
+        assert_eq!(Just(7).generate(&mut r), 7);
+        let u = BoxedStrategy::union(vec![Just(1).boxed(), Just(2).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let d = "[a-z]{1,4}\\.[a-z]{1,6}".generate(&mut r);
+            assert!(d.contains('.'), "{d:?}");
+            let q = "'[a-z ]{0,8}'".generate(&mut r);
+            assert!(q.starts_with('\'') && q.ends_with('\'') && q.len() >= 2);
+            let p = "\\PC{0,80}".generate(&mut r);
+            assert!(p.chars().count() <= 80);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates_and_varies() {
+        let mut r = rng();
+        let leaf = (0u32..10).prop_map(|v| v.to_string());
+        let s = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut max_len = 0;
+        for _ in 0..200 {
+            max_len = max_len.max(s.generate(&mut r).len());
+        }
+        assert!(max_len > 4, "recursion produced composite values");
+    }
+}

@@ -1,0 +1,119 @@
+//! Test-case driver: deterministic seeding, case loop, assertion plumbing.
+
+use crate::rng::TestRng;
+
+/// How a single generated case can fail short of a panic.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Subset of proptest's config that the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+fn seed_for(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name keeps runs reproducible per test while
+    // decorrelating tests that share strategies.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Run `f` for `config.cases` generated cases. Panics (failing the
+/// enclosing `#[test]`) on the first `Fail`; bounded retries on `Reject`.
+pub fn run(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut f: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rejects: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    let mut case = 0;
+    let mut stream = 0;
+    while case < config.cases {
+        let mut rng = TestRng::from_seed(seed_for(test_name, stream));
+        stream += 1;
+        match f(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many prop_assume! rejections \
+                         ({rejects}) — strategy and assumption are incompatible"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {case} \
+                     (seed {}):\n{msg}",
+                    seed_for(test_name, stream - 1)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run("t", &ProptestConfig::with_cases(10), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut total = 0;
+        let mut passed = 0;
+        run("t2", &ProptestConfig::with_cases(5), |rng| {
+            total += 1;
+            if rng.next_bool() {
+                Err(TestCaseError::Reject)
+            } else {
+                passed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passed, 5);
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run("t3", &ProptestConfig::default(), |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}
