@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use lidardb_baselines::{BlockStore, FileStore};
 use lidardb_bench::{median_seconds, timed, Fixture};
-use lidardb_core::{LoadMethod, LoadPolicy, Loader, PointCloud, RefineStrategy, SpatialPredicate};
+use lidardb_core::{
+    LoadMethod, LoadPolicy, Loader, Parallelism, PointCloud, RefineStrategy, SpatialPredicate,
+};
 use lidardb_geom::{Geometry, Point, Polygon, Ring};
 use lidardb_imprints::Imprints;
 use lidardb_sfc::{curve_locality, Curve, Quantizer};
@@ -45,6 +47,9 @@ fn main() {
     }
     if want("e8") {
         e8_sfc();
+    }
+    if want("e9") {
+        e9_parallel();
     }
 }
 
@@ -647,6 +652,184 @@ fn e7_robustness() {
         degraded.explain.degraded_probes
     );
     println!();
+}
+
+// ---------------------------------------------------------------------------
+// E9 — morsel-parallel query execution
+// ---------------------------------------------------------------------------
+
+/// One measured execution: per-step timings from the Explain.
+struct E9Run {
+    mode: &'static str,
+    workers: usize,
+    t_imprints: f64,
+    t_bbox: f64,
+    t_refine: f64,
+    t_total: f64,
+}
+
+fn e9_parallel() {
+    header(
+        "E9 (parallel execution)",
+        "morsel-driven parallel filter/refine: identical rows, per-step speedup over serial",
+    );
+    const N: usize = 12_000_000;
+    const CHUNK: usize = 1_000_000;
+    println!("building {N} synthetic points in {CHUNK}-record chunks ...");
+    let mut pc = PointCloud::new();
+    let mut state = 0x1234_5678_9ABC_DEF1u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut unit = move || (next() % (1u64 << 53)) as f64 / (1u64 << 53) as f64;
+    let ((), secs) = timed(|| {
+        let mut chunk = Vec::with_capacity(CHUNK);
+        for i in 0..N {
+            chunk.push(lidardb_las::PointRecord {
+                x: unit() * 10_000.0,
+                y: unit() * 10_000.0,
+                z: unit() * 120.0,
+                classification: (i % 12) as u8,
+                intensity: (i % 5000) as u16,
+                gps_time: i as f64 * 1e-4,
+                ..Default::default()
+            });
+            if chunk.len() == CHUNK {
+                pc.append_records(&chunk).expect("append");
+                chunk.clear();
+            }
+        }
+        if !chunk.is_empty() {
+            pc.append_records(&chunk).expect("append");
+        }
+    });
+    println!("dataset: {} points in {:.1} s\n", pc.num_points(), secs);
+
+    let bbox = SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::rectangle(
+            &lidardb_geom::Envelope::new(1500.0, 1500.0, 7500.0, 7500.0).expect("env"),
+        ),
+    ));
+    let diamond = SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::from_exterior(vec![
+            Point::new(5000.0, 1000.0),
+            Point::new(9000.0, 5000.0),
+            Point::new(5000.0, 9000.0),
+            Point::new(1000.0, 5000.0),
+        ])
+        .expect("diamond"),
+    ));
+    let queries: [(&str, &SpatialPredicate); 2] =
+        [("bbox_36pct", &bbox), ("diamond_32pct", &diamond)];
+
+    // Warm the lazy imprints once so every measured run is probe-only.
+    for (_, pred) in &queries {
+        pc.select_with(pred, RefineStrategy::default()).expect("warmup");
+    }
+
+    let modes: [(&'static str, Parallelism); 5] = [
+        ("serial", Parallelism::Serial),
+        ("threads", Parallelism::Threads(1)),
+        ("threads", Parallelism::Threads(2)),
+        ("threads", Parallelism::Threads(4)),
+        ("threads", Parallelism::Threads(8)),
+    ];
+
+    let mut json_queries = Vec::new();
+    for (name, pred) in &queries {
+        let serial_rows = pc
+            .select_query_with(Some(pred), &[], RefineStrategy::default(), Parallelism::Serial)
+            .expect("serial")
+            .rows;
+        println!("query {name}: {} rows", serial_rows.len());
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>14}",
+            "mode", "filter ms", "bbox ms", "refine ms", "total ms", "bbox speedup"
+        );
+        let mut runs = Vec::new();
+        let mut serial_bbox = 0.0f64;
+        for (mode, par) in &modes {
+            // Median-of-3 by exact-scan time; rows re-checked every run.
+            let mut tries: Vec<E9Run> = (0..3)
+                .map(|_| {
+                    let sel = pc
+                        .select_query_with(Some(pred), &[], RefineStrategy::default(), *par)
+                        .expect("select");
+                    assert_eq!(sel.rows, serial_rows, "parallel rows must be identical");
+                    let e = &sel.explain;
+                    E9Run {
+                        mode,
+                        workers: par.workers(),
+                        t_imprints: e.t_imprints,
+                        t_bbox: e.t_bbox,
+                        t_refine: e.t_refine,
+                        t_total: e.total_seconds(),
+                    }
+                })
+                .collect();
+            tries.sort_by(|a, b| a.t_bbox.total_cmp(&b.t_bbox));
+            let run = tries.remove(1);
+            if *par == Parallelism::Serial {
+                serial_bbox = run.t_bbox;
+            }
+            let label = match par {
+                Parallelism::Serial => "serial".to_string(),
+                _ => format!("threads({})", run.workers),
+            };
+            println!(
+                "{label:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>13.2}x",
+                run.t_imprints * 1e3,
+                run.t_bbox * 1e3,
+                run.t_refine * 1e3,
+                run.t_total * 1e3,
+                serial_bbox / run.t_bbox.max(1e-12)
+            );
+            runs.push(run);
+        }
+        json_queries.push((name.to_string(), serial_rows.len(), serial_bbox, runs));
+    }
+
+    // Hand-rolled JSON (no serde in the tree): one object per (query, mode).
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e9_parallel_query\",\n");
+    out.push_str(&format!("  \"points\": {},\n", pc.num_points()));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (qi, (name, rows, serial_bbox, runs)) in json_queries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{name}\",\n"));
+        out.push_str(&format!("      \"rows\": {rows},\n"));
+        out.push_str("      \"runs\": [\n");
+        for (ri, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"mode\": \"{}\", \"workers\": {}, \"t_imprints\": {:.6}, \
+                 \"t_bbox\": {:.6}, \"t_refine\": {:.6}, \"t_total\": {:.6}, \
+                 \"bbox_speedup_vs_serial\": {:.3}}}{}\n",
+                r.mode,
+                r.workers,
+                r.t_imprints,
+                r.t_bbox,
+                r.t_refine,
+                r.t_total,
+                serial_bbox / r.t_bbox.max(1e-12),
+                if ri + 1 < runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if qi + 1 < json_queries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_query.json", &out).expect("write BENCH_query.json");
+    println!("\nwrote BENCH_query.json\n");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,374 @@
+//! Morsel-driven parallel execution of the two-step query engine.
+//!
+//! The imprint candidate list is partitioned into balanced row-range
+//! *morsels* ([`lidardb_imprints::CandidateList::split_rows`]); scoped worker
+//! threads pull morsels off a shared counter and run the exact bbox scan,
+//! attribute refines, and grid-refinement point tests independently; the
+//! per-morsel selection vectors are then concatenated in morsel order.
+//!
+//! **Ordering guarantee.** Morsels partition the candidate rows in ascending
+//! row order and every per-morsel kernel preserves the order of its input,
+//! so the merged selection is identical — byte for byte — to the serial
+//! path's output. The differential test suite
+//! (`crates/core/tests/differential.rs`) enforces this for every query
+//! shape in the engine's test suite.
+//!
+//! Worker panics are contained with the same `catch_unwind` pattern as the
+//! parallel loader and surface as [`CoreError::WorkerPanic`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lidardb_geom::{Envelope, Point, RectClass};
+use lidardb_imprints::CandidateList;
+use lidardb_storage::scan::{self, AggState};
+use lidardb_storage::Native;
+
+use crate::error::CoreError;
+use crate::pointcloud::PointCloud;
+use crate::query::{grid_cell, grid_cell_env, AttrRange, Explain, SpatialPredicate};
+
+/// Worker-count policy for query execution, set per [`PointCloud`] (or per
+/// call via `select_query_with`) and plumbed through the SQL catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded reference path.
+    Serial,
+    /// Exactly this many worker threads (clamped to at least 1).
+    Threads(usize),
+    /// One worker per available core.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this policy resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Minimum candidate rows per morsel. Queries with fewer than two morsels'
+/// worth of candidates run serially — thread startup would dominate.
+pub const MORSEL_MIN_ROWS: usize = 4096;
+
+/// Cardinalities and wall-clock of one morsel of the parallel filter step,
+/// folded into [`Explain`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MorselTiming {
+    /// Candidate rows handed to the morsel.
+    pub rows_in: usize,
+    /// Rows surviving the morsel's exact checks.
+    pub rows_out: usize,
+    /// Wall-clock the morsel spent on a worker, in seconds.
+    pub seconds: f64,
+}
+
+/// Run `f(0..n)` on `workers` scoped threads pulling indexes off a shared
+/// counter, containing panics as [`CoreError::WorkerPanic`]. Results come
+/// back in index order; the first error (in index order) wins.
+fn run_indexed<T: Send>(
+    workers: usize,
+    n: usize,
+    f: impl Fn(usize) -> Result<T, CoreError> + Sync,
+) -> Result<Vec<T>, CoreError> {
+    let mut slots: Vec<Option<Result<T, CoreError>>> = Vec::new();
+    slots.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n).max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(CoreError::WorkerPanic(format!("query morsel {i}: {msg}")))
+                    }
+                };
+                slots_mutex.lock()[i] = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled when the scope ends"))
+        .collect()
+}
+
+/// Split `total` work items into per-worker portions of at least
+/// [`MORSEL_MIN_ROWS`], aiming for ~4 morsels per worker so stragglers can
+/// be stolen.
+fn morsel_size(total: usize, workers: usize) -> usize {
+    (total / (workers * 4).max(1)).max(MORSEL_MIN_ROWS)
+}
+
+/// The read-only context shared by every filter morsel (step 1b).
+pub(crate) struct FilterJob<'a> {
+    pub pc: &'a PointCloud,
+    pub env: Option<&'a Envelope>,
+    /// Whether the x imprint participated in the candidate intersection
+    /// (sure runs may skip the exact x check only if it did).
+    pub x_probed: bool,
+    pub attrs: &'a [AttrRange],
+    pub xs: &'a [f64],
+    pub ys: &'a [f64],
+}
+
+/// Morsel-parallel step 1b: exact bbox scan + attribute refines over the
+/// candidate list, merged in morsel order.
+pub(crate) fn parallel_filter(
+    job: &FilterJob<'_>,
+    cand: &CandidateList,
+    workers: usize,
+) -> Result<(Vec<usize>, Vec<MorselTiming>), CoreError> {
+    let morsels = cand.split_rows(morsel_size(cand.num_rows(), workers));
+    let results = run_indexed(workers, morsels.len(), |i| {
+        let m = &morsels[i];
+        let t0 = Instant::now();
+        let mut rows: Vec<usize> = Vec::new();
+        for r in m.ranges() {
+            if r.all_qualify {
+                rows.extend(r.start..r.end);
+            } else if let Some(env) = job.env {
+                scan::range_scan_ranges(
+                    job.xs,
+                    &[(r.start, r.end)],
+                    env.min_x,
+                    env.max_x,
+                    &mut rows,
+                );
+            } else {
+                rows.extend(r.start..r.end);
+            }
+        }
+        if let Some(env) = job.env {
+            if !job.x_probed {
+                scan::refine_range(job.xs, &mut rows, env.min_x, env.max_x);
+            }
+            scan::refine_range(job.ys, &mut rows, env.min_y, env.max_y);
+        }
+        for a in job.attrs {
+            job.pc.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
+        }
+        let timing = MorselTiming {
+            rows_in: m.num_rows(),
+            rows_out: rows.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        };
+        Ok((rows, timing))
+    })?;
+    let mut rows = Vec::new();
+    let mut timings = Vec::with_capacity(results.len());
+    for (r, t) in results {
+        rows.extend(r);
+        timings.push(t);
+    }
+    Ok((rows, timings))
+}
+
+/// Morsel-parallel exhaustive refinement: exact predicate on every
+/// candidate, chunk-wise, merged in order.
+pub(crate) fn parallel_exhaustive(
+    pred: &SpatialPredicate,
+    xs: &[f64],
+    ys: &[f64],
+    rows: &mut Vec<usize>,
+    workers: usize,
+) -> Result<(), CoreError> {
+    let kept = {
+        let chunks: Vec<&[usize]> = rows.chunks(morsel_size(rows.len(), workers)).collect();
+        run_indexed(workers, chunks.len(), |i| {
+            Ok(chunks[i]
+                .iter()
+                .copied()
+                .filter(|&row| pred.matches(&Point::new(xs[row], ys[row])))
+                .collect::<Vec<usize>>())
+        })?
+    };
+    rows.clear();
+    for k in kept {
+        rows.extend(k);
+    }
+    Ok(())
+}
+
+/// Morsel-parallel grid refinement, identical in rows *and* Explain cell
+/// counts to the serial [`PointCloud::grid_refine`] path.
+///
+/// Two passes over row chunks: (1) compute each candidate's cell id in
+/// parallel; then classify every non-empty cell once, serially (same set of
+/// cells the serial path classifies); (2) dispatch each candidate by its
+/// cell class in parallel — Inside keeps, Outside drops, Boundary runs the
+/// exact point test — and merge kept rows in chunk order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parallel_grid_refine(
+    pred: &SpatialPredicate,
+    env: &Envelope,
+    cells: usize,
+    xs: &[f64],
+    ys: &[f64],
+    rows: &mut Vec<usize>,
+    explain: &mut Explain,
+    workers: usize,
+) -> Result<(), CoreError> {
+    let w = env.width().max(f64::MIN_POSITIVE);
+    let h = env.height().max(f64::MIN_POSITIVE);
+    let (kept, tests) = {
+        let chunks: Vec<&[usize]> = rows.chunks(morsel_size(rows.len(), workers)).collect();
+        // Pass 1: bin candidates to cells (cell ids fit u32: cells <= 2048).
+        let cell_ids = run_indexed(workers, chunks.len(), |i| {
+            Ok(chunks[i]
+                .iter()
+                .map(|&row| grid_cell(env, w, h, cells, xs[row], ys[row]) as u32)
+                .collect::<Vec<u32>>())
+        })?;
+        // Classify each non-empty cell exactly once (serial: the table scan
+        // is cheap next to the geometry tests).
+        const EMPTY: u8 = 0;
+        const PRESENT: u8 = 1;
+        const INSIDE: u8 = 2;
+        const OUTSIDE: u8 = 3;
+        const BOUNDARY: u8 = 4;
+        let mut class = vec![EMPTY; cells * cells];
+        for ids in &cell_ids {
+            for &c in ids {
+                class[c as usize] = PRESENT;
+            }
+        }
+        for (cell, slot) in class.iter_mut().enumerate() {
+            if *slot != PRESENT {
+                continue;
+            }
+            *slot = match pred.classify_cell(&grid_cell_env(env, w, h, cells, cell)) {
+                RectClass::Inside => {
+                    explain.cells_inside += 1;
+                    INSIDE
+                }
+                RectClass::Outside => {
+                    explain.cells_outside += 1;
+                    OUTSIDE
+                }
+                RectClass::Boundary => {
+                    explain.cells_boundary += 1;
+                    BOUNDARY
+                }
+            };
+        }
+        // Pass 2: dispatch candidates by cell class.
+        let results = run_indexed(workers, chunks.len(), |i| {
+            let mut out = Vec::new();
+            let mut tests = 0usize;
+            for (&row, &c) in chunks[i].iter().zip(&cell_ids[i]) {
+                match class[c as usize] {
+                    INSIDE => out.push(row),
+                    OUTSIDE => {}
+                    BOUNDARY => {
+                        tests += 1;
+                        if pred.matches(&Point::new(xs[row], ys[row])) {
+                            out.push(row);
+                        }
+                    }
+                    _ => unreachable!("present cells were classified"),
+                }
+            }
+            Ok((out, tests))
+        })?;
+        let mut kept = Vec::new();
+        let mut tests = 0usize;
+        for (k, t) in results {
+            kept.extend(k);
+            tests += t;
+        }
+        (kept, tests)
+    };
+    explain.exact_tests += tests;
+    *rows = kept;
+    Ok(())
+}
+
+/// Morsel-parallel aggregation over a typed slice: per-chunk
+/// compensated-sum states, merged in chunk order.
+pub(crate) fn parallel_aggregate<T: Native>(
+    data: &[T],
+    rows: &[usize],
+    workers: usize,
+) -> Result<AggState, CoreError> {
+    let chunks: Vec<&[usize]> = rows.chunks(morsel_size(rows.len(), workers)).collect();
+    let states = run_indexed(workers, chunks.len(), |i| {
+        Ok(scan::aggregate_rows(data, chunks[i]))
+    })?;
+    let mut acc = AggState::default();
+    for s in states {
+        acc.merge(&s);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolves_workers() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(6).workers(), 6);
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_and_first_error() {
+        let out = run_indexed(4, 100, |i| Ok::<usize, CoreError>(i * 2)).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+
+        let err = run_indexed(4, 10, |i| {
+            if i >= 3 {
+                Err(CoreError::InvalidQuery(format!("boom {i}")))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        // First failing index in order, regardless of completion order.
+        assert!(matches!(err, CoreError::InvalidQuery(ref m) if m == "boom 3"), "{err}");
+    }
+
+    #[test]
+    fn run_indexed_contains_worker_panics() {
+        let err = run_indexed(3, 8, |i| {
+            if i == 5 {
+                panic!("injected panic in morsel {i}");
+            }
+            Ok::<usize, CoreError>(i)
+        })
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanic(msg) => {
+                assert!(msg.contains("morsel 5"), "{msg}");
+                assert!(msg.contains("injected panic"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn morsel_size_floor() {
+        assert_eq!(morsel_size(100, 8), MORSEL_MIN_ROWS);
+        assert_eq!(morsel_size(1_000_000, 4), 62_500);
+    }
+}

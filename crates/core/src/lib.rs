@@ -21,7 +21,11 @@
 //!   boundary cells fall back to exact per-point predicates;
 //! * **thematic filters and aggregates** over any attribute column, which
 //!   is what makes scenario 2's "average elevation near a fast transit
-//!   road" a one-liner.
+//!   road" a one-liner;
+//! * a **morsel-driven parallel executor** ([`exec`]) — the candidate list
+//!   is split into balanced row-range morsels executed on scoped worker
+//!   threads and merged in row order, so parallel results are identical to
+//!   the serial path ([`Parallelism`] selects the worker count).
 //!
 //! Every query returns an [`query::Explain`] timing/cardinality breakdown,
 //! mirroring the demo's per-operator plan view.
@@ -35,6 +39,7 @@
 pub mod crc;
 pub mod csv;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod loader;
 pub mod persist;
@@ -43,6 +48,7 @@ pub mod query;
 pub mod soa;
 
 pub use error::CoreError;
+pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
 pub use fault::{FaultInjector, FaultKind, FaultStage};
 pub use loader::{
     FileOutcome, FileReport, LoadMethod, LoadPolicy, LoadReport, LoadStats, Loader,

@@ -22,6 +22,7 @@ pub struct PointCloud {
     table: FlatTable,
     imprints: RwLock<HashMap<String, Arc<ColumnImprints>>>,
     fault: Option<Arc<crate::fault::FaultInjector>>,
+    parallelism: crate::exec::Parallelism,
 }
 
 impl std::fmt::Debug for PointCloud {
@@ -46,6 +47,7 @@ impl PointCloud {
             table: FlatTable::new(point_schema()),
             imprints: RwLock::new(HashMap::new()),
             fault: None,
+            parallelism: crate::exec::Parallelism::default(),
         }
     }
 
@@ -53,6 +55,17 @@ impl PointCloud {
     /// only; see [`crate::fault`]).
     pub fn set_fault_injector(&mut self, fi: Arc<crate::fault::FaultInjector>) {
         self.fault = Some(fi);
+    }
+
+    /// Set the worker-count policy queries on this cloud use by default
+    /// (per-call overrides via `select_query_with` / `aggregate_with`).
+    pub fn set_parallelism(&mut self, p: crate::exec::Parallelism) {
+        self.parallelism = p;
+    }
+
+    /// The cloud's default worker-count policy.
+    pub fn parallelism(&self) -> crate::exec::Parallelism {
+        self.parallelism
     }
 
     /// Number of points (rows).
@@ -111,11 +124,19 @@ impl PointCloud {
 
     /// The imprint index of a column, building it on first use.
     pub fn imprints_for(&self, name: &str) -> Result<Arc<ColumnImprints>, CoreError> {
+        self.imprints_for_timed(name).map(|(imp, _)| imp)
+    }
+
+    /// [`imprints_for`](Self::imprints_for), also reporting the wall-clock
+    /// spent building the index — zero on a cache hit. The query engine
+    /// uses this to keep `Explain.t_imprints` probe-only.
+    pub fn imprints_for_timed(&self, name: &str) -> Result<(Arc<ColumnImprints>, f64), CoreError> {
         if let Some(imp) = self.imprints.read().get(name) {
-            return Ok(Arc::clone(imp));
+            return Ok((Arc::clone(imp), 0.0));
         }
         // Build outside any lock (cheap to race: both builds are identical
         // and the second insert wins harmlessly).
+        let t0 = std::time::Instant::now();
         let col = self.table.column_by_name(name)?;
         if let Some(fi) = &self.fault {
             if let Some(kind) = fi.fire(crate::fault::FaultStage::ImprintBuild, name) {
@@ -129,7 +150,7 @@ impl PointCloud {
             .write()
             .entry(name.to_string())
             .or_insert_with(|| Arc::clone(&imp));
-        Ok(imp)
+        Ok((imp, t0.elapsed().as_secs_f64()))
     }
 
     /// Whether a column already has an imprint index (observability for

@@ -21,9 +21,9 @@ use lidardb_geom::{
     Geometry, Point, RectClass,
 };
 use lidardb_storage::scan::{self, CmpOp};
-use lidardb_storage::Native;
 
 use crate::error::CoreError;
+use crate::exec::{self, MorselTiming, Parallelism};
 use crate::pointcloud::PointCloud;
 
 /// Default refinement grid resolution (cells per axis).
@@ -61,7 +61,7 @@ impl SpatialPredicate {
     }
 
     /// One-step cell classification.
-    fn classify_cell(&self, cell: &Envelope) -> RectClass {
+    pub(crate) fn classify_cell(&self, cell: &Envelope) -> RectClass {
         match self {
             SpatialPredicate::Within(g) => match g {
                 Geometry::Polygon(pg) => classify_rect_polygon(cell, pg),
@@ -155,31 +155,45 @@ pub struct Explain {
     pub degraded_probes: usize,
     /// Final result cardinality.
     pub result_rows: usize,
-    /// Wall-clock of the imprint probe + intersection, in seconds.
+    /// Wall-clock spent lazily *building* imprint indexes during this query
+    /// (first query on a column only; zero on cache hits). Reported apart
+    /// from `t_imprints` so first-query numbers don't skew the E-series
+    /// filter measurements.
+    pub t_imprint_build: f64,
+    /// Wall-clock of the imprint probe + intersection, in seconds
+    /// (probe-only: lazy index construction is in `t_imprint_build`).
     pub t_imprints: f64,
     /// Wall-clock of the exact bbox scan, in seconds.
     pub t_bbox: f64,
     /// Wall-clock of the refinement step, in seconds.
     pub t_refine: f64,
+    /// Worker threads the filter/refine steps ran on (1 = serial path).
+    pub workers: usize,
+    /// Per-morsel breakdown of the parallel filter step (empty on the
+    /// serial path).
+    pub morsel_times: Vec<MorselTiming>,
 }
 
 impl Explain {
-    /// Total measured time in seconds.
+    /// Total measured time in seconds (including lazy index builds).
     pub fn total_seconds(&self) -> f64 {
-        self.t_imprints + self.t_bbox + self.t_refine
+        self.t_imprint_build + self.t_imprints + self.t_bbox + self.t_refine
     }
 
     /// Render the per-operator table the demo shows next to each query.
     pub fn to_table(&self) -> String {
         format!(
             "operator            rows        seconds\n\
+             imprint build       -           {:.6}\n\
              imprint filter      {:<10}  {:.6}\n\
              exact bbox scan     {:<10}  {:.6}\n\
              grid refinement     {:<10}  {:.6}\n\
              (cells in/out/bnd)  {}/{}/{}\n\
              (sure rows)         {}\n\
              (exact pt tests)    {}\n\
-             (degraded probes)   {}",
+             (degraded probes)   {}\n\
+             (workers/morsels)   {}/{}",
+            self.t_imprint_build,
             self.after_imprints,
             self.t_imprints,
             self.after_bbox,
@@ -192,6 +206,8 @@ impl Explain {
             self.sure_rows,
             self.exact_tests,
             self.degraded_probes,
+            self.workers,
+            self.morsel_times.len(),
         )
     }
 }
@@ -260,6 +276,22 @@ impl PointCloud {
         attrs: &[AttrRange],
         strategy: RefineStrategy,
     ) -> Result<Selection, CoreError> {
+        self.select_query_with(pred, attrs, strategy, self.parallelism())
+    }
+
+    /// [`select_query`](Self::select_query) with an explicit worker-count
+    /// policy, overriding the cloud's [`Parallelism`] knob for this call.
+    ///
+    /// The parallel executor returns rows identical to the serial path:
+    /// morsels partition the candidates in row order and merge in morsel
+    /// order (see [`crate::exec`]).
+    pub fn select_query_with(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+    ) -> Result<Selection, CoreError> {
         let mut explain = Explain::default();
         let env = match pred {
             Some(p) => match p.filter_envelope() {
@@ -282,19 +314,24 @@ impl PointCloud {
             });
         };
         let mut degraded = 0usize;
+        let mut build_secs = 0.0f64;
         // `x_probed` matters for correctness: runs the candidate list
         // marks fully-qualifying skip the exact x scan, which is only
         // sound while the x imprint participated in the intersection.
         let mut x_probed = false;
         if let Some(env) = &env {
-            match self.imprint_probe("x", env.min_x, env.max_x)? {
+            let (cl, b) = self.imprint_probe("x", env.min_x, env.max_x)?;
+            build_secs += b;
+            match cl {
                 Some(cl) => {
                     probe(cl);
                     x_probed = true;
                 }
                 None => degraded += 1,
             }
-            match self.imprint_probe("y", env.min_y, env.max_y)? {
+            let (cl, b) = self.imprint_probe("y", env.min_y, env.max_y)?;
+            build_secs += b;
+            match cl {
                 Some(cl) => probe(cl),
                 None => degraded += 1,
             }
@@ -303,7 +340,9 @@ impl PointCloud {
             if a.lo > a.hi {
                 return Ok(Selection::default());
             }
-            match self.imprint_probe(&a.column, a.lo, a.hi)? {
+            let (cl, b) = self.imprint_probe(&a.column, a.lo, a.hi)?;
+            build_secs += b;
+            match cl {
                 Some(cl) => probe(cl),
                 None => degraded += 1,
             }
@@ -321,39 +360,68 @@ impl PointCloud {
         };
         explain.after_imprints = cand.num_rows();
         explain.sure_rows = cand.num_sure_rows();
-        explain.t_imprints = t0.elapsed().as_secs_f64();
+        explain.t_imprint_build = build_secs;
+        // Probe-only: the lazy index builds above are reported separately.
+        explain.t_imprints = (t0.elapsed().as_secs_f64() - build_secs).max(0.0);
+
+        // Parallel execution pays off only when there are at least two
+        // morsels' worth of candidates; below that the serial path runs.
+        let workers = parallelism.workers();
+        let use_parallel = workers > 1 && cand.num_rows() >= 2 * exec::MORSEL_MIN_ROWS;
+        explain.workers = if use_parallel { workers } else { 1 };
 
         // ---- Step 1b: exact checks over candidate runs. --------------------
         let t0 = Instant::now();
-        let mut rows: Vec<usize> = Vec::new();
         let (xs, ys) = if env.is_some() {
             (self.f64_column("x")?, self.f64_column("y")?)
         } else {
             (&[][..], &[][..])
         };
-        for r in cand.ranges() {
-            if r.all_qualify {
-                rows.extend(r.start..r.end);
-            } else if let Some(env) = &env {
-                scan::range_scan_ranges(xs, &[(r.start, r.end)], env.min_x, env.max_x, &mut rows);
-            } else {
-                rows.extend(r.start..r.end);
+        let mut rows: Vec<usize> = if use_parallel {
+            let job = exec::FilterJob {
+                pc: self,
+                env: env.as_ref(),
+                x_probed,
+                attrs,
+                xs,
+                ys,
+            };
+            let (rows, timings) = exec::parallel_filter(&job, &cand, workers)?;
+            explain.morsel_times = timings;
+            rows
+        } else {
+            let mut rows: Vec<usize> = Vec::new();
+            for r in cand.ranges() {
+                if r.all_qualify {
+                    rows.extend(r.start..r.end);
+                } else if let Some(env) = &env {
+                    scan::range_scan_ranges(
+                        xs,
+                        &[(r.start, r.end)],
+                        env.min_x,
+                        env.max_x,
+                        &mut rows,
+                    );
+                } else {
+                    rows.extend(r.start..r.end);
+                }
             }
-        }
-        // Runs are ordered, so `rows` is sorted. Refine the remaining
-        // predicates exactly; rows from sure runs satisfy everything and
-        // simply pass through.
-        if let Some(env) = &env {
-            if !x_probed {
-                // Degraded x probe: "sure" runs carry no x guarantee, so
-                // every candidate gets the exact x check (like y below).
-                scan::refine_range(xs, &mut rows, env.min_x, env.max_x);
+            // Runs are ordered, so `rows` is sorted. Refine the remaining
+            // predicates exactly; rows from sure runs satisfy everything and
+            // simply pass through.
+            if let Some(env) = &env {
+                if !x_probed {
+                    // Degraded x probe: "sure" runs carry no x guarantee, so
+                    // every candidate gets the exact x check (like y below).
+                    scan::refine_range(xs, &mut rows, env.min_x, env.max_x);
+                }
+                scan::refine_range(ys, &mut rows, env.min_y, env.max_y);
             }
-            scan::refine_range(ys, &mut rows, env.min_y, env.max_y);
-        }
-        for a in attrs {
-            self.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
-        }
+            for a in attrs {
+                self.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
+            }
+            rows
+        };
         explain.after_bbox = rows.len();
         explain.t_bbox = t0.elapsed().as_secs_f64();
 
@@ -361,22 +429,40 @@ impl PointCloud {
         let t0 = Instant::now();
         if let (Some(pred), Some(env)) = (pred, &env) {
             let pure_bbox = pred.is_pure_bbox().is_some();
+            let refine_parallel = use_parallel && rows.len() >= 2 * exec::MORSEL_MIN_ROWS;
             match strategy {
                 RefineStrategy::BboxOnly => {}
                 _ if pure_bbox => {} // bbox check was already exact
                 RefineStrategy::Exhaustive => {
                     explain.exact_tests = rows.len();
-                    rows.retain(|&i| pred.matches(&Point::new(xs[i], ys[i])));
+                    if refine_parallel {
+                        exec::parallel_exhaustive(pred, xs, ys, &mut rows, workers)?;
+                    } else {
+                        rows.retain(|&i| pred.matches(&Point::new(xs[i], ys[i])));
+                    }
                 }
-                RefineStrategy::Grid { cells } => {
-                    // Clamp the grid: the cell table is cells² entries, so an
-                    // unbounded request would allocate without limit.
-                    let cells = cells.clamp(1, MAX_GRID);
-                    self.grid_refine(pred, env, cells, xs, ys, &mut rows, &mut explain);
-                }
-                RefineStrategy::AdaptiveGrid => {
-                    let cells = ((rows.len() as f64 / 128.0).sqrt() as usize).clamp(8, MAX_GRID);
-                    self.grid_refine(pred, env, cells, xs, ys, &mut rows, &mut explain);
+                RefineStrategy::Grid { .. } | RefineStrategy::AdaptiveGrid => {
+                    let cells = match strategy {
+                        // Clamp the grid: the cell table is cells² entries,
+                        // so an unbounded request would allocate without
+                        // limit.
+                        RefineStrategy::Grid { cells } => cells.clamp(1, MAX_GRID),
+                        _ => ((rows.len() as f64 / 128.0).sqrt() as usize).clamp(8, MAX_GRID),
+                    };
+                    if refine_parallel {
+                        exec::parallel_grid_refine(
+                            pred,
+                            env,
+                            cells,
+                            xs,
+                            ys,
+                            &mut rows,
+                            &mut explain,
+                            workers,
+                        )?;
+                    } else {
+                        self.grid_refine(pred, env, cells, xs, ys, &mut rows, &mut explain);
+                    }
                 }
             }
         }
@@ -387,23 +473,27 @@ impl PointCloud {
 
     /// Probe a column's imprint, degrading to `None` (no pruning — the
     /// caller falls back to exact scans) when the imprint cannot be
-    /// built. A nonexistent column is still a hard error.
+    /// built. A nonexistent column is still a hard error. The second
+    /// element is the wall-clock spent lazily building the index (zero on
+    /// cache hits or failed builds).
     fn imprint_probe(
         &self,
         name: &str,
         lo: f64,
         hi: f64,
-    ) -> Result<Option<lidardb_imprints::CandidateList>, CoreError> {
+    ) -> Result<(Option<lidardb_imprints::CandidateList>, f64), CoreError> {
         self.column(name)?;
-        match self.imprints_for(name) {
-            Ok(imp) => Ok(Some(imp.probe_f64(lo, hi))),
-            Err(_) => Ok(None),
+        match self.imprints_for_timed(name) {
+            Ok((imp, build)) => Ok((Some(imp.probe_f64(lo, hi)), build)),
+            Err(_) => Ok((None, 0.0)),
         }
     }
 
-    /// Exact inclusive range check on any numeric column, on the `f64`
-    /// domain.
-    fn refine_attr_range(
+    /// Exact inclusive range check on any numeric column. The bounds live
+    /// on the `f64` query domain; integer columns are compared in their
+    /// native domain with inward-rounded bounds, so predicates stay exact
+    /// above 2^53 (see `lidardb_storage::scan::refine_range_f64`).
+    pub(crate) fn refine_attr_range(
         &self,
         rows: &mut Vec<usize>,
         column: &str,
@@ -414,10 +504,7 @@ impl PointCloud {
         macro_rules! go {
             ($t:ty) => {{
                 let data = col.as_slice::<$t>()?;
-                scan::refine_by(data, rows, |v| {
-                    let v = v.to_f64();
-                    v >= lo && v <= hi
-                });
+                scan::refine_range_f64(data, rows, lo, hi);
             }};
         }
         match col.ptype() {
@@ -449,27 +536,15 @@ impl PointCloud {
     ) {
         let w = env.width().max(f64::MIN_POSITIVE);
         let h = env.height().max(f64::MIN_POSITIVE);
-        let cell_of = |x: f64, y: f64| -> usize {
-            let cx = (((x - env.min_x) / w) * cells as f64) as usize;
-            let cy = (((y - env.min_y) / h) * cells as f64) as usize;
-            cy.min(cells - 1) * cells + cx.min(cells - 1)
-        };
         // Bin candidate points to cells.
         let mut buckets: HashMapLite = HashMapLite::new(cells * cells);
         for (k, &row) in rows.iter().enumerate() {
-            buckets.push(cell_of(xs[row], ys[row]), k);
+            buckets.push(grid_cell(env, w, h, cells, xs[row], ys[row]), k);
         }
         // Classify each non-empty cell once, then dispatch its points.
         let mut keep = vec![false; rows.len()];
         for (cell, members) in buckets.iter_non_empty() {
-            let cx = cell % cells;
-            let cy = cell / cells;
-            let cell_env = Envelope {
-                min_x: env.min_x + w * cx as f64 / cells as f64,
-                min_y: env.min_y + h * cy as f64 / cells as f64,
-                max_x: env.min_x + w * (cx + 1) as f64 / cells as f64,
-                max_y: env.min_y + h * (cy + 1) as f64 / cells as f64,
-            };
+            let cell_env = grid_cell_env(env, w, h, cells, cell);
             match pred.classify_cell(&cell_env) {
                 RectClass::Inside => {
                     explain.cells_inside += 1;
@@ -501,7 +576,9 @@ impl PointCloud {
     }
 
     /// Thematic refinement: keep rows whose `column` satisfies `op rhs`
-    /// (e.g. `classification = 6`). Works on any numeric column.
+    /// (e.g. `classification = 6`). Works on any numeric column; 64-bit
+    /// integer columns are compared exactly in their native domain rather
+    /// than widened to `f64`.
     pub fn filter_attr(
         &self,
         rows: &mut Vec<usize>,
@@ -513,7 +590,7 @@ impl PointCloud {
         macro_rules! go {
             ($t:ty) => {{
                 let data = col.as_slice::<$t>()?;
-                scan::refine_by(data, rows, |v| op.eval(v.to_f64(), rhs));
+                scan::refine_cmp_f64(data, rows, op, rhs);
             }};
         }
         match col.ptype() {
@@ -533,11 +610,27 @@ impl PointCloud {
 
     /// Aggregate a column over a selection. Returns `None` for an empty
     /// selection (except `count`, which is always defined).
+    ///
+    /// `Sum`/`Avg` use compensated (Neumaier) summation over the typed
+    /// column slice — no per-row boxing, and precision holds on multi-
+    /// million-row selections.
     pub fn aggregate(
         &self,
         rows: &[usize],
         column: &str,
         agg: Aggregate,
+    ) -> Result<Option<f64>, CoreError> {
+        self.aggregate_with(rows, column, agg, self.parallelism())
+    }
+
+    /// [`aggregate`](Self::aggregate) with an explicit worker-count policy:
+    /// per-morsel accumulator states are merged in morsel order.
+    pub fn aggregate_with(
+        &self,
+        rows: &[usize],
+        column: &str,
+        agg: Aggregate,
+        parallelism: Parallelism,
     ) -> Result<Option<f64>, CoreError> {
         if agg == Aggregate::Count {
             return Ok(Some(rows.len() as f64));
@@ -546,24 +639,40 @@ impl PointCloud {
             return Ok(None);
         }
         let col = self.column(column)?;
-        let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for &r in rows {
-            let v = col.get(r).ok_or_else(|| {
-                CoreError::InvalidQuery(format!("row {r} out of range in aggregate"))
-            })?;
-            let v = v.as_f64();
-            sum += v;
-            min = min.min(v);
-            max = max.max(v);
+        if let Some(&bad) = rows.iter().find(|&&r| r >= col.len()) {
+            return Err(CoreError::InvalidQuery(format!(
+                "row {bad} out of range in aggregate"
+            )));
         }
+        let workers = parallelism.workers();
+        macro_rules! go {
+            ($t:ty) => {{
+                let data = col.as_slice::<$t>()?;
+                if workers > 1 && rows.len() >= 2 * exec::MORSEL_MIN_ROWS {
+                    exec::parallel_aggregate(data, rows, workers)?
+                } else {
+                    scan::aggregate_rows(data, rows)
+                }
+            }};
+        }
+        let state = match col.ptype() {
+            lidardb_storage::PhysicalType::I8 => go!(i8),
+            lidardb_storage::PhysicalType::I16 => go!(i16),
+            lidardb_storage::PhysicalType::I32 => go!(i32),
+            lidardb_storage::PhysicalType::I64 => go!(i64),
+            lidardb_storage::PhysicalType::U8 => go!(u8),
+            lidardb_storage::PhysicalType::U16 => go!(u16),
+            lidardb_storage::PhysicalType::U32 => go!(u32),
+            lidardb_storage::PhysicalType::U64 => go!(u64),
+            lidardb_storage::PhysicalType::F32 => go!(f32),
+            lidardb_storage::PhysicalType::F64 => go!(f64),
+        };
         Ok(Some(match agg {
             Aggregate::Count => unreachable!("handled above"),
-            Aggregate::Sum => sum,
-            Aggregate::Avg => sum / rows.len() as f64,
-            Aggregate::Min => min,
-            Aggregate::Max => max,
+            Aggregate::Sum => state.sum(),
+            Aggregate::Avg => state.sum() / rows.len() as f64,
+            Aggregate::Min => state.min,
+            Aggregate::Max => state.max,
         }))
     }
 }
@@ -583,38 +692,64 @@ pub enum Aggregate {
     Max,
 }
 
+/// Cell id of a point on the refinement grid laid over `env` (shared by the
+/// serial and parallel grid paths, so both bin identically).
+#[inline]
+pub(crate) fn grid_cell(env: &Envelope, w: f64, h: f64, cells: usize, x: f64, y: f64) -> usize {
+    let cx = (((x - env.min_x) / w) * cells as f64) as usize;
+    let cy = (((y - env.min_y) / h) * cells as f64) as usize;
+    cy.min(cells - 1) * cells + cx.min(cells - 1)
+}
+
+/// The envelope of one grid cell (inverse of [`grid_cell`]'s binning).
+pub(crate) fn grid_cell_env(env: &Envelope, w: f64, h: f64, cells: usize, cell: usize) -> Envelope {
+    let cx = cell % cells;
+    let cy = cell / cells;
+    Envelope {
+        min_x: env.min_x + w * cx as f64 / cells as f64,
+        min_y: env.min_y + h * cy as f64 / cells as f64,
+        max_x: env.min_x + w * (cx + 1) as f64 / cells as f64,
+        max_y: env.min_y + h * (cy + 1) as f64 / cells as f64,
+    }
+}
+
+/// Sentinel for "no node" in [`HashMapLite`] bucket chains. A `usize`
+/// sentinel (not `-1` in an `i32`) keeps node indexes exact past 2^31
+/// candidate rows.
+const NO_NODE: usize = usize::MAX;
+
 /// A dense "hash map" from cell id to member list, tuned for the grid
 /// (cell ids are small and dense, so it is really a paged Vec).
 struct HashMapLite {
-    heads: Vec<i32>,
-    // Linked list over member indexes: (value, next).
-    nodes: Vec<(usize, i32)>,
+    heads: Vec<usize>,
+    // Linked list over member indexes: (value, next), `NO_NODE` terminated.
+    nodes: Vec<(usize, usize)>,
     non_empty: Vec<usize>,
 }
 
 impl HashMapLite {
     fn new(cells: usize) -> Self {
         HashMapLite {
-            heads: vec![-1; cells],
+            heads: vec![NO_NODE; cells],
             nodes: Vec::new(),
             non_empty: Vec::new(),
         }
     }
 
     fn push(&mut self, cell: usize, member: usize) {
-        if self.heads[cell] == -1 {
+        if self.heads[cell] == NO_NODE {
             self.non_empty.push(cell);
         }
         self.nodes.push((member, self.heads[cell]));
-        self.heads[cell] = (self.nodes.len() - 1) as i32;
+        self.heads[cell] = self.nodes.len() - 1;
     }
 
     fn iter_non_empty(&self) -> impl Iterator<Item = (usize, Vec<usize>)> + '_ {
         self.non_empty.iter().map(move |&cell| {
             let mut members = Vec::new();
             let mut cur = self.heads[cell];
-            while cur != -1 {
-                let (v, next) = self.nodes[cur as usize];
+            while cur != NO_NODE {
+                let (v, next) = self.nodes[cur];
                 members.push(v);
                 cur = next;
             }
@@ -958,6 +1093,89 @@ mod tests {
         assert!(!pc.has_imprints("x") && !pc.has_imprints("y"));
         pc.select(&rect(0.0, 0.0, 5.0, 5.0)).unwrap();
         assert!(pc.has_imprints("x") && pc.has_imprints("y"));
+    }
+
+    /// Regression: the first query on a column used to charge the lazy
+    /// imprint *build* to `t_imprints`, skewing every filter measurement.
+    /// Build time now lands in `t_imprint_build` and `t_imprints` stays
+    /// probe-only.
+    #[test]
+    fn t_imprints_is_probe_only_with_build_reported_separately() {
+        let pc = grid_cloud();
+        let window = rect(10.0, 10.0, 90.0, 90.0);
+        let first = pc.select(&window).unwrap();
+        assert!(
+            first.explain.t_imprint_build > 0.0,
+            "first query builds x and y imprints: {:?}",
+            first.explain
+        );
+        let second = pc.select(&window).unwrap();
+        assert_eq!(
+            second.explain.t_imprint_build, 0.0,
+            "cache hit: no build time"
+        );
+        assert_eq!(second.rows, first.rows);
+        // total_seconds still accounts for the build.
+        assert!(first.explain.total_seconds() >= first.explain.t_imprint_build);
+        assert!(first.explain.to_table().contains("imprint build"));
+    }
+
+    /// Regression: `wave_offset` is u64; a range with bounds above 2^53
+    /// must be evaluated in the native domain. `u64::MAX - 2048` rounds up
+    /// onto the (exactly representable) bound `u64::MAX - 2047` in f64, so
+    /// the old f64-domain comparison wrongly included it.
+    #[test]
+    fn attr_range_near_u64_max_is_exact_on_point_cloud() {
+        let mut pc = PointCloud::new();
+        let offs: [u64; 4] = [u64::MAX, u64::MAX - 2047, u64::MAX - 2048, 7];
+        let recs: Vec<PointRecord> = offs
+            .iter()
+            .enumerate()
+            .map(|(i, &wo)| PointRecord {
+                x: i as f64,
+                y: i as f64,
+                wave_offset: wo,
+                ..Default::default()
+            })
+            .collect();
+        pc.append_records(&recs).unwrap();
+        let lo = (u64::MAX - 2047) as f64;
+        let sel = pc
+            .select_query(
+                None,
+                &[AttrRange::new("wave_offset", lo, f64::INFINITY)],
+                RefineStrategy::default(),
+            )
+            .unwrap();
+        assert_eq!(sel.rows, vec![0, 1], "row 2 is below the bound");
+        // filter_attr takes the same exact path: no u64 equals 2^64.
+        let mut rows = vec![0, 1, 2, 3];
+        pc.filter_attr(&mut rows, "wave_offset", CmpOp::Eq, u64::MAX as f64)
+            .unwrap();
+        assert!(rows.is_empty(), "u64::MAX as f64 is 2^64, matching nothing");
+    }
+
+    /// Regression: `HashMapLite` stored bucket heads and chain links as
+    /// `i32`, truncating node indexes past 2^31 candidates. Indexes are
+    /// now `usize` with a `usize::MAX` sentinel; this pins the chain and
+    /// sentinel logic the widening relies on.
+    #[test]
+    fn hashmaplite_bucket_links_are_usize_wide() {
+        let mut m = HashMapLite::new(4);
+        assert_eq!(m.heads, vec![NO_NODE; 4], "empty heads hold the sentinel");
+        // Interleave pushes so chains cross and member 0 (a valid node
+        // index) is distinguishable from the sentinel.
+        for k in 0..100usize {
+            m.push(k % 3, k);
+        }
+        let got: Vec<(usize, Vec<usize>)> = m.iter_non_empty().collect();
+        assert_eq!(got.len(), 3, "cell 3 stays empty");
+        for (cell, members) in got {
+            // Chains yield members in reverse push order.
+            let expect: Vec<usize> = (0..100).filter(|k| k % 3 == cell).rev().collect();
+            assert_eq!(members, expect, "cell {cell}");
+        }
+        assert_eq!(m.nodes.len(), 100);
     }
 }
 

@@ -1,0 +1,392 @@
+//! Differential tests: the morsel-parallel executor must produce results
+//! **identical** to the serial path — same `Selection.rows`, same Explain
+//! cardinalities (candidates, bbox survivors, cell classes, exact tests) —
+//! for every predicate shape, refinement strategy, and worker count,
+//! including queries degraded by injected imprint-build faults.
+//!
+//! Worker counts default to `[2, 4, 8]`; set `LIDARDB_WORKERS=<n>` to pin
+//! a single count (CI runs the suite at 2 and at 8 on top of the default).
+
+use std::sync::{Arc, OnceLock};
+
+use lidardb_core::{
+    Aggregate, AttrRange, FaultInjector, FaultKind, FaultStage, Parallelism, PointCloud,
+    RefineStrategy, SpatialPredicate, MORSEL_MIN_ROWS,
+};
+use lidardb_geom::{Geometry, LineString, Point, Polygon};
+use lidardb_las::PointRecord;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- fixtures
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 11
+}
+
+/// Uniform in `[0, 1)`.
+fn unit(state: &mut u64) -> f64 {
+    (lcg(state) % (1u64 << 53)) as f64 / (1u64 << 53) as f64
+}
+
+/// `n` pseudo-random points over `[0, 1000)²` with a dense band around
+/// `y ∈ [400, 420)` (sorted-ish x inside the band produces all-qualify
+/// imprint runs, exercising the sure-row skip in both executors).
+fn build_cloud(n: usize, seed: u64) -> PointCloud {
+    let mut s = seed | 1;
+    let recs: Vec<PointRecord> = (0..n)
+        .map(|i| {
+            let banded = i % 5 == 0;
+            let x = if banded {
+                (i as f64 / n as f64) * 1000.0
+            } else {
+                unit(&mut s) * 1000.0
+            };
+            let y = if banded {
+                400.0 + unit(&mut s) * 20.0
+            } else {
+                unit(&mut s) * 1000.0
+            };
+            PointRecord {
+                x,
+                y,
+                z: unit(&mut s) * 120.0 - 10.0,
+                classification: (lcg(&mut s) % 12) as u8,
+                intensity: (lcg(&mut s) % 5000) as u16,
+                gps_time: i as f64 * 1e-3,
+                ..Default::default()
+            }
+        })
+        .collect();
+    let mut pc = PointCloud::new();
+    pc.append_records(&recs).unwrap();
+    pc
+}
+
+/// The shared 120k-point cloud (large enough that realistic predicates
+/// exceed the `2 * MORSEL_MIN_ROWS` threshold and actually go parallel).
+fn shared_cloud() -> &'static Arc<PointCloud> {
+    static CLOUD: OnceLock<Arc<PointCloud>> = OnceLock::new();
+    CLOUD.get_or_init(|| Arc::new(build_cloud(120_000, 0xC0FFEE)))
+}
+
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("LIDARDB_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(w) => vec![w.max(2)],
+        None => vec![2, 4, 8],
+    }
+}
+
+fn rect(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> SpatialPredicate {
+    SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::from_exterior(vec![
+            Point::new(min_x, min_y),
+            Point::new(max_x, min_y),
+            Point::new(max_x, max_y),
+            Point::new(min_x, max_y),
+        ])
+        .unwrap(),
+    ))
+}
+
+fn diamond(cx: f64, cy: f64, r: f64) -> SpatialPredicate {
+    SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::from_exterior(vec![
+            Point::new(cx, cy - r),
+            Point::new(cx + r, cy),
+            Point::new(cx, cy + r),
+            Point::new(cx - r, cy),
+        ])
+        .unwrap(),
+    ))
+}
+
+fn road() -> SpatialPredicate {
+    SpatialPredicate::DWithin(
+        Geometry::LineString(
+            LineString::new(vec![
+                Point::new(0.0, 380.0),
+                Point::new(500.0, 430.0),
+                Point::new(1000.0, 410.0),
+            ])
+            .unwrap(),
+        ),
+        25.0,
+    )
+}
+
+// ------------------------------------------------------------- the oracle
+
+/// Run the query serially and at every worker count; assert rows AND all
+/// Explain cardinalities are identical. Returns the serial rows.
+fn assert_differential(
+    pc: &PointCloud,
+    pred: Option<&SpatialPredicate>,
+    attrs: &[AttrRange],
+    strategy: RefineStrategy,
+) -> Vec<usize> {
+    let serial = pc
+        .select_query_with(pred, attrs, strategy, Parallelism::Serial)
+        .unwrap();
+    assert_eq!(serial.explain.workers, 1, "serial path reports one worker");
+    for &w in &worker_counts() {
+        let par = pc
+            .select_query_with(pred, attrs, strategy, Parallelism::Threads(w))
+            .unwrap();
+        assert_eq!(serial.rows, par.rows, "rows differ at {w} workers");
+        let (a, b) = (&serial.explain, &par.explain);
+        assert_eq!(a.after_imprints, b.after_imprints, "{w} workers");
+        assert_eq!(a.sure_rows, b.sure_rows, "{w} workers");
+        assert_eq!(a.after_bbox, b.after_bbox, "{w} workers");
+        assert_eq!(
+            (a.cells_inside, a.cells_outside, a.cells_boundary),
+            (b.cells_inside, b.cells_outside, b.cells_boundary),
+            "cell classes differ at {w} workers"
+        );
+        assert_eq!(a.exact_tests, b.exact_tests, "{w} workers");
+        assert_eq!(a.attr_probes, b.attr_probes, "{w} workers");
+        assert_eq!(a.degraded_probes, b.degraded_probes, "{w} workers");
+        assert_eq!(a.result_rows, b.result_rows, "{w} workers");
+        if b.after_imprints >= 2 * MORSEL_MIN_ROWS {
+            assert_eq!(b.workers, w, "parallel path engaged");
+            assert!(!b.morsel_times.is_empty(), "morsel timings recorded");
+            let morsel_rows: usize = b.morsel_times.iter().map(|m| m.rows_in).sum();
+            assert_eq!(morsel_rows, b.after_imprints, "morsels partition candidates");
+        } else {
+            assert_eq!(b.workers, 1, "small candidate sets stay serial");
+        }
+    }
+    serial.rows
+}
+
+// ---------------------------------------------------- deterministic suite
+
+#[test]
+fn differential_pure_bbox() {
+    let pc = shared_cloud();
+    assert_differential(pc, Some(&rect(100.0, 100.0, 700.0, 650.0)), &[], RefineStrategy::default());
+    // Narrow band: mostly sure runs from the dense cluster.
+    assert_differential(pc, Some(&rect(0.0, 395.0, 1000.0, 425.0)), &[], RefineStrategy::default());
+}
+
+#[test]
+fn differential_polygon_all_strategies() {
+    let pc = shared_cloud();
+    let pred = diamond(500.0, 500.0, 350.0);
+    for strategy in [
+        RefineStrategy::default(),
+        RefineStrategy::Grid { cells: 8 },
+        RefineStrategy::AdaptiveGrid,
+        RefineStrategy::Exhaustive,
+        RefineStrategy::BboxOnly,
+    ] {
+        assert_differential(pc, Some(&pred), &[], strategy);
+    }
+}
+
+#[test]
+fn differential_dwithin_line() {
+    let pc = shared_cloud();
+    for strategy in [RefineStrategy::default(), RefineStrategy::AdaptiveGrid] {
+        assert_differential(pc, Some(&road()), &[], strategy);
+    }
+}
+
+#[test]
+fn differential_attrs_only() {
+    let pc = shared_cloud();
+    assert_differential(
+        pc,
+        None,
+        &[AttrRange::new("classification", 2.0, 6.0)],
+        RefineStrategy::default(),
+    );
+    assert_differential(
+        pc,
+        None,
+        &[
+            AttrRange::new("z", 0.0, 80.0),
+            AttrRange::new("intensity", 100.0, 4000.0),
+        ],
+        RefineStrategy::default(),
+    );
+}
+
+#[test]
+fn differential_spatial_plus_attrs() {
+    let pc = shared_cloud();
+    let attrs = [
+        AttrRange::new("classification", 0.0, 8.0),
+        AttrRange::new("z", -5.0, 100.0),
+    ];
+    assert_differential(pc, Some(&diamond(400.0, 450.0, 300.0)), &attrs, RefineStrategy::default());
+    assert_differential(pc, Some(&road()), &attrs, RefineStrategy::AdaptiveGrid);
+}
+
+#[test]
+fn differential_small_cloud_stays_serial() {
+    let pc = build_cloud(2000, 7);
+    let rows = assert_differential(
+        &pc,
+        Some(&rect(0.0, 0.0, 1000.0, 1000.0)),
+        &[],
+        RefineStrategy::default(),
+    );
+    assert_eq!(rows.len(), 2000);
+}
+
+#[test]
+fn differential_with_injected_imprint_faults() {
+    // A failed imprint build degrades the probe (no pruning, exact scan
+    // enforces the predicate); both executors must degrade identically.
+    for target in [Some("x"), None] {
+        let mut pc = build_cloud(40_000, 99);
+        let fi = Arc::new(FaultInjector::new());
+        // Fire on every build attempt (failed builds are not cached, so
+        // both the serial and every parallel run re-hit the injector).
+        fi.inject_n(FaultStage::ImprintBuild, target, FaultKind::IoError, 0, u32::MAX);
+        pc.set_fault_injector(Arc::clone(&fi));
+        let serial = pc
+            .select_query_with(
+                Some(&diamond(500.0, 500.0, 400.0)),
+                &[AttrRange::new("classification", 1.0, 9.0)],
+                RefineStrategy::default(),
+                Parallelism::Serial,
+            )
+            .unwrap();
+        assert!(serial.explain.degraded_probes > 0, "fault fired");
+        for &w in &worker_counts() {
+            let par = pc
+                .select_query_with(
+                    Some(&diamond(500.0, 500.0, 400.0)),
+                    &[AttrRange::new("classification", 1.0, 9.0)],
+                    RefineStrategy::default(),
+                    Parallelism::Threads(w),
+                )
+                .unwrap();
+            assert_eq!(serial.rows, par.rows, "degraded rows differ at {w} workers");
+            assert_eq!(serial.explain.degraded_probes, par.explain.degraded_probes);
+            assert_eq!(serial.explain.result_rows, par.explain.result_rows);
+        }
+    }
+}
+
+#[test]
+fn differential_aggregates() {
+    let pc = shared_cloud();
+    let rows = assert_differential(
+        pc,
+        Some(&rect(50.0, 50.0, 950.0, 950.0)),
+        &[],
+        RefineStrategy::default(),
+    );
+    assert!(rows.len() >= 2 * MORSEL_MIN_ROWS, "parallel aggregate engages");
+    for column in ["z", "intensity", "classification", "gps_time"] {
+        for agg in [Aggregate::Sum, Aggregate::Avg, Aggregate::Min, Aggregate::Max] {
+            let serial = pc
+                .aggregate_with(&rows, column, agg, Parallelism::Serial)
+                .unwrap()
+                .unwrap();
+            for &w in &worker_counts() {
+                let par = pc
+                    .aggregate_with(&rows, column, agg, Parallelism::Threads(w))
+                    .unwrap()
+                    .unwrap();
+                match agg {
+                    // Min/Max are order-independent: bit-identical.
+                    Aggregate::Min | Aggregate::Max => assert_eq!(serial, par, "{column} {agg:?}"),
+                    // Compensated sums may differ in the last ulps when
+                    // per-morsel states merge; both stay within 1e-12
+                    // relative of each other.
+                    _ => {
+                        let tol = 1e-12 * serial.abs().max(1.0);
+                        assert!(
+                            (serial - par).abs() <= tol,
+                            "{column} {agg:?} at {w} workers: {serial} vs {par}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- randomised sweep
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_equals_serial_on_random_queries(
+        ax in 0.0f64..1000.0,
+        ay in 0.0f64..1000.0,
+        w in 50.0f64..900.0,
+        h in 50.0f64..900.0,
+        shape in 0usize..3,
+        strategy_idx in 0usize..5,
+        attr_idx in 0usize..4,
+        workers in 2usize..9,
+        inject in 0usize..4,
+    ) {
+        let (bx, by) = ((ax + w).min(1000.0), (ay + h).min(1000.0));
+        let pred = match shape {
+            0 => rect(ax, ay, bx, by),
+            1 => diamond((ax + bx) / 2.0, (ay + by) / 2.0, (bx - ax).max(by - ay) / 2.0),
+            _ => SpatialPredicate::DWithin(
+                Geometry::LineString(
+                    LineString::new(vec![Point::new(ax, ay), Point::new(bx, by)]).unwrap(),
+                ),
+                30.0,
+            ),
+        };
+        let strategy = match strategy_idx {
+            0 => RefineStrategy::default(),
+            1 => RefineStrategy::Grid { cells: 16 },
+            2 => RefineStrategy::AdaptiveGrid,
+            3 => RefineStrategy::Exhaustive,
+            _ => RefineStrategy::BboxOnly,
+        };
+        let attrs: Vec<AttrRange> = match attr_idx {
+            0 => vec![],
+            1 => vec![AttrRange::new("classification", 1.0, 7.0)],
+            2 => vec![AttrRange::new("z", -2.0, 90.0)],
+            _ => vec![
+                AttrRange::new("intensity", 50.0, 4500.0),
+                AttrRange::new("classification", 0.0, 10.0),
+            ],
+        };
+        // `inject == 0` exercises the degraded-probe path on a fresh cloud;
+        // the other cases share the big fixture.
+        if inject == 0 {
+            let mut pc = build_cloud(30_000, ax.to_bits() ^ ay.to_bits());
+            let fi = Arc::new(FaultInjector::new());
+            fi.inject_n(FaultStage::ImprintBuild, None, FaultKind::IoError, 0, u32::MAX);
+            pc.set_fault_injector(fi);
+            let serial = pc
+                .select_query_with(Some(&pred), &attrs, strategy, Parallelism::Serial)
+                .unwrap();
+            let par = pc
+                .select_query_with(Some(&pred), &attrs, strategy, Parallelism::Threads(workers))
+                .unwrap();
+            prop_assert!(serial.explain.degraded_probes > 0);
+            prop_assert_eq!(serial.rows, par.rows);
+        } else {
+            let pc = shared_cloud();
+            let serial = pc
+                .select_query_with(Some(&pred), &attrs, strategy, Parallelism::Serial)
+                .unwrap();
+            let par = pc
+                .select_query_with(Some(&pred), &attrs, strategy, Parallelism::Threads(workers))
+                .unwrap();
+            prop_assert_eq!(&serial.rows, &par.rows);
+            prop_assert_eq!(serial.explain.after_bbox, par.explain.after_bbox);
+            prop_assert_eq!(serial.explain.result_rows, par.explain.result_rows);
+            prop_assert_eq!(serial.explain.exact_tests, par.explain.exact_tests);
+        }
+    }
+}

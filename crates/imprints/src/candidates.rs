@@ -106,6 +106,38 @@ impl CandidateList {
         self.ranges.iter().map(|r| (r.start, r.end)).collect()
     }
 
+    /// Partition the list into morsels of at most `max_rows` candidate rows
+    /// each, preserving row order and `all_qualify` flags.
+    ///
+    /// This is the work-division primitive of the morsel-driven parallel
+    /// executor: runs larger than `max_rows` are split mid-range, so morsel
+    /// sizes stay balanced regardless of how clustered the candidates are.
+    /// Concatenating the returned lists in order yields exactly the original
+    /// candidate rows.
+    pub fn split_rows(&self, max_rows: usize) -> Vec<CandidateList> {
+        let max_rows = max_rows.max(1);
+        let mut out = Vec::new();
+        let mut cur = CandidateList::empty();
+        let mut budget = max_rows;
+        for r in &self.ranges {
+            let mut start = r.start;
+            while start < r.end {
+                let take = budget.min(r.end - start);
+                cur.push(start, start + take, r.all_qualify);
+                start += take;
+                budget -= take;
+                if budget == 0 {
+                    out.push(std::mem::take(&mut cur));
+                    budget = max_rows;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
     /// Intersect two candidate lists (used to AND the X- and Y-imprint
     /// results in the spatial filter). A row qualifies-for-sure only when
     /// both sides say so.
@@ -213,6 +245,48 @@ mod tests {
         let ba = b.intersect(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.num_rows(), 2 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn split_rows_preserves_rows_and_flags() {
+        let mut c = CandidateList::empty();
+        c.push(0, 100, false);
+        c.push(100, 130, true);
+        c.push(200, 205, false);
+        for max in [1usize, 7, 32, 64, 1000] {
+            let morsels = c.split_rows(max);
+            // Every morsel respects the budget.
+            assert!(morsels.iter().all(|m| m.num_rows() <= max), "max={max}");
+            // Concatenating the morsels reproduces the original list exactly
+            // (runs may be split, so compare per-row flags).
+            let flat: Vec<(usize, bool)> = morsels
+                .iter()
+                .flat_map(|m| m.ranges())
+                .flat_map(|r| (r.start..r.end).map(|row| (row, r.all_qualify)))
+                .collect();
+            let orig: Vec<(usize, bool)> = c
+                .ranges()
+                .iter()
+                .flat_map(|r| (r.start..r.end).map(|row| (row, r.all_qualify)))
+                .collect();
+            assert_eq!(flat, orig, "max={max}");
+        }
+    }
+
+    #[test]
+    fn split_rows_balances_one_huge_run() {
+        let mut c = CandidateList::empty();
+        c.push(0, 10_000, true);
+        let morsels = c.split_rows(1024);
+        assert_eq!(morsels.len(), 10); // ceil(10000 / 1024)
+        assert!(morsels[..9].iter().all(|m| m.num_rows() == 1024));
+        assert_eq!(morsels[9].num_rows(), 10_000 - 9 * 1024);
+        assert!(morsels.iter().all(|m| m.num_sure_rows() == m.num_rows()));
+    }
+
+    #[test]
+    fn split_rows_of_empty_is_empty() {
+        assert!(CandidateList::empty().split_rows(8).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lidardb_core::PointCloud;
+use lidardb_core::{Parallelism, PointCloud};
 use lidardb_geom::Geometry;
 
 use crate::error::SqlError;
@@ -118,12 +118,24 @@ pub enum Table {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    parallelism: Parallelism,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// Set the worker-count policy point-cloud scans and spatial-join
+    /// probes run with (default: [`Parallelism::Auto`]).
+    pub fn set_parallelism(&mut self, p: Parallelism) {
+        self.parallelism = p;
+    }
+
+    /// The catalog's worker-count policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Register a point cloud under `name`.

@@ -404,7 +404,7 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
                 unreachable!("bound as points");
             };
             let pc = Arc::clone(pc);
-            let rows = pc_scan_rows(&pc, scan, &mut trace)?;
+            let rows = pc_scan_rows(&pc, scan, catalog.parallelism(), &mut trace)?;
             let envs: Vec<RowEnv> = rows
                 .into_iter()
                 .map(|row| {
@@ -502,7 +502,12 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
                     JoinPred::ContainsPoint { .. } => SpatialPredicate::Within(g),
                 };
                 let sel_rows = pc
-                    .select_query(Some(&pred), &pc_scan.attr_ranges, Default::default())
+                    .select_query_with(
+                        Some(&pred),
+                        &pc_scan.attr_ranges,
+                        Default::default(),
+                        catalog.parallelism(),
+                    )
                     .map_err(|e| SqlError::Exec(e.to_string()))?;
                 pairs.extend(sel_rows.rows.into_iter().map(|prow| (prow, frow)));
             }
@@ -549,18 +554,27 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
 fn pc_scan_rows(
     pc: &PointCloud,
     scan: &crate::plan::PcScan,
+    parallelism: lidardb_core::Parallelism,
     trace: &mut Vec<TraceEntry>,
 ) -> Result<Vec<usize>, SqlError> {
     let rows = if scan.spatial.is_some() || !scan.attr_ranges.is_empty() {
         {
             let sel = pc
-                .select_query(
+                .select_query_with(
                     scan.spatial.as_ref(),
                     &scan.attr_ranges,
                     Default::default(),
+                    parallelism,
                 )
                 .map_err(|e| SqlError::Exec(e.to_string()))?;
             let e = &sel.explain;
+            if e.t_imprint_build > 0.0 {
+                trace.push(TraceEntry {
+                    operator: "imprint build (lazy)".to_string(),
+                    rows: 0,
+                    seconds: e.t_imprint_build,
+                });
+            }
             trace.push(TraceEntry {
                 operator: if e.attr_probes > 0 {
                     format!("imprint filter (+{} attribute probes)", e.attr_probes)

@@ -84,6 +84,34 @@ fn count_points_in_region() {
 }
 
 #[test]
+fn catalog_parallelism_yields_identical_results() {
+    let sqls = [
+        "SELECT COUNT(*) FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(10, 10, 20, 20), ST_Point(x, y))",
+        "SELECT x, y, z FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(40, 0, 60, 99), ST_Point(x, y)) \
+         AND classification = 6 ORDER BY y, x LIMIT 50",
+        "SELECT p.x, p.y, r.class FROM points p, roads r WHERE \
+         ST_DWithin(ST_Point(p.x, p.y), r.geom, 1.5) \
+         AND r.class = 'motorway' ORDER BY p.x, p.y LIMIT 40",
+    ];
+    let mut serial = setup();
+    serial.set_parallelism(lidardb_core::Parallelism::Serial);
+    let mut parallel = setup();
+    parallel.set_parallelism(lidardb_core::Parallelism::Threads(2));
+    assert!(matches!(
+        parallel.parallelism(),
+        lidardb_core::Parallelism::Threads(2)
+    ));
+    for sql in sqls {
+        let a = query(&serial, sql).unwrap();
+        let b = query(&parallel, sql).unwrap();
+        assert_eq!(a.columns, b.columns, "{sql}");
+        assert_eq!(a.rows, b.rows, "{sql}");
+    }
+}
+
+#[test]
 fn thematic_and_spatial_combined() {
     let c = setup();
     let rs = query(

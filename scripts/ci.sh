@@ -9,6 +9,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> serial/parallel differential suite (default, 2 and 8 workers)"
+cargo test -q -p lidardb-core --test differential -- --test-threads=1
+LIDARDB_WORKERS=2 cargo test -q -p lidardb-core --test differential -- --test-threads=1
+LIDARDB_WORKERS=8 cargo test -q -p lidardb-core --test differential -- --test-threads=1
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
