@@ -673,6 +673,8 @@ fn e9_parallel() {
         "E9 (parallel execution)",
         "morsel-driven parallel filter/refine: identical rows, per-step speedup over serial",
     );
+    // Fresh registry so BENCH_metrics.json reflects this experiment only.
+    lidardb_core::MetricsRegistry::global().reset();
     const N: usize = 12_000_000;
     const CHUNK: usize = 1_000_000;
     println!("building {N} synthetic points in {CHUNK}-record chunks ...");
@@ -829,7 +831,14 @@ fn e9_parallel() {
     }
     out.push_str("  ]\n}\n");
     std::fs::write("BENCH_query.json", &out).expect("write BENCH_query.json");
-    println!("\nwrote BENCH_query.json\n");
+    println!("\nwrote BENCH_query.json");
+
+    // The accumulated engine metrics for the whole experiment — every
+    // probe/scan/refine/morsel above is in here (the registry was reset at
+    // the top of E9).
+    let snapshot = lidardb_core::MetricsRegistry::global().snapshot_json();
+    std::fs::write("BENCH_metrics.json", &snapshot).expect("write BENCH_metrics.json");
+    println!("wrote BENCH_metrics.json\n");
 }
 
 // ---------------------------------------------------------------------------

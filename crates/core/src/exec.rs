@@ -155,19 +155,42 @@ pub(crate) fn parallel_filter(
                 rows.extend(r.start..r.end);
             }
         }
+        // Kernel work is tallied outside the scan loop (accumulators inside
+        // it perturb its codegen; per-call atomics would also contend across
+        // workers) and flushed once per morsel via `scan::note_scans`.
+        let (mut scan_calls, mut scan_rows) = (0u64, 0u64);
+        if job.env.is_some() {
+            for r in m.ranges() {
+                if !r.all_qualify {
+                    scan_calls += 1;
+                    scan_rows += (r.end - r.start) as u64;
+                }
+            }
+        }
         if let Some(env) = job.env {
             if !job.x_probed {
+                scan_calls += 1;
+                scan_rows += rows.len() as u64;
                 scan::refine_range(job.xs, &mut rows, env.min_x, env.max_x);
             }
+            scan_calls += 1;
+            scan_rows += rows.len() as u64;
             scan::refine_range(job.ys, &mut rows, env.min_y, env.max_y);
         }
         for a in job.attrs {
+            scan_calls += 1;
+            scan_rows += rows.len() as u64;
             job.pc.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
         }
+        scan::note_scans(scan_calls, scan_rows);
+        let took = t0.elapsed();
+        let metrics = crate::metrics::MetricsRegistry::global();
+        metrics.record_stage(crate::metrics::Stage::Morsel, rows.len(), took);
+        metrics.morsels.inc();
         let timing = MorselTiming {
             rows_in: m.num_rows(),
             rows_out: rows.len(),
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds: took.as_secs_f64(),
         };
         Ok((rows, timing))
     })?;

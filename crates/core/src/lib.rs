@@ -42,6 +42,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod loader;
+pub mod metrics;
 pub mod persist;
 pub mod pointcloud;
 pub mod query;
@@ -49,6 +50,7 @@ pub mod soa;
 
 pub use error::CoreError;
 pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
+pub use metrics::{MetricsRegistry, QueryProfile, Stage, StageSample};
 pub use fault::{FaultInjector, FaultKind, FaultStage};
 pub use loader::{
     FileOutcome, FileReport, LoadMethod, LoadPolicy, LoadReport, LoadStats, Loader,

@@ -243,6 +243,23 @@ impl Loader {
             LoadMethod::Csv => self.load_csv_path(pc, paths)?,
         };
         report.stats.wall_seconds = wall.elapsed().as_secs_f64();
+        // Bulk ingestion is bytes → table, the same stage taxonomy slot as
+        // `open_dir` (see DESIGN.md "Observability").
+        let m = crate::metrics::MetricsRegistry::global();
+        m.record_stage(
+            crate::metrics::Stage::PersistLoad,
+            report.stats.points,
+            wall.elapsed(),
+        );
+        m.files_loaded.add(report.stats.files as u64);
+        m.points_loaded.add(report.stats.points as u64);
+        m.files_quarantined.add(
+            report
+                .files
+                .iter()
+                .filter(|f| matches!(f.outcome, FileOutcome::Quarantined(_)))
+                .count() as u64,
+        );
         Ok(report)
     }
 

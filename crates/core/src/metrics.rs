@@ -1,0 +1,513 @@
+//! Engine observability: a process-wide metrics registry plus per-query
+//! profiles.
+//!
+//! The paper's demo shows a per-operator cardinality/timing table next to
+//! every query (§4.2); [`crate::query::Explain`] reproduces that table but
+//! is the *only* window into the engine — nothing accumulates across
+//! queries, and the loader, persister, imprint cache and morsel workers
+//! are invisible. This module adds the missing layer, in the tree's
+//! "simple, fast, lean" style: no tracing framework, no external crates,
+//! just `std` atomics.
+//!
+//! * [`MetricsRegistry`] — a process-wide, fixed-shape registry of atomic
+//!   [`Counter`]s, [`Gauge`]s and log-scaled latency [`Histogram`]s. The
+//!   hot path is lock-free and `O(1)`: recording a stage is a handful of
+//!   relaxed `fetch_add`s. [`MetricsRegistry::snapshot_json`] renders a
+//!   stable JSON document (fixed key order, no floats beyond fixed-point
+//!   seconds) that the bench harness writes next to `BENCH_query.json`.
+//! * [`Stage`] — the stage taxonomy every layer records against:
+//!   `imprint_probe`, `bbox_scan`, `grid_refine`, `aggregate`,
+//!   `imprint_build`, `persist_save`, `persist_load`, `morsel`.
+//! * [`QueryProfile`] — the per-query view. It *subsumes* `Explain`: the
+//!   legacy cardinality/timing struct is kept as the `explain` component
+//!   (and [`crate::query::Selection`] derefs to the profile, so existing
+//!   `sel.explain.*` call sites compile unchanged) while `stages` carries
+//!   the named [`StageSample`]s recorded while the query ran.
+//!
+//! Cross-crate counters that cannot live here without inverting the
+//! dependency graph (the imprints and storage crates sit *below* core)
+//! are pulled into the snapshot from their owning crates:
+//! `lidardb_imprints::probe_count()` and
+//! `lidardb_storage::scan::{scan_calls, rows_examined}()`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Named stage scopes the engine records. The set is fixed so the registry
+/// needs no allocation or locking on the record path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Imprint probe + candidate-list intersection (step 1a, probe-only).
+    ImprintProbe,
+    /// Exact bbox scan + attribute refines over candidates (step 1b).
+    BboxScan,
+    /// Spatial refinement (grid classification / exhaustive tests, step 2).
+    GridRefine,
+    /// Aggregate evaluation over a selection.
+    Aggregate,
+    /// Lazy imprint-index construction (cache misses only).
+    ImprintBuild,
+    /// Atomic column-dump save (`save_dir`).
+    PersistSave,
+    /// Bulk bytes → table ingestion: `open_dir` and the tile loader.
+    PersistLoad,
+    /// One morsel of the parallel executor (recorded per worker).
+    Morsel,
+}
+
+impl Stage {
+    /// Every stage, in the (stable) order the snapshot renders them.
+    pub const ALL: [Stage; 8] = [
+        Stage::ImprintProbe,
+        Stage::BboxScan,
+        Stage::GridRefine,
+        Stage::Aggregate,
+        Stage::ImprintBuild,
+        Stage::PersistSave,
+        Stage::PersistLoad,
+        Stage::Morsel,
+    ];
+
+    /// The stage's snapshot/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::ImprintProbe => "imprint_probe",
+            Stage::BboxScan => "bbox_scan",
+            Stage::GridRefine => "grid_refine",
+            Stage::Aggregate => "aggregate",
+            Stage::ImprintBuild => "imprint_build",
+            Stage::PersistSave => "persist_save",
+            Stage::PersistLoad => "persist_load",
+            Stage::Morsel => "morsel",
+        }
+    }
+
+    fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).expect("stage in ALL")
+    }
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter (relaxed; counters are statistics, not
+    /// synchronisation).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of log₂ latency buckets: bucket *b* counts durations in
+/// `[2^b, 2^(b+1))` nanoseconds, with the last bucket open-ended.
+/// 2⁴⁷ ns ≈ 39 hours, far beyond any stage this engine runs.
+pub const HIST_BUCKETS: usize = 48;
+
+/// A log₂-scaled latency histogram over nanoseconds. Recording is one
+/// relaxed `fetch_add` into the bucket picked by `ilog2` — `O(1)`, no
+/// locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a duration (log₂ of its nanoseconds, clamped).
+    pub fn bucket_of(d: Duration) -> usize {
+        let nanos = d.as_nanos().max(1) as u64;
+        (nanos.ilog2() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket counts (index = log₂ nanoseconds).
+    pub fn counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The per-stage instrument bundle: call count, rows processed, total
+/// nanoseconds, and the latency distribution.
+#[derive(Debug, Default)]
+pub struct StageStats {
+    /// Times the stage ran.
+    pub calls: Counter,
+    /// Rows the stage processed (stage-specific meaning; see [`Stage`]).
+    pub rows: Counter,
+    /// Total wall-clock nanoseconds across all calls.
+    pub nanos: Counter,
+    /// Log₂-bucketed per-call latency.
+    pub latency: Histogram,
+}
+
+impl StageStats {
+    /// Total seconds spent in the stage.
+    pub fn seconds(&self) -> f64 {
+        self.nanos.get() as f64 * 1e-9
+    }
+
+    fn reset(&self) {
+        self.calls.reset();
+        self.rows.reset();
+        self.nanos.reset();
+        self.latency.reset();
+    }
+}
+
+/// The process-wide metrics registry. One static instance
+/// ([`MetricsRegistry::global`]) accumulates over the process lifetime;
+/// [`MetricsRegistry::reset`] zeroes it for benchmarks and tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    stages: [StageStats; Stage::ALL.len()],
+    /// Queries answered by the two-step engine.
+    pub queries: Counter,
+    /// Imprint-cache hits (probe found a built index).
+    pub imprint_cache_hits: Counter,
+    /// Imprint-cache misses (lazy build was triggered).
+    pub imprint_cache_misses: Counter,
+    /// Probes degraded to exact scans because an imprint failed to build.
+    pub degraded_probes: Counter,
+    /// Morsels executed by the parallel executor.
+    pub morsels: Counter,
+    /// Files the bulk loader ingested.
+    pub files_loaded: Counter,
+    /// Files the bulk loader quarantined.
+    pub files_quarantined: Counter,
+    /// Points appended by the bulk loader.
+    pub points_loaded: Counter,
+    /// Rows in the most recently appended-to table.
+    pub table_rows: Gauge,
+    /// Imprint indexes currently cached on the most recently probed table.
+    pub indexed_columns: Gauge,
+}
+
+/// The singleton behind [`MetricsRegistry::global`].
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+impl MetricsRegistry {
+    /// The process-wide registry every layer records into.
+    pub fn global() -> &'static MetricsRegistry {
+        GLOBAL.get_or_init(MetricsRegistry::default)
+    }
+
+    /// Record one stage execution: `rows` processed in `took` wall-clock.
+    /// Lock-free, `O(1)` — three relaxed adds and one histogram bucket.
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, rows: usize, took: Duration) {
+        let s = &self.stages[stage.index()];
+        s.calls.inc();
+        s.rows.add(rows as u64);
+        s.nanos.add(took.as_nanos() as u64);
+        s.latency.record(took);
+    }
+
+    /// The instrument bundle of one stage.
+    pub fn stage(&self, stage: Stage) -> &StageStats {
+        &self.stages[stage.index()]
+    }
+
+    /// Zero every instrument, including the cross-crate scan/probe
+    /// counters. For benchmarks and tests; not linearisable against
+    /// concurrent recorders.
+    pub fn reset(&self) {
+        for s in &self.stages {
+            s.reset();
+        }
+        self.queries.reset();
+        self.imprint_cache_hits.reset();
+        self.imprint_cache_misses.reset();
+        self.degraded_probes.reset();
+        self.morsels.reset();
+        self.files_loaded.reset();
+        self.files_quarantined.reset();
+        self.points_loaded.reset();
+        self.table_rows.reset();
+        self.indexed_columns.reset();
+        lidardb_imprints::reset_probe_count();
+        lidardb_storage::scan::reset_scan_counters();
+    }
+
+    /// Render a stable JSON snapshot: fixed key order, counters as
+    /// integers, stage seconds with fixed six-digit precision, histogram
+    /// buckets as a dense array (index = log₂ nanoseconds). Hand-rolled —
+    /// the tree deliberately has no serde.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"counters\": {\n");
+        let counters: [(&str, u64); 10] = [
+            ("queries", self.queries.get()),
+            ("imprint_cache_hits", self.imprint_cache_hits.get()),
+            ("imprint_cache_misses", self.imprint_cache_misses.get()),
+            ("degraded_probes", self.degraded_probes.get()),
+            ("morsels", self.morsels.get()),
+            ("files_loaded", self.files_loaded.get()),
+            ("files_quarantined", self.files_quarantined.get()),
+            ("points_loaded", self.points_loaded.get()),
+            ("imprint_probes", lidardb_imprints::probe_count()),
+            ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
+        ];
+        for (i, (name, v)) in counters.iter().enumerate() {
+            let sep = if i + 1 < counters.len() { "," } else { "" };
+            out.push_str(&format!("    \"{name}\": {v}{sep}\n"));
+        }
+        out.push_str("  },\n  \"gauges\": {\n");
+        out.push_str(&format!(
+            "    \"table_rows\": {},\n    \"indexed_columns\": {},\n    \"scan_calls\": {}\n",
+            self.table_rows.get(),
+            self.indexed_columns.get(),
+            lidardb_storage::scan::scan_calls(),
+        ));
+        out.push_str("  },\n  \"stages\": [\n");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let s = self.stage(*stage);
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"calls\": {}, \"rows\": {}, \"seconds\": {:.6}, \
+                 \"latency_log2ns\": [",
+                stage.name(),
+                s.calls.get(),
+                s.rows.get(),
+                s.seconds(),
+            ));
+            // Trailing zero buckets are elided so the document stays small;
+            // index *is* the log₂-nanosecond bucket either way.
+            let counts = s.latency.counts();
+            let used = counts.iter().rposition(|&c| c > 0).map_or(0, |p| p + 1);
+            for (j, c) in counts[..used].iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < Stage::ALL.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// One named stage execution observed while answering a single query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSample {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Rows the stage emitted (its output cardinality).
+    pub rows: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The full observability record of one query. Subsumes
+/// [`crate::query::Explain`]: `explain` is the legacy per-operator view
+/// (kept so existing tests and benches hold — [`crate::query::Selection`]
+/// derefs here, making `sel.explain` reach it unchanged), `stages` the
+/// named samples recorded into the global registry while the query ran.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    /// Legacy per-operator cardinalities and timings.
+    pub explain: crate::query::Explain,
+    /// Named stage samples, in execution order.
+    pub stages: Vec<StageSample>,
+}
+
+impl QueryProfile {
+    /// Total seconds across the recorded stage samples.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Seconds spent in one stage (summed over its samples).
+    pub fn stage_seconds(&self, stage: Stage) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.seconds)
+            .sum()
+    }
+
+    /// Output rows of one stage (summed over its samples), `None` if the
+    /// stage never ran in this query.
+    pub fn stage_rows(&self, stage: Stage) -> Option<usize> {
+        let mut any = false;
+        let mut rows = 0usize;
+        for s in self.stages.iter().filter(|s| s.stage == stage) {
+            any = true;
+            rows += s.rows;
+        }
+        any.then_some(rows)
+    }
+
+    /// Every deterministic counter of the profile as `(name, value)`
+    /// pairs — cardinalities and probe counts, no timings. The
+    /// differential suite asserts these are identical between serial and
+    /// parallel runs of the same query.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let e = &self.explain;
+        vec![
+            ("after_imprints", e.after_imprints as u64),
+            ("sure_rows", e.sure_rows as u64),
+            ("after_bbox", e.after_bbox as u64),
+            ("cells_inside", e.cells_inside as u64),
+            ("cells_outside", e.cells_outside as u64),
+            ("cells_boundary", e.cells_boundary as u64),
+            ("exact_tests", e.exact_tests as u64),
+            ("attr_probes", e.attr_probes as u64),
+            ("degraded_probes", e.degraded_probes as u64),
+            ("result_rows", e.result_rows as u64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable_and_indexed() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "imprint_probe",
+                "bbox_scan",
+                "grid_refine",
+                "aggregate",
+                "imprint_build",
+                "persist_save",
+                "persist_load",
+                "morsel"
+            ]
+        );
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_nanos() {
+        assert_eq!(Histogram::bucket_of(Duration::from_nanos(0)), 0);
+        assert_eq!(Histogram::bucket_of(Duration::from_nanos(1)), 0);
+        assert_eq!(Histogram::bucket_of(Duration::from_nanos(2)), 1);
+        assert_eq!(Histogram::bucket_of(Duration::from_nanos(1023)), 9);
+        assert_eq!(Histogram::bucket_of(Duration::from_nanos(1024)), 10);
+        assert_eq!(
+            Histogram::bucket_of(Duration::from_secs(1_000_000)),
+            HIST_BUCKETS - 1,
+            "open-ended last bucket"
+        );
+        let h = Histogram::default();
+        h.record(Duration::from_micros(3)); // 3000 ns -> bucket 11
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.counts()[11], 2);
+    }
+
+    #[test]
+    fn record_stage_accumulates() {
+        let r = MetricsRegistry::default();
+        r.record_stage(Stage::BboxScan, 100, Duration::from_millis(2));
+        r.record_stage(Stage::BboxScan, 50, Duration::from_millis(1));
+        let s = r.stage(Stage::BboxScan);
+        assert_eq!(s.calls.get(), 2);
+        assert_eq!(s.rows.get(), 150);
+        assert!((s.seconds() - 0.003).abs() < 1e-9);
+        assert_eq!(r.stage(Stage::GridRefine).calls.get(), 0);
+    }
+
+    #[test]
+    fn profile_stage_accessors() {
+        let mut p = QueryProfile::default();
+        p.stages.push(StageSample {
+            stage: Stage::ImprintProbe,
+            rows: 10,
+            seconds: 0.5,
+        });
+        p.stages.push(StageSample {
+            stage: Stage::BboxScan,
+            rows: 7,
+            seconds: 0.25,
+        });
+        assert_eq!(p.stage_rows(Stage::ImprintProbe), Some(10));
+        assert_eq!(p.stage_rows(Stage::Morsel), None);
+        assert!((p.total_seconds() - 0.75).abs() < 1e-12);
+        assert!((p.stage_seconds(Stage::BboxScan) - 0.25).abs() < 1e-12);
+        assert_eq!(p.counters().len(), 10);
+        assert!(p.counters().iter().any(|(n, _)| *n == "attr_probes"));
+    }
+
+    #[test]
+    fn snapshot_json_has_stable_shape() {
+        let r = MetricsRegistry::default();
+        r.queries.add(3);
+        r.record_stage(Stage::PersistSave, 42, Duration::from_micros(10));
+        let json = r.snapshot_json();
+        assert!(json.contains("\"queries\": 3"));
+        assert!(json.contains("\"name\": \"persist_save\", \"calls\": 1, \"rows\": 42"));
+        // Every stage appears exactly once, in declaration order.
+        let mut last = 0;
+        for s in Stage::ALL {
+            let pos = json.find(&format!("\"name\": \"{}\"", s.name())).unwrap();
+            assert!(pos > last, "{} out of order", s.name());
+            last = pos;
+        }
+    }
+}

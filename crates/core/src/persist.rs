@@ -174,7 +174,13 @@ fn read_column(
         }
         kind.corrupt(&mut bytes);
     }
-    let expected = manifest.rows * field.ptype.size();
+    // `rows` is an untrusted count parsed from the manifest text: multiply
+    // checked so a forged row count (e.g. u64::MAX in a v1 manifest, which
+    // carries no checksums) is rejected instead of overflowing.
+    let expected = manifest
+        .rows
+        .checked_mul(field.ptype.size())
+        .ok_or_else(|| corrupt("manifest: row count overflows byte size"))?;
     if bytes.len() != expected {
         return Err(corrupt(format!(
             "column file {} has {} bytes, manifest expects {expected}",
@@ -271,6 +277,7 @@ impl PointCloud {
         dir: impl AsRef<Path>,
         fi: Option<&FaultInjector>,
     ) -> Result<(), CoreError> {
+        let t0 = std::time::Instant::now();
         let dir = dir.as_ref();
         if let Some(parent) = dir.parent() {
             if !parent.as_os_str().is_empty() {
@@ -318,7 +325,13 @@ impl PointCloud {
             // its previous state.
             return Err(corrupt("injected crash before commit"));
         }
-        staging.commit(dir)
+        staging.commit(dir)?;
+        crate::metrics::MetricsRegistry::global().record_stage(
+            crate::metrics::Stage::PersistSave,
+            self.num_points(),
+            t0.elapsed(),
+        );
+        Ok(())
     }
 
     /// Load a table previously written by [`PointCloud::save_dir`].
@@ -332,6 +345,7 @@ impl PointCloud {
         dir: impl AsRef<Path>,
         fi: Option<&FaultInjector>,
     ) -> Result<Self, CoreError> {
+        let t0 = std::time::Instant::now();
         let dir = dir.as_ref();
         let manifest = read_manifest(dir, fi)?;
         let mut pc = PointCloud::new();
@@ -348,6 +362,11 @@ impl PointCloud {
                 manifest.rows
             )));
         }
+        crate::metrics::MetricsRegistry::global().record_stage(
+            crate::metrics::Stage::PersistLoad,
+            pc.num_points(),
+            t0.elapsed(),
+        );
         Ok(pc)
     }
 }
@@ -504,6 +523,28 @@ mod tests {
             pc.column("x").unwrap(),
             "payload intact via v1 manifest"
         );
+    }
+
+    /// Regression: `read_column` computed `manifest.rows * ptype.size()`
+    /// with an unchecked multiply. A forged row count in a v1 manifest
+    /// (which carries no checksums, so the text parses cleanly) overflowed
+    /// — debug panic, release wraparound that could make a wrong-sized
+    /// column file pass the size check. The multiply is now checked.
+    #[test]
+    fn forged_manifest_row_count_rejected_without_overflow() {
+        let dir = tdir("forged_rows");
+        cloud(50).save_dir(&dir).unwrap();
+        let forged = format!(
+            "lidardb flat table\nversion 1\nrows {}\ncolumns {}\n",
+            usize::MAX,
+            COLUMN_NAMES.join(",")
+        );
+        std::fs::write(dir.join(MANIFEST), forged).unwrap();
+        assert!(matches!(
+            PointCloud::open_dir(&dir).unwrap_err(),
+            CoreError::Corrupt(_)
+        ));
+        assert!(validate_dir(&dir).is_err());
     }
 
     #[test]

@@ -68,6 +68,13 @@ impl PointCloud {
         self.parallelism
     }
 
+    /// The process-wide metrics registry the engine records into —
+    /// programmatic access to cumulative counters, stage timings and the
+    /// JSON snapshot ([`crate::metrics::MetricsRegistry::snapshot_json`]).
+    pub fn metrics(&self) -> &'static crate::metrics::MetricsRegistry {
+        crate::metrics::MetricsRegistry::global()
+    }
+
     /// Number of points (rows).
     pub fn num_points(&self) -> usize {
         self.table.num_rows()
@@ -103,6 +110,9 @@ impl PointCloud {
         let refs: Vec<&[u8]> = dumps.iter().map(Vec::as_slice).collect();
         let n = self.table.copy_binary(&refs)?;
         self.imprints.get_mut().clear();
+        let m = crate::metrics::MetricsRegistry::global();
+        m.table_rows.set(self.table.num_rows() as u64);
+        m.indexed_columns.set(0);
         Ok(n)
     }
 
@@ -131,9 +141,12 @@ impl PointCloud {
     /// spent building the index — zero on a cache hit. The query engine
     /// uses this to keep `Explain.t_imprints` probe-only.
     pub fn imprints_for_timed(&self, name: &str) -> Result<(Arc<ColumnImprints>, f64), CoreError> {
+        let metrics = crate::metrics::MetricsRegistry::global();
         if let Some(imp) = self.imprints.read().get(name) {
+            metrics.imprint_cache_hits.inc();
             return Ok((Arc::clone(imp), 0.0));
         }
+        metrics.imprint_cache_misses.inc();
         // Build outside any lock (cheap to race: both builds are identical
         // and the second insert wins harmlessly).
         let t0 = std::time::Instant::now();
@@ -146,11 +159,14 @@ impl PointCloud {
             }
         }
         let imp = Arc::new(ColumnImprints::build(col)?);
-        self.imprints
-            .write()
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::clone(&imp));
-        Ok((imp, t0.elapsed().as_secs_f64()))
+        let built = t0.elapsed();
+        // The authoritative imprint_build recording site: every lazy build
+        // lands here, whether triggered by a query or a direct call.
+        metrics.record_stage(crate::metrics::Stage::ImprintBuild, imp.len(), built);
+        let mut cache = self.imprints.write();
+        cache.entry(name.to_string()).or_insert_with(|| Arc::clone(&imp));
+        metrics.indexed_columns.set(cache.len() as u64);
+        Ok((imp, built.as_secs_f64()))
     }
 
     /// Whether a column already has an imprint index (observability for

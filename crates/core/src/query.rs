@@ -14,7 +14,7 @@
 //! Every query produces an [`Explain`] — cardinalities and wall-clock per
 //! operator, the breakdown the demo shows its audience.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lidardb_geom::{
     classify_rect_dwithin, classify_rect_polygon, contains_point, dwithin_point, Envelope,
@@ -24,6 +24,7 @@ use lidardb_storage::scan::{self, CmpOp};
 
 use crate::error::CoreError;
 use crate::exec::{self, MorselTiming, Parallelism};
+use crate::metrics::{MetricsRegistry, QueryProfile, Stage, StageSample};
 use crate::pointcloud::PointCloud;
 
 /// Default refinement grid resolution (cells per axis).
@@ -191,6 +192,7 @@ impl Explain {
              (cells in/out/bnd)  {}/{}/{}\n\
              (sure rows)         {}\n\
              (exact pt tests)    {}\n\
+             (attr probes)       {}\n\
              (degraded probes)   {}\n\
              (workers/morsels)   {}/{}",
             self.t_imprint_build,
@@ -205,6 +207,7 @@ impl Explain {
             self.cells_boundary,
             self.sure_rows,
             self.exact_tests,
+            self.attr_probes,
             self.degraded_probes,
             self.workers,
             self.morsel_times.len(),
@@ -212,13 +215,31 @@ impl Explain {
     }
 }
 
-/// A query result: matching row ids plus the execution breakdown.
+/// A query result: matching row ids plus the execution profile.
+///
+/// The selection derefs to its [`QueryProfile`], which in turn carries the
+/// legacy [`Explain`] view — so `sel.explain.after_bbox` and friends keep
+/// working unchanged while `sel.stages` exposes the named stage samples.
 #[derive(Debug, Clone, Default)]
 pub struct Selection {
     /// Matching rows, ascending.
     pub rows: Vec<usize>,
-    /// Execution breakdown.
-    pub explain: Explain,
+    /// Execution profile (stage samples + the legacy `Explain` view).
+    pub profile: QueryProfile,
+}
+
+impl std::ops::Deref for Selection {
+    type Target = QueryProfile;
+
+    fn deref(&self) -> &QueryProfile {
+        &self.profile
+    }
+}
+
+impl std::ops::DerefMut for Selection {
+    fn deref_mut(&mut self) -> &mut QueryProfile {
+        &mut self.profile
+    }
 }
 
 /// An inclusive range predicate on one attribute column, expressed on the
@@ -292,6 +313,9 @@ impl PointCloud {
         strategy: RefineStrategy,
         parallelism: Parallelism,
     ) -> Result<Selection, CoreError> {
+        let metrics = MetricsRegistry::global();
+        metrics.queries.inc();
+        let mut stages: Vec<StageSample> = Vec::new();
         let mut explain = Explain::default();
         let env = match pred {
             Some(p) => match p.filter_envelope() {
@@ -363,6 +387,27 @@ impl PointCloud {
         explain.t_imprint_build = build_secs;
         // Probe-only: the lazy index builds above are reported separately.
         explain.t_imprints = (t0.elapsed().as_secs_f64() - build_secs).max(0.0);
+        // The registry's imprint_build stage is recorded at the build site
+        // (`PointCloud::imprints_for_timed`); the profile notes it here so
+        // the per-query view carries the build cost too.
+        if build_secs > 0.0 {
+            stages.push(StageSample {
+                stage: Stage::ImprintBuild,
+                rows: 0,
+                seconds: build_secs,
+            });
+        }
+        stages.push(StageSample {
+            stage: Stage::ImprintProbe,
+            rows: explain.after_imprints,
+            seconds: explain.t_imprints,
+        });
+        metrics.record_stage(
+            Stage::ImprintProbe,
+            explain.after_imprints,
+            Duration::from_secs_f64(explain.t_imprints),
+        );
+        metrics.degraded_probes.add(degraded as u64);
 
         // Parallel execution pays off only when there are at least two
         // morsels' worth of candidates; below that the serial path runs.
@@ -406,6 +451,19 @@ impl PointCloud {
                     rows.extend(r.start..r.end);
                 }
             }
+            // Tally scan-kernel work in a separate pass over the (already
+            // resident) run list: even accumulator locals inside the scan
+            // loop above measurably perturb its codegen, and per-call
+            // atomics cost ~10% (see `storage::scan::note_scans`).
+            let (mut scan_calls, mut scan_rows) = (0u64, 0u64);
+            if env.is_some() {
+                for r in cand.ranges() {
+                    if !r.all_qualify {
+                        scan_calls += 1;
+                        scan_rows += (r.end - r.start) as u64;
+                    }
+                }
+            }
             // Runs are ordered, so `rows` is sorted. Refine the remaining
             // predicates exactly; rows from sure runs satisfy everything and
             // simply pass through.
@@ -413,17 +471,34 @@ impl PointCloud {
                 if !x_probed {
                     // Degraded x probe: "sure" runs carry no x guarantee, so
                     // every candidate gets the exact x check (like y below).
+                    scan_calls += 1;
+                    scan_rows += rows.len() as u64;
                     scan::refine_range(xs, &mut rows, env.min_x, env.max_x);
                 }
+                scan_calls += 1;
+                scan_rows += rows.len() as u64;
                 scan::refine_range(ys, &mut rows, env.min_y, env.max_y);
             }
             for a in attrs {
+                scan_calls += 1;
+                scan_rows += rows.len() as u64;
                 self.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
             }
+            scan::note_scans(scan_calls, scan_rows);
             rows
         };
         explain.after_bbox = rows.len();
         explain.t_bbox = t0.elapsed().as_secs_f64();
+        stages.push(StageSample {
+            stage: Stage::BboxScan,
+            rows: explain.after_bbox,
+            seconds: explain.t_bbox,
+        });
+        metrics.record_stage(
+            Stage::BboxScan,
+            explain.after_bbox,
+            Duration::from_secs_f64(explain.t_bbox),
+        );
 
         // ---- Step 2: spatial refinement. ------------------------------------
         let t0 = Instant::now();
@@ -468,7 +543,22 @@ impl PointCloud {
         }
         explain.t_refine = t0.elapsed().as_secs_f64();
         explain.result_rows = rows.len();
-        Ok(Selection { rows, explain })
+        if pred.is_some() {
+            stages.push(StageSample {
+                stage: Stage::GridRefine,
+                rows: explain.result_rows,
+                seconds: explain.t_refine,
+            });
+            metrics.record_stage(
+                Stage::GridRefine,
+                explain.result_rows,
+                Duration::from_secs_f64(explain.t_refine),
+            );
+        }
+        Ok(Selection {
+            rows,
+            profile: QueryProfile { explain, stages },
+        })
     }
 
     /// Probe a column's imprint, degrading to `None` (no pruning — the
@@ -645,6 +735,7 @@ impl PointCloud {
             )));
         }
         let workers = parallelism.workers();
+        let t0 = Instant::now();
         macro_rules! go {
             ($t:ty) => {{
                 let data = col.as_slice::<$t>()?;
@@ -667,6 +758,7 @@ impl PointCloud {
             lidardb_storage::PhysicalType::F32 => go!(f32),
             lidardb_storage::PhysicalType::F64 => go!(f64),
         };
+        MetricsRegistry::global().record_stage(Stage::Aggregate, rows.len(), t0.elapsed());
         Ok(Some(match agg {
             Aggregate::Count => unreachable!("handled above"),
             Aggregate::Sum => state.sum(),
@@ -946,6 +1038,48 @@ mod tests {
         let table = e.to_table();
         assert!(table.contains("imprint filter"));
         assert!(table.contains("grid refinement"));
+    }
+
+    /// Regression: `to_table` silently omitted `attr_probes`, so the demo
+    /// table under-reported the thematic pushdown. Render an `Explain` with
+    /// a unique sentinel in every field and require each one to appear.
+    #[test]
+    fn to_table_renders_every_explain_field() {
+        let e = Explain {
+            after_imprints: 101,
+            sure_rows: 211,
+            after_bbox: 307,
+            cells_inside: 401,
+            cells_outside: 503,
+            cells_boundary: 601,
+            exact_tests: 701,
+            attr_probes: 809,
+            degraded_probes: 907,
+            result_rows: 1009,
+            t_imprint_build: 0.111213,
+            t_imprints: 0.141516,
+            t_bbox: 0.171819,
+            t_refine: 0.212223,
+            workers: 1103,
+            morsel_times: vec![
+                MorselTiming {
+                    rows_in: 0,
+                    rows_out: 0,
+                    seconds: 0.0,
+                };
+                1201
+            ],
+        };
+        let table = e.to_table();
+        for sentinel in [
+            "101", "211", "307", "401", "503", "601", "701", "809", "907", "1009", "0.111213",
+            "0.141516", "0.171819", "0.212223", "1103", "1201",
+        ] {
+            assert!(
+                table.contains(sentinel),
+                "field with sentinel {sentinel} missing from to_table():\n{table}"
+            );
+        }
     }
 
     #[test]

@@ -152,6 +152,13 @@ fn assert_differential(
         assert_eq!(a.attr_probes, b.attr_probes, "{w} workers");
         assert_eq!(a.degraded_probes, b.degraded_probes, "{w} workers");
         assert_eq!(a.result_rows, b.result_rows, "{w} workers");
+        // The whole named-counter view must agree, not just the fields
+        // spelled out above — new counters are covered automatically.
+        assert_eq!(
+            serial.profile.counters(),
+            par.profile.counters(),
+            "QueryProfile counters differ at {w} workers"
+        );
         if b.after_imprints >= 2 * MORSEL_MIN_ROWS {
             assert_eq!(b.workers, w, "parallel path engaged");
             assert!(!b.morsel_times.is_empty(), "morsel timings recorded");
@@ -272,6 +279,11 @@ fn differential_with_injected_imprint_faults() {
             assert_eq!(serial.rows, par.rows, "degraded rows differ at {w} workers");
             assert_eq!(serial.explain.degraded_probes, par.explain.degraded_probes);
             assert_eq!(serial.explain.result_rows, par.explain.result_rows);
+            assert_eq!(
+                serial.profile.counters(),
+                par.profile.counters(),
+                "degraded QueryProfile counters differ at {w} workers"
+            );
         }
     }
 }

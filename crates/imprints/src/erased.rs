@@ -6,11 +6,29 @@
 //! `x BETWEEN 2.3 AND 7.9` probe on an `i32` column correctly becomes
 //! `[3, 7]`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use lidardb_storage::{Column, Native, StorageError};
 
 use crate::candidates::CandidateList;
 use crate::imprint::Imprints;
 use crate::stats::ImprintStats;
+
+/// Process-wide count of [`ColumnImprints::probe_f64`] calls. The imprints
+/// crate sits below the engine's metrics registry in the dependency graph,
+/// so the counter lives here and the registry pulls it into its snapshot.
+static PROBES: AtomicU64 = AtomicU64::new(0);
+
+/// Total probes answered by erased imprint indexes since process start
+/// (or the last [`reset_probe_count`]).
+pub fn probe_count() -> u64 {
+    PROBES.load(Ordering::Relaxed)
+}
+
+/// Zero the process-wide probe counter (benchmarks/tests).
+pub fn reset_probe_count() {
+    PROBES.store(0, Ordering::Relaxed);
+}
 
 /// An imprints index over a type-erased column.
 #[derive(Debug, Clone)]
@@ -93,6 +111,7 @@ impl ColumnImprints {
     /// Probe with an inclusive `f64` range, rounding inward on integer
     /// columns.
     pub fn probe_f64(&self, lo: f64, hi: f64) -> CandidateList {
+        PROBES.fetch_add(1, Ordering::Relaxed);
         macro_rules! probe {
             ($imp:expr) => {
                 match native_range(lo, hi) {

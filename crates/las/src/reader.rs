@@ -30,7 +30,18 @@ impl LasReader {
         let payload = bytes[HEADER_LEN..].to_vec();
         // Eagerly validate payload sizing for the uncompressed format.
         if header.compression == Compression::None {
-            let expected = header.num_points as usize * RECORD_LEN;
+            // `num_points` is an untrusted wire count: multiply checked so
+            // a forged header (e.g. u64::MAX points) is rejected as corrupt
+            // instead of overflowing (debug panic / release wraparound that
+            // could make a tiny payload look correctly sized).
+            let expected = (header.num_points as usize)
+                .checked_mul(RECORD_LEN)
+                .ok_or_else(|| {
+                    LasError::Corrupt(format!(
+                        "header declares {} points, more than any file can hold",
+                        header.num_points
+                    ))
+                })?;
             if payload.len() < expected {
                 return Err(LasError::Truncated {
                     what: "point data",
@@ -240,6 +251,24 @@ mod tests {
         bytes[..HEADER_LEN].copy_from_slice(&fake.encode());
         let r = LasReader::from_bytes(bytes).unwrap();
         assert!(r.read_points().is_err());
+    }
+
+    /// Regression: `from_bytes` computed `num_points * RECORD_LEN` with an
+    /// unchecked multiply, so a forged header declaring `u64::MAX` points
+    /// overflowed (debug panic; release wraparound that could mis-size the
+    /// payload check). The multiply is now checked and rejects as corrupt.
+    #[test]
+    fn absurd_point_count_rejected_without_overflow() {
+        let path = tdir().join("huge_count.las");
+        let h = write_las_file(&path, template(Compression::None), &pts(10)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mut fake = h;
+        fake.num_points = u64::MAX;
+        bytes[..HEADER_LEN].copy_from_slice(&fake.encode());
+        assert!(matches!(
+            LasReader::from_bytes(bytes).unwrap_err(),
+            LasError::Corrupt(_)
+        ));
     }
 
     #[test]

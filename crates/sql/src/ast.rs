@@ -10,8 +10,12 @@ pub enum Statement {
 /// A SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
-    /// Whether `EXPLAIN` was requested (plan only, no execution).
+    /// Whether `EXPLAIN` was requested (plan only, no execution — unless
+    /// `analyze` is also set).
     pub explain: bool,
+    /// Whether `EXPLAIN ANALYZE` was requested: execute the query and
+    /// render the plan annotated with real cardinalities and timings.
+    pub analyze: bool,
     /// Whether `SELECT DISTINCT` was requested.
     pub distinct: bool,
     /// Projection list.

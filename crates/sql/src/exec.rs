@@ -383,7 +383,7 @@ impl Ctx for RowEnv<'_> {
 pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlError> {
     let Statement::Select(sel) = stmt;
     let plan = plan_select(catalog, sel)?;
-    if sel.explain {
+    if sel.explain && !sel.analyze {
         let lines: Vec<Vec<SqlValue>> = plan
             .describe()
             .lines()
@@ -395,10 +395,11 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
             trace: Vec::new(),
         });
     }
+    let t_exec = Instant::now();
     let mut trace = Vec::new();
 
     // Materialise input rows.
-    match &plan {
+    let result = match &plan {
         Plan::PcScan(scan) => {
             let Table::Points(pc) = catalog.table(&scan.table.name)? else {
                 unreachable!("bound as points");
@@ -547,6 +548,44 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
             });
             project(catalog, sel, &plan, envs, trace)
         }
+    }?;
+    if sel.analyze {
+        // EXPLAIN ANALYZE: the query ran for real above; render the plan
+        // annotated with the observed per-operator cardinalities/timings.
+        return Ok(analyze_result(
+            &plan,
+            result,
+            t_exec.elapsed().as_secs_f64(),
+        ));
+    }
+    Ok(result)
+}
+
+/// Build the `EXPLAIN ANALYZE` output: the planned operator tree followed
+/// by the actual per-operator rows and wall-clock of the execution (the
+/// same numbers the query's `QueryProfile`/`Explain` carries — the trace
+/// entries are derived from it in [`pc_scan_rows`]).
+fn analyze_result(plan: &Plan, executed: ResultSet, total_seconds: f64) -> ResultSet {
+    let mut lines: Vec<String> = plan.describe().lines().map(str::to_string).collect();
+    lines.push(String::new());
+    lines.push("actual:".to_string());
+    for t in &executed.trace {
+        lines.push(format!(
+            "  {:<36} rows={:<10} time={:.6}s",
+            t.operator, t.rows, t.seconds
+        ));
+    }
+    lines.push(format!(
+        "  {:<36} rows={:<10} time={:.6}s",
+        "total", executed.rows.len(), total_seconds
+    ));
+    ResultSet {
+        columns: vec!["plan".to_string()],
+        rows: lines
+            .into_iter()
+            .map(|l| vec![SqlValue::Str(l)])
+            .collect(),
+        trace: executed.trace,
     }
 }
 

@@ -90,6 +90,7 @@ impl Parser {
 
     fn parse_statement(&mut self) -> Result<Statement, SqlError> {
         let explain = self.eat_kw("EXPLAIN");
+        let analyze = explain && self.eat_kw("ANALYZE");
         self.expect_kw("SELECT")?;
         let distinct = self.eat_kw("DISTINCT");
         let items = self.parse_select_items()?;
@@ -144,6 +145,7 @@ impl Parser {
         };
         Ok(Statement::Select(SelectStmt {
             explain,
+            analyze,
             distinct,
             items,
             from,
@@ -402,6 +404,22 @@ mod tests {
         assert_eq!(s.from[0].alias, "points");
         assert!(s.where_clause.is_none());
         assert!(!s.explain);
+        assert!(!s.analyze);
+    }
+
+    #[test]
+    fn explain_analyze() {
+        let s = select("EXPLAIN ANALYZE SELECT * FROM points WHERE z > 3");
+        assert!(s.explain);
+        assert!(s.analyze);
+        let s = select("explain analyze select * from points");
+        assert!(s.explain && s.analyze, "keywords are case-insensitive");
+        let s = select("EXPLAIN SELECT * FROM points");
+        assert!(s.explain);
+        assert!(!s.analyze);
+        // ANALYZE is only a keyword right after EXPLAIN.
+        assert!(parse("ANALYZE SELECT * FROM points").is_err());
+        assert!(parse("SELECT ANALYZE FROM points").is_ok(), "still an identifier elsewhere");
     }
 
     #[test]

@@ -146,30 +146,40 @@ impl ForPacked {
     /// Deserialise from [`ForPacked::to_bytes`] output, validating structure.
     pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), StorageError> {
         let corrupt = || StorageError::CorruptEncoding("forpack");
-        let mut pos = 0usize;
-        let mut take = |n: usize| -> Result<&[u8], StorageError> {
-            let end = pos.checked_add(n).ok_or_else(corrupt)?;
-            let s = bytes.get(pos..end).ok_or_else(corrupt)?;
-            pos = end;
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], StorageError> {
+            let end = pos
+                .checked_add(n)
+                .ok_or(StorageError::CorruptEncoding("forpack"))?;
+            let s = bytes
+                .get(*pos..end)
+                .ok_or(StorageError::CorruptEncoding("forpack"))?;
+            *pos = end;
             Ok(s)
-        };
-        let len = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
-        let nblocks = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        }
+        let mut pos = 0usize;
+        let len = u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()) as usize;
+        let nblocks = u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()) as usize;
         if nblocks != len.div_ceil(BLOCK) {
             return Err(corrupt());
         }
-        let mut refs = Vec::with_capacity(nblocks);
+        // `nblocks`/`nwords` are untrusted wire counts: clamp the
+        // pre-allocation to what the remaining input can actually hold
+        // (8 bytes per element), so a tiny stream declaring u64::MAX
+        // elements fails the bounds check in `take` instead of attempting
+        // a multi-GB allocation up front.
+        let fits = |pos: usize, n: usize| n.min(bytes.len().saturating_sub(pos) / 8);
+        let mut refs = Vec::with_capacity(fits(pos, nblocks));
         for _ in 0..nblocks {
-            refs.push(i64::from_le_bytes(take(8)?.try_into().unwrap()));
+            refs.push(i64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()));
         }
-        let widths = take(nblocks)?.to_vec();
+        let widths = take(bytes, &mut pos, nblocks)?.to_vec();
         if widths.iter().any(|&w| w > 64) {
             return Err(corrupt());
         }
-        let nwords = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
-        let mut words = Vec::with_capacity(nwords);
+        let nwords = u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()) as usize;
+        let mut words = Vec::with_capacity(fits(pos, nwords));
         for _ in 0..nwords {
-            words.push(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+            words.push(u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()));
         }
         // Recompute offsets and validate the payload covers every block.
         let mut offsets = Vec::with_capacity(nblocks);
@@ -275,6 +285,32 @@ mod tests {
         // Corrupt a width to an invalid value.
         let mut bytes = p.to_bytes();
         bytes[24] = 99; // width byte of block 0 (after len+nblocks+1 ref)
+        assert!(ForPacked::from_bytes(&bytes).is_err());
+    }
+
+    /// Regression: `from_bytes` used to pass the untrusted `nblocks` /
+    /// `nwords` wire counts straight to `Vec::with_capacity` before any
+    /// payload bounds check, so a 24-byte corrupt stream claiming
+    /// `u64::MAX` words attempted a multi-GB allocation (capacity
+    /// overflow abort) instead of returning `CorruptEncoding`. Capacities
+    /// are now clamped to what the remaining input can hold.
+    #[test]
+    fn huge_declared_counts_are_rejected_without_allocating() {
+        // len=0 / nblocks=0 (consistent), then u64::MAX declared words —
+        // exactly 24 bytes of input.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(bytes.len(), 24);
+        assert!(ForPacked::from_bytes(&bytes).is_err());
+
+        // A huge (self-consistent) len/nblocks pair on a 16-byte stream:
+        // the refs pre-allocation must likewise be clamped.
+        let len = u64::MAX;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&((len as usize).div_ceil(BLOCK) as u64).to_le_bytes());
         assert!(ForPacked::from_bytes(&bytes).is_err());
     }
 

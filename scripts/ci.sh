@@ -14,6 +14,16 @@ cargo test -q -p lidardb-core --test differential -- --test-threads=1
 LIDARDB_WORKERS=2 cargo test -q -p lidardb-core --test differential -- --test-threads=1
 LIDARDB_WORKERS=8 cargo test -q -p lidardb-core --test differential -- --test-threads=1
 
+echo "==> metrics smoke (snapshot JSON parses, stage timers within wall-clock)"
+cargo test -q -p lidardb-core --test metrics_smoke -- --test-threads=1
+
+echo "==> decoder-hardening and observability regression tests"
+cargo test -q -p lidardb-storage huge_declared_counts_are_rejected_without_allocating
+cargo test -q -p lidardb-las absurd_point_count_rejected_without_overflow
+cargo test -q -p lidardb-core forged_manifest_row_count_rejected_without_overflow
+cargo test -q -p lidardb-core to_table_renders_every_explain_field
+cargo test -q -p lidardb-sql explain_analyze
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
