@@ -1,0 +1,96 @@
+//! CLI for the perf-regression gate (see `lidardb_bench::gate`).
+//!
+//! ```text
+//! bench_gate --base BENCH_query.json --fresh out/BENCH_query.json
+//! bench_gate --base BENCH_query.json --scale 2.0 --out slowed.json
+//! ```
+//!
+//! Compare mode exits 0 when every stage's p50 is within the threshold,
+//! 1 on any regression, 2 on usage or parse errors — so CI can
+//! distinguish "code got slower" from "gate is broken". `--scale` writes
+//! a synthetically slowed copy of the baseline (the negative test feeds
+//! it back through compare and asserts the gate trips).
+
+use lidardb_bench::gate::{
+    compare, extract_runs, render_runs, scale_times, Json, REGRESSION_THRESHOLD,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --base <BENCH_query.json> --fresh <BENCH_query.json> \
+         [--threshold <frac>]\n       bench_gate --base <BENCH_query.json> --scale <factor> \
+         --out <path>"
+    );
+    std::process::exit(2);
+}
+
+fn load_runs(path: &str) -> Vec<lidardb_bench::gate::BenchRun> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    extract_runs(&doc).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut base = None;
+    let mut fresh = None;
+    let mut out = None;
+    let mut scale = None;
+    let mut threshold = REGRESSION_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--base" => base = Some(val()),
+            "--fresh" => fresh = Some(val()),
+            "--out" => out = Some(val()),
+            "--scale" => scale = val().parse::<f64>().ok(),
+            "--threshold" => threshold = val().parse::<f64>().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let Some(base) = base else { usage() };
+    let base_runs = load_runs(&base);
+
+    if let Some(factor) = scale {
+        // Synthetic-slowdown mode for the negative CI test.
+        let Some(out) = out else { usage() };
+        let rendered = render_runs(&scale_times(&base_runs, factor));
+        if let Err(e) = std::fs::write(&out, rendered) {
+            eprintln!("bench_gate: cannot write {out}: {e}");
+            std::process::exit(2);
+        }
+        println!("bench_gate: wrote {out} ({factor}x slowed copy of {base})");
+        return;
+    }
+
+    let Some(fresh) = fresh else { usage() };
+    let fresh_runs = load_runs(&fresh);
+    let regressions = compare(&base_runs, &fresh_runs, threshold);
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: PASS — {} cells within {:.0}% of {base}",
+            base_runs.len(),
+            threshold * 100.0
+        );
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} regression(s) beyond {:.0}% vs {base}:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {}", r.describe());
+        }
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use lidardb_baselines::{BlockStore, FileStore};
 use lidardb_bench::{median_seconds, timed, Fixture};
 use lidardb_core::{
-    LoadMethod, LoadPolicy, Loader, Parallelism, PointCloud, RefineStrategy, SpatialPredicate,
+    Aggregate, LoadMethod, LoadPolicy, Loader, Parallelism, PointCloud, RefineStrategy,
+    SpatialPredicate,
 };
 use lidardb_geom::{Geometry, Point, Polygon, Ring};
 use lidardb_imprints::Imprints;
@@ -839,6 +840,104 @@ fn e9_parallel() {
     let snapshot = lidardb_core::MetricsRegistry::global().snapshot_json();
     std::fs::write("BENCH_metrics.json", &snapshot).expect("write BENCH_metrics.json");
     println!("wrote BENCH_metrics.json\n");
+
+    e9_tracing(&pc, &queries);
+}
+
+/// E9 tracing addendum: measure the span-tracer's overhead on the hot
+/// query path, then record one fully-traced workload that exercises the
+/// whole stage taxonomy and export it as Chrome trace-event JSON
+/// (loadable in Perfetto / chrome://tracing).
+fn e9_tracing(pc: &PointCloud, queries: &[(&str, &SpatialPredicate)]) {
+    println!("--- tracing overhead (serial bbox query, median of 3) ---");
+    let (name, pred) = (queries[0].0, queries[0].1);
+    let run_once = |pc: &PointCloud| {
+        let sel = pc
+            .select_query_with(Some(pred), &[], RefineStrategy::default(), Parallelism::Serial)
+            .expect("overhead run");
+        std::hint::black_box(sel.rows.len());
+    };
+    let untraced = median_seconds(3, || run_once(pc));
+    lidardb_core::trace::set_enabled(true);
+    let traced = median_seconds(3, || run_once(pc));
+    lidardb_core::trace::set_enabled(false);
+    let overhead_pct = (traced - untraced) / untraced.max(1e-12) * 100.0;
+    println!(
+        "{name}: untraced {:.1} ms, traced {:.1} ms ({overhead_pct:+.2}% overhead)\n",
+        untraced * 1e3,
+        traced * 1e3,
+    );
+
+    // One traced workload covering the full stage taxonomy: both queries
+    // serial and threads(4) (imprint_probe / bbox_scan / grid_refine /
+    // morsel), an aggregate, and a persist round-trip of a small cloud
+    // (imprint_build / persist_save / persist_load).
+    lidardb_core::Tracer::global().clear();
+    lidardb_core::SlowQueryLog::global().clear();
+    lidardb_core::trace::set_enabled(true);
+    let mut agg = 0.0f64;
+    for (_, pred) in queries {
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let sel = pc
+                .select_query_with(Some(pred), &[], RefineStrategy::default(), par)
+                .expect("traced select");
+            agg = pc
+                .aggregate_with(&sel.rows, "z", Aggregate::Sum, par)
+                .expect("traced aggregate")
+                .unwrap_or(0.0);
+        }
+    }
+    std::hint::black_box(agg);
+
+    // Small cloud so the persist spans stay readable next to the queries.
+    let mut small = PointCloud::new();
+    let recs: Vec<lidardb_las::PointRecord> = (0..100_000)
+        .map(|i| lidardb_las::PointRecord {
+            x: (i % 1000) as f64,
+            y: (i / 1000) as f64,
+            z: (i % 120) as f64,
+            classification: (i % 12) as u8,
+            ..Default::default()
+        })
+        .collect();
+    small.append_records(&recs).expect("small append");
+    // First probe builds the lazy imprints -> imprint_build span.
+    small
+        .select_with(
+            &SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(
+                &lidardb_geom::Envelope::new(100.0, 10.0, 600.0, 80.0).expect("env"),
+            ))),
+            RefineStrategy::default(),
+        )
+        .expect("small select");
+    let dir = std::path::Path::new("out/e9_persist");
+    small.save_dir(dir).expect("save_dir");
+    let reopened = PointCloud::open_dir(dir).expect("open_dir");
+    assert_eq!(reopened.num_points(), small.num_points());
+    lidardb_core::trace::set_enabled(false);
+
+    let sink = lidardb_core::Tracer::global().snapshot();
+    let mut stages: Vec<&str> = sink.spans.iter().map(|s| s.kind.name()).collect();
+    stages.sort_unstable();
+    stages.dedup();
+    std::fs::write("BENCH_trace.json", sink.to_chrome_json()).expect("write BENCH_trace.json");
+    println!(
+        "wrote BENCH_trace.json ({} spans; stages: {})",
+        sink.len(),
+        stages.join(", ")
+    );
+
+    println!("\nslow-query log (worst first):");
+    for q in lidardb_core::SlowQueryLog::global().worst() {
+        println!(
+            "  trace {:016x}  {:>8.1} ms  {:>8} rows  {}",
+            q.trace_id,
+            q.seconds * 1e3,
+            q.result_rows,
+            lidardb_core::TraceSink { spans: q.spans }.render_tree()
+        );
+    }
+    println!();
 }
 
 // ---------------------------------------------------------------------------

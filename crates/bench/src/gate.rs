@@ -1,0 +1,498 @@
+//! The CI perf-regression gate: diff a fresh `BENCH_query.json` against
+//! the committed baseline and fail on >25% regression in any stage's p50.
+//!
+//! The harness's per-run timings are already medians-of-3 (`e9_parallel`
+//! picks the median repetition), so each `t_*` field *is* the stage's
+//! p50 for that (query, mode, workers) cell. The gate compares cells
+//! pairwise — a fresh run missing a baseline cell is itself a regression
+//! (coverage must not silently shrink) — and ignores cells faster than
+//! [`TIME_FLOOR_SECONDS`], where scheduler noise dwarfs the signal.
+//!
+//! Everything is hand-rolled (tiny JSON value parser included): the tree
+//! deliberately has no serde. `scripts/bench_gate.sh` wires this into CI
+//! via the `bench_gate` binary; `--scale` produces the synthetically
+//! slowed copy the negative test feeds back through the gate.
+
+use std::collections::BTreeMap;
+
+/// Fractional slowdown tolerated per stage before the gate trips (25%).
+pub const REGRESSION_THRESHOLD: f64 = 0.25;
+
+/// Baseline cells faster than this (seconds) are not gated — at
+/// sub-millisecond scale a cold cache costs more than 25%.
+pub const TIME_FLOOR_SECONDS: f64 = 1e-3;
+
+/// The timed stages of one benchmark run, in report order.
+pub const STAGES: [&str; 4] = ["t_imprints", "t_bbox", "t_refine", "t_total"];
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Only what `BENCH_query.json` needs — numbers are
+/// `f64`, object keys keep insertion order via pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (no escape handling beyond `\"` and `\\` — the harness
+    /// emits neither).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key is not a string at byte {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while let Some(&c) = b.get(*pos) {
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(Json::Str(s)),
+                    b'\\' => {
+                        let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                        *pos += 1;
+                        s.push(match esc {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            other => {
+                                return Err(format!("unsupported escape \\{}", other as char))
+                            }
+                        });
+                    }
+                    other => s.push(other as char),
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark-run extraction and comparison
+// ---------------------------------------------------------------------------
+
+/// One gateable cell of `BENCH_query.json`: a (query, mode, workers) run
+/// with its per-stage p50 seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Query name (`bbox_36pct`, `diamond_32pct`, ...).
+    pub query: String,
+    /// Execution mode (`serial` / `threads`).
+    pub mode: String,
+    /// Worker count.
+    pub workers: u64,
+    /// Stage name → median seconds, in [`STAGES`] order.
+    pub stages: Vec<(String, f64)>,
+}
+
+impl BenchRun {
+    /// The cell's identity within a document.
+    pub fn key(&self) -> (String, String, u64) {
+        (self.query.clone(), self.mode.clone(), self.workers)
+    }
+}
+
+/// Pull every run out of a parsed `BENCH_query.json`.
+pub fn extract_runs(doc: &Json) -> Result<Vec<BenchRun>, String> {
+    let queries = doc
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or("document has no \"queries\" array")?;
+    let mut out = Vec::new();
+    for q in queries {
+        let qname = q
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("query entry has no \"name\"")?;
+        for run in q.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+            let mode = run
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or("run has no \"mode\"")?;
+            let workers = run.get("workers").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+            let mut stages = Vec::with_capacity(STAGES.len());
+            for s in STAGES {
+                if let Some(v) = run.get(s).and_then(Json::as_f64) {
+                    stages.push((s.to_string(), v));
+                }
+            }
+            if stages.is_empty() {
+                return Err(format!("run {qname}/{mode}/{workers} has no stage timings"));
+            }
+            out.push(BenchRun {
+                query: qname.to_string(),
+                mode: mode.to_string(),
+                workers,
+                stages,
+            });
+        }
+    }
+    if out.is_empty() {
+        return Err("document contains no runs".into());
+    }
+    Ok(out)
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `query/mode/workers` of the offending cell.
+    pub cell: String,
+    /// Stage that regressed (or `"<missing>"` for a vanished cell).
+    pub stage: String,
+    /// Baseline p50 seconds.
+    pub base: f64,
+    /// Fresh p50 seconds.
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// Human-readable one-liner.
+    pub fn describe(&self) -> String {
+        if self.stage == "<missing>" {
+            format!("{}: cell missing from fresh run", self.cell)
+        } else {
+            format!(
+                "{} {}: {:.6}s -> {:.6}s (+{:.0}%)",
+                self.cell,
+                self.stage,
+                self.base,
+                self.fresh,
+                (self.fresh / self.base - 1.0) * 100.0
+            )
+        }
+    }
+}
+
+/// Compare a fresh run set against the baseline: every baseline cell must
+/// be present, and no gated stage may slow down by more than `threshold`.
+pub fn compare(base: &[BenchRun], fresh: &[BenchRun], threshold: f64) -> Vec<Regression> {
+    let fresh_by_key: BTreeMap<_, _> = fresh.iter().map(|r| (r.key(), r)).collect();
+    let mut out = Vec::new();
+    for b in base {
+        let cell = format!("{}/{}/{}", b.query, b.mode, b.workers);
+        let Some(f) = fresh_by_key.get(&b.key()) else {
+            out.push(Regression {
+                cell,
+                stage: "<missing>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+            continue;
+        };
+        for (stage, base_secs) in &b.stages {
+            if *base_secs < TIME_FLOOR_SECONDS {
+                continue;
+            }
+            let Some((_, fresh_secs)) = f.stages.iter().find(|(s, _)| s == stage) else {
+                out.push(Regression {
+                    cell: cell.clone(),
+                    stage: stage.clone(),
+                    base: *base_secs,
+                    fresh: 0.0,
+                });
+                continue;
+            };
+            if *fresh_secs > base_secs * (1.0 + threshold) {
+                out.push(Regression {
+                    cell: cell.clone(),
+                    stage: stage.clone(),
+                    base: *base_secs,
+                    fresh: *fresh_secs,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render runs back into a document the gate can read — used by `--scale`
+/// to produce the synthetically slowed copy for the negative CI test.
+pub fn render_runs(runs: &[BenchRun]) -> String {
+    let mut by_query: Vec<(&str, Vec<&BenchRun>)> = Vec::new();
+    for r in runs {
+        match by_query.iter_mut().find(|(q, _)| *q == r.query) {
+            Some((_, v)) => v.push(r),
+            None => by_query.push((&r.query, vec![r])),
+        }
+    }
+    let mut out = String::from("{\n  \"experiment\": \"bench_gate_scaled\",\n  \"queries\": [\n");
+    for (qi, (qname, runs)) in by_query.iter().enumerate() {
+        out.push_str(&format!("    {{\n      \"name\": \"{qname}\",\n      \"runs\": [\n"));
+        for (ri, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"mode\": \"{}\", \"workers\": {}",
+                r.mode, r.workers
+            ));
+            for (s, v) in &r.stages {
+                out.push_str(&format!(", \"{s}\": {v:.6}"));
+            }
+            out.push_str(if ri + 1 < runs.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str(if qi + 1 < by_query.len() {
+            "      ]\n    },\n"
+        } else {
+            "      ]\n    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Multiply every stage timing by `factor` (the synthetic-slowdown knob).
+pub fn scale_times(runs: &[BenchRun], factor: f64) -> Vec<BenchRun> {
+    runs.iter()
+        .map(|r| BenchRun {
+            stages: r.stages.iter().map(|(s, v)| (s.clone(), v * factor)).collect(),
+            ..r.clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "experiment": "e9_parallel_query",
+      "points": 1000,
+      "queries": [
+        {"name": "q1", "rows": 10, "runs": [
+          {"mode": "serial", "workers": 1, "t_imprints": 0.008, "t_bbox": 0.126, "t_refine": 0.0000021, "t_total": 0.134, "bbox_speedup_vs_serial": 1.0},
+          {"mode": "threads", "workers": 4, "t_imprints": 0.008, "t_bbox": 0.132, "t_refine": 0.0000015, "t_total": 0.140, "bbox_speedup_vs_serial": 0.95}
+        ]}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_and_extracts_runs() {
+        let doc = Json::parse(SAMPLE).unwrap();
+        let runs = extract_runs(&doc).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].key(), ("q1".into(), "serial".into(), 1));
+        assert_eq!(runs[1].key(), ("q1".into(), "threads".into(), 4));
+        assert_eq!(runs[0].stages.len(), 4, "all four stages captured");
+        assert!((runs[0].stages[1].1 - 0.126).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        // The gate must always be able to read the real artifact.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_query.json"
+        ))
+        .expect("committed baseline exists");
+        let runs = extract_runs(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(runs.len(), 10, "2 queries x 5 modes");
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let runs = extract_runs(&Json::parse(SAMPLE).unwrap()).unwrap();
+        assert!(compare(&runs, &runs, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn two_x_slowdown_fails() {
+        let runs = extract_runs(&Json::parse(SAMPLE).unwrap()).unwrap();
+        let slowed = scale_times(&runs, 2.0);
+        let regs = compare(&runs, &slowed, REGRESSION_THRESHOLD);
+        assert!(!regs.is_empty());
+        // Sub-floor stages (t_refine at ~2µs) are not flagged even at 2x.
+        assert!(regs.iter().all(|r| r.stage != "t_refine"), "{regs:?}");
+        assert!(regs.iter().any(|r| r.stage == "t_bbox"));
+        assert!(regs[0].describe().contains("+100%"), "{}", regs[0].describe());
+    }
+
+    #[test]
+    fn small_jitter_passes_but_large_does_not() {
+        let runs = extract_runs(&Json::parse(SAMPLE).unwrap()).unwrap();
+        assert!(compare(&runs, &scale_times(&runs, 1.2), REGRESSION_THRESHOLD).is_empty());
+        assert!(!compare(&runs, &scale_times(&runs, 1.3), REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn missing_cell_is_a_regression() {
+        let runs = extract_runs(&Json::parse(SAMPLE).unwrap()).unwrap();
+        let fresh = vec![runs[0].clone()];
+        let regs = compare(&runs, &fresh, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].stage, "<missing>");
+        assert!(regs[0].describe().contains("missing"));
+    }
+
+    #[test]
+    fn scaled_render_round_trips_through_the_gate() {
+        let runs = extract_runs(&Json::parse(SAMPLE).unwrap()).unwrap();
+        let rendered = render_runs(&scale_times(&runs, 2.0));
+        let reparsed = extract_runs(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(reparsed.len(), runs.len());
+        assert!(!compare(&runs, &reparsed, REGRESSION_THRESHOLD).is_empty());
+        assert!(compare(&reparsed, &reparsed, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn json_parser_handles_shapes_and_rejects_garbage() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(
+            Json::parse("[1, \"a\", {}]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Str("a".into()),
+                Json::Obj(vec![])
+            ])
+        );
+        let obj = Json::parse("{\"a\": {\"b\": [2]}}").unwrap();
+        assert_eq!(
+            obj.get("a").and_then(|a| a.get("b")),
+            Some(&Json::Arr(vec![Json::Num(2.0)]))
+        );
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+    }
+}

@@ -9,6 +9,8 @@
 //! cargo run --release -p lidardb-bench --bin harness -- e3 e7   # subset
 //! ```
 
+pub mod gate;
+
 use std::path::PathBuf;
 
 use lidardb_core::{LoadMethod, Loader, PointCloud};

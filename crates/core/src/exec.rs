@@ -126,6 +126,9 @@ pub(crate) struct FilterJob<'a> {
     pub attrs: &'a [AttrRange],
     pub xs: &'a [f64],
     pub ys: &'a [f64],
+    /// The spawning query's bbox-scan span `(trace_id, span_id)` when it
+    /// runs traced: workers adopt it so their morsel spans parent there.
+    pub trace_ctx: Option<(u64, u64)>,
 }
 
 /// Morsel-parallel step 1b: exact bbox scan + attribute refines over the
@@ -138,6 +141,12 @@ pub(crate) fn parallel_filter(
     let morsels = cand.split_rows(morsel_size(cand.num_rows(), workers));
     let results = run_indexed(workers, morsels.len(), |i| {
         let m = &morsels[i];
+        // `_parent` is declared before the span so the span closes (and
+        // records) while the adopted context is still in place.
+        let _parent = job.trace_ctx.map(|(t, s)| crate::trace::adopt_parent(t, s));
+        let mut mspan = crate::trace::span(crate::trace::SpanKind::Stage(
+            crate::metrics::Stage::Morsel,
+        ));
         let t0 = Instant::now();
         let mut rows: Vec<usize> = Vec::new();
         for r in m.ranges() {
@@ -187,6 +196,9 @@ pub(crate) fn parallel_filter(
         let metrics = crate::metrics::MetricsRegistry::global();
         metrics.record_stage(crate::metrics::Stage::Morsel, rows.len(), took);
         metrics.morsels.inc();
+        mspan.set_rows(m.num_rows() as u64, rows.len() as u64);
+        mspan.set_aux(scan_rows);
+        drop(mspan);
         let timing = MorselTiming {
             rows_in: m.num_rows(),
             rows_out: rows.len(),

@@ -47,6 +47,7 @@ pub mod persist;
 pub mod pointcloud;
 pub mod query;
 pub mod soa;
+pub mod trace;
 
 pub use error::CoreError;
 pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
@@ -57,3 +58,4 @@ pub use loader::{
 };
 pub use pointcloud::PointCloud;
 pub use query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};
+pub use trace::{SlowQuery, SlowQueryLog, SpanKind, SpanRecord, TraceSink, Tracer};

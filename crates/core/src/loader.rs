@@ -237,12 +237,23 @@ impl Loader {
         pc: &mut PointCloud,
         paths: &[PathBuf],
     ) -> Result<LoadReport, CoreError> {
+        let mut lspan = crate::trace::span(crate::trace::SpanKind::Stage(
+            crate::metrics::Stage::PersistLoad,
+        ));
         let wall = Instant::now();
         let mut report = match self.method {
             LoadMethod::Binary => self.load_binary(pc, paths)?,
             LoadMethod::Csv => self.load_csv_path(pc, paths)?,
         };
         report.stats.wall_seconds = wall.elapsed().as_secs_f64();
+        lspan.set_rows(paths.len() as u64, report.stats.points as u64);
+        if report
+            .files
+            .iter()
+            .any(|f| matches!(f.outcome, FileOutcome::Quarantined(_)))
+        {
+            lspan.add_flags(crate::trace::FLAG_FAULT);
+        }
         // Bulk ingestion is bytes → table, the same stage taxonomy slot as
         // `open_dir` (see DESIGN.md "Observability").
         let m = crate::metrics::MetricsRegistry::global();

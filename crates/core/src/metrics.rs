@@ -292,7 +292,7 @@ impl MetricsRegistry {
     pub fn snapshot_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n  \"counters\": {\n");
-        let counters: [(&str, u64); 10] = [
+        let counters: [(&str, u64); 11] = [
             ("queries", self.queries.get()),
             ("imprint_cache_hits", self.imprint_cache_hits.get()),
             ("imprint_cache_misses", self.imprint_cache_misses.get()),
@@ -302,6 +302,7 @@ impl MetricsRegistry {
             ("files_quarantined", self.files_quarantined.get()),
             ("points_loaded", self.points_loaded.get()),
             ("imprint_probes", lidardb_imprints::probe_count()),
+            ("imprint_candidate_rows", lidardb_imprints::probe_rows()),
             ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
         ];
         for (i, (name, v)) in counters.iter().enumerate() {
@@ -336,6 +337,17 @@ impl MetricsRegistry {
                 }
                 out.push_str(&c.to_string());
             }
+            // Exclusive upper bound of each emitted bucket (`2^(b+1)` ns;
+            // bucket b counts durations in `[2^b, 2^(b+1))`, the last one
+            // open-ended), so external tooling can reconstruct the latency
+            // distribution without reading the source.
+            out.push_str("], \"latency_le_ns\": [");
+            for j in 0..used {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&(1u64 << (j as u32 + 1).min(63)).to_string());
+            }
             out.push_str(&format!(
                 "]}}{}\n",
                 if i + 1 < Stage::ALL.len() { "," } else { "" }
@@ -368,6 +380,9 @@ pub struct QueryProfile {
     pub explain: crate::query::Explain,
     /// Named stage samples, in execution order.
     pub stages: Vec<StageSample>,
+    /// The query's span-trace id, when it ran traced (see [`crate::trace`]):
+    /// `Tracer::global().snapshot().for_trace(id)` yields its span tree.
+    pub trace_id: Option<u64>,
 }
 
 impl QueryProfile {

@@ -277,6 +277,13 @@ impl PointCloud {
         dir: impl AsRef<Path>,
         fi: Option<&FaultInjector>,
     ) -> Result<(), CoreError> {
+        let mut pspan = crate::trace::span(crate::trace::SpanKind::Stage(
+            crate::metrics::Stage::PersistSave,
+        ));
+        pspan.set_rows(self.num_points() as u64, self.num_points() as u64);
+        if fi.is_some() {
+            pspan.add_flags(crate::trace::FLAG_FAULT);
+        }
         let t0 = std::time::Instant::now();
         let dir = dir.as_ref();
         if let Some(parent) = dir.parent() {
@@ -345,6 +352,12 @@ impl PointCloud {
         dir: impl AsRef<Path>,
         fi: Option<&FaultInjector>,
     ) -> Result<Self, CoreError> {
+        let mut pspan = crate::trace::span(crate::trace::SpanKind::Stage(
+            crate::metrics::Stage::PersistLoad,
+        ));
+        if fi.is_some() {
+            pspan.add_flags(crate::trace::FLAG_FAULT);
+        }
         let t0 = std::time::Instant::now();
         let dir = dir.as_ref();
         let manifest = read_manifest(dir, fi)?;
@@ -367,6 +380,7 @@ impl PointCloud {
             pc.num_points(),
             t0.elapsed(),
         );
+        pspan.set_rows(pc.num_points() as u64, pc.num_points() as u64);
         Ok(pc)
     }
 }

@@ -23,6 +23,7 @@ pub struct PointCloud {
     imprints: RwLock<HashMap<String, Arc<ColumnImprints>>>,
     fault: Option<Arc<crate::fault::FaultInjector>>,
     parallelism: crate::exec::Parallelism,
+    tracing: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for PointCloud {
@@ -48,7 +49,28 @@ impl PointCloud {
             imprints: RwLock::new(HashMap::new()),
             fault: None,
             parallelism: crate::exec::Parallelism::default(),
+            tracing: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Turn per-query span tracing on or off for queries against this
+    /// cloud (`&self`: the flag is atomic, so a shared cloud can be
+    /// toggled mid-serving). Process-wide and per-thread activation live
+    /// in [`crate::trace`].
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether this cloud's per-instance tracing toggle is on.
+    pub fn tracing(&self) -> bool {
+        self.tracing.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The K worst traced queries by wall time, worst first, with their
+    /// span trees. Queries enter the log only while traced; the log is
+    /// process-wide (shared across clouds, like [`Self::metrics`]).
+    pub fn slow_queries(&self) -> Vec<crate::trace::SlowQuery> {
+        crate::trace::SlowQueryLog::global().worst()
     }
 
     /// Attach fault-injection hooks for the imprint-build path (tests
@@ -149,10 +171,14 @@ impl PointCloud {
         metrics.imprint_cache_misses.inc();
         // Build outside any lock (cheap to race: both builds are identical
         // and the second insert wins harmlessly).
+        let mut bspan = crate::trace::span(crate::trace::SpanKind::Stage(
+            crate::metrics::Stage::ImprintBuild,
+        ));
         let t0 = std::time::Instant::now();
         let col = self.table.column_by_name(name)?;
         if let Some(fi) = &self.fault {
             if let Some(kind) = fi.fire(crate::fault::FaultStage::ImprintBuild, name) {
+                bspan.add_flags(crate::trace::FLAG_FAULT);
                 return Err(crate::error::CoreError::Corrupt(format!(
                     "injected imprint-build failure on column {name}: {kind:?}"
                 )));
@@ -160,6 +186,8 @@ impl PointCloud {
         }
         let imp = Arc::new(ColumnImprints::build(col)?);
         let built = t0.elapsed();
+        bspan.set_rows(imp.len() as u64, imp.len() as u64);
+        drop(bspan);
         // The authoritative imprint_build recording site: every lazy build
         // lands here, whether triggered by a query or a direct call.
         metrics.record_stage(crate::metrics::Stage::ImprintBuild, imp.len(), built);

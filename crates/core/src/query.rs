@@ -26,6 +26,7 @@ use crate::error::CoreError;
 use crate::exec::{self, MorselTiming, Parallelism};
 use crate::metrics::{MetricsRegistry, QueryProfile, Stage, StageSample};
 use crate::pointcloud::PointCloud;
+use crate::trace::{self, SpanKind};
 
 /// Default refinement grid resolution (cells per axis).
 pub const DEFAULT_GRID: usize = 64;
@@ -315,6 +316,12 @@ impl PointCloud {
     ) -> Result<Selection, CoreError> {
         let metrics = MetricsRegistry::global();
         metrics.queries.inc();
+        // Root span: records when tracing is active (process flag, thread
+        // guard, enclosing span) or this cloud's per-instance toggle is on.
+        // Inert guards cost one relaxed load and two TLS reads — the scan
+        // kernels below never see a tracing branch.
+        let mut root = trace::root_span_if(self.tracing(), SpanKind::Query);
+        let query_start = root.is_recording().then(Instant::now);
         let mut stages: Vec<StageSample> = Vec::new();
         let mut explain = Explain::default();
         let env = match pred {
@@ -329,6 +336,12 @@ impl PointCloud {
         // A probe whose imprint fails to build (corrupt input, injected
         // fault) degrades gracefully: that predicate contributes no
         // pruning and is enforced by the exact scans below instead.
+        let mut probe_span = trace::span(SpanKind::Stage(Stage::ImprintProbe));
+        let probes_before = if probe_span.is_recording() {
+            lidardb_imprints::probe_count()
+        } else {
+            0
+        };
         let t0 = Instant::now();
         let mut cand: Option<lidardb_imprints::CandidateList> = None;
         let mut probe = |cl: lidardb_imprints::CandidateList| {
@@ -408,6 +421,15 @@ impl PointCloud {
             Duration::from_secs_f64(explain.t_imprints),
         );
         metrics.degraded_probes.add(degraded as u64);
+        if probe_span.is_recording() {
+            probe_span.set_rows(self.num_points() as u64, explain.after_imprints as u64);
+            probe_span.set_aux(lidardb_imprints::probe_count() - probes_before);
+            if degraded > 0 {
+                probe_span.add_flags(trace::FLAG_DEGRADED);
+                root.add_flags(trace::FLAG_DEGRADED);
+            }
+        }
+        drop(probe_span);
 
         // Parallel execution pays off only when there are at least two
         // morsels' worth of candidates; below that the serial path runs.
@@ -416,6 +438,12 @@ impl PointCloud {
         explain.workers = if use_parallel { workers } else { 1 };
 
         // ---- Step 1b: exact checks over candidate runs. --------------------
+        let mut bbox_span = trace::span(SpanKind::Stage(Stage::BboxScan));
+        let scan_rows_before = if bbox_span.is_recording() {
+            scan::totals().1
+        } else {
+            0
+        };
         let t0 = Instant::now();
         let (xs, ys) = if env.is_some() {
             (self.f64_column("x")?, self.f64_column("y")?)
@@ -430,6 +458,7 @@ impl PointCloud {
                 attrs,
                 xs,
                 ys,
+                trace_ctx: bbox_span.ctx(),
             };
             let (rows, timings) = exec::parallel_filter(&job, &cand, workers)?;
             explain.morsel_times = timings;
@@ -499,8 +528,18 @@ impl PointCloud {
             explain.after_bbox,
             Duration::from_secs_f64(explain.t_bbox),
         );
+        if bbox_span.is_recording() {
+            bbox_span.set_rows(explain.after_imprints as u64, explain.after_bbox as u64);
+            bbox_span.set_aux(scan::totals().1 - scan_rows_before);
+        }
+        drop(bbox_span);
 
         // ---- Step 2: spatial refinement. ------------------------------------
+        let mut refine_span = if pred.is_some() {
+            trace::span(SpanKind::Stage(Stage::GridRefine))
+        } else {
+            trace::inert()
+        };
         let t0 = Instant::now();
         if let (Some(pred), Some(env)) = (pred, &env) {
             let pure_bbox = pred.is_pure_bbox().is_some();
@@ -555,10 +594,30 @@ impl PointCloud {
                 Duration::from_secs_f64(explain.t_refine),
             );
         }
-        Ok(Selection {
-            rows,
-            profile: QueryProfile { explain, stages },
-        })
+        refine_span.set_rows(explain.after_bbox as u64, explain.result_rows as u64);
+        drop(refine_span);
+
+        // Finish the trace: close the root, then hand the query's span
+        // tree to the slow-query log. Untraced queries skip all of this —
+        // the log's lock is never touched on the fast path.
+        let trace_id = root.trace_id();
+        root.set_rows(explain.after_imprints as u64, explain.result_rows as u64);
+        drop(root);
+        let profile = QueryProfile {
+            explain,
+            stages,
+            trace_id,
+        };
+        if let (Some(tid), Some(start)) = (trace_id, query_start) {
+            trace::SlowQueryLog::global().record(trace::SlowQuery {
+                trace_id: tid,
+                seconds: start.elapsed().as_secs_f64(),
+                result_rows: rows.len(),
+                profile: profile.clone(),
+                spans: trace::Tracer::global().snapshot().for_trace(tid).spans,
+            });
+        }
+        Ok(Selection { rows, profile })
     }
 
     /// Probe a column's imprint, degrading to `None` (no pruning — the
@@ -735,6 +794,10 @@ impl PointCloud {
             )));
         }
         let workers = parallelism.workers();
+        // Roots its own trace when called standalone; nests under the
+        // caller's span when one is live on this thread.
+        let mut agg_span = trace::root_span_if(self.tracing(), SpanKind::Stage(Stage::Aggregate));
+        agg_span.set_rows(rows.len() as u64, 1);
         let t0 = Instant::now();
         macro_rules! go {
             ($t:ty) => {{

@@ -328,6 +328,73 @@ fn differential_aggregates() {
     }
 }
 
+#[test]
+fn differential_span_trees_serial_vs_parallel() {
+    // Traced serial and parallel runs must produce span trees with the
+    // same stage set and identical per-stage row counts; only the
+    // parallel run adds per-morsel worker spans.
+    let pc = shared_cloud();
+    let pred = diamond(500.0, 500.0, 350.0);
+    // Warm the lazy imprints so neither traced run records a build span.
+    pc.select_with(&pred, RefineStrategy::default()).unwrap();
+
+    let (serial, par);
+    {
+        let _traced = lidardb_core::trace::force_thread();
+        serial = pc
+            .select_query_with(Some(&pred), &[], RefineStrategy::default(), Parallelism::Serial)
+            .unwrap();
+        par = pc
+            .select_query_with(Some(&pred), &[], RefineStrategy::default(), Parallelism::Threads(4))
+            .unwrap();
+    }
+    assert_eq!(serial.rows, par.rows);
+    let serial_tid = serial.profile.trace_id.expect("serial run traced");
+    let par_tid = par.profile.trace_id.expect("parallel run traced");
+    assert_ne!(serial_tid, par_tid, "each query gets its own trace id");
+
+    let sink = lidardb_core::Tracer::global().snapshot();
+    let stage_rows = |tid: u64| {
+        let spans = sink.for_trace(tid).spans;
+        assert!(!spans.is_empty(), "trace {tid:#x} captured");
+        let mut v: Vec<(&'static str, u64)> = spans
+            .iter()
+            .filter(|s| s.kind.name() != "morsel")
+            .map(|s| (s.kind.name(), s.rows_out))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let serial_tree = stage_rows(serial_tid);
+    assert_eq!(
+        serial_tree,
+        stage_rows(par_tid),
+        "serial and parallel span trees disagree on stages or row counts"
+    );
+    for want in ["query", "imprint_probe", "bbox_scan", "grid_refine"] {
+        assert!(serial_tree.iter().any(|(n, _)| *n == want), "missing {want}");
+    }
+
+    // Morsel spans: absent serially, partition the candidates in parallel.
+    let morsels: Vec<_> = sink
+        .for_trace(par_tid)
+        .spans
+        .into_iter()
+        .filter(|s| s.kind.name() == "morsel")
+        .collect();
+    assert!(
+        !sink.for_trace(serial_tid).spans.iter().any(|s| s.kind.name() == "morsel"),
+        "serial run must not record morsel spans"
+    );
+    if par.explain.after_imprints >= 2 * MORSEL_MIN_ROWS {
+        assert!(!morsels.is_empty(), "parallel run records morsel spans");
+        let rows_in: u64 = morsels.iter().map(|m| m.rows_in).sum();
+        let rows_out: u64 = morsels.iter().map(|m| m.rows_out).sum();
+        assert_eq!(rows_in, par.explain.after_imprints as u64, "morsels partition candidates");
+        assert_eq!(rows_out, par.explain.after_bbox as u64, "morsel survivors sum to bbox count");
+    }
+}
+
 // ------------------------------------------------------- randomised sweep
 
 proptest! {

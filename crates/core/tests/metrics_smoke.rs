@@ -254,6 +254,7 @@ fn metrics_smoke() {
         "\"scan_rows_examined\"",
         "\"table_rows\"",
         "\"latency_log2ns\"",
+        "\"latency_le_ns\"",
     ] {
         assert!(json.contains(key), "missing {key} in snapshot:\n{json}");
     }
@@ -265,4 +266,44 @@ fn metrics_smoke() {
     // is positive only if calls happened, and within tolerance of the sum
     // of what this test observed (other tests may add, never subtract).
     assert!(metrics.stage(Stage::ImprintProbe).seconds() >= 0.0);
+}
+
+/// N threads hammering `record_stage` concurrently must lose nothing:
+/// calls, rows, and nanos all sum exactly. Uses a local registry so no
+/// other test's traffic can perturb the totals.
+#[test]
+fn concurrent_record_stage_sums_exactly() {
+    use std::time::Duration;
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let metrics = Arc::new(MetricsRegistry::default());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let metrics = Arc::clone(&metrics);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Varied rows/nanos so dropped updates can't cancel out.
+                    metrics.record_stage(
+                        Stage::BboxScan,
+                        (t * PER_THREAD + i) as usize % 1000,
+                        Duration::from_nanos(1 + i % 7),
+                    );
+                }
+            });
+        }
+    });
+
+    let s = metrics.stage(Stage::BboxScan);
+    assert_eq!(s.calls.get(), THREADS * PER_THREAD);
+    let expect_rows: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t * PER_THREAD + i) % 1000))
+        .sum();
+    assert_eq!(s.rows.get(), expect_rows);
+    let expect_nanos: u64 = THREADS * (0..PER_THREAD).map(|i| 1 + i % 7).sum::<u64>();
+    assert_eq!(s.nanos.get(), expect_nanos);
+    // Every call landed in exactly one latency bucket.
+    let hist: u64 = s.latency.counts().iter().sum();
+    assert_eq!(hist, THREADS * PER_THREAD);
 }

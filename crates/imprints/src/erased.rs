@@ -19,15 +19,26 @@ use crate::stats::ImprintStats;
 /// so the counter lives here and the registry pulls it into its snapshot.
 static PROBES: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide total of candidate rows produced by those probes (the
+/// pre-intersection selectivity of the index).
+static PROBE_ROWS: AtomicU64 = AtomicU64::new(0);
+
 /// Total probes answered by erased imprint indexes since process start
 /// (or the last [`reset_probe_count`]).
 pub fn probe_count() -> u64 {
     PROBES.load(Ordering::Relaxed)
 }
 
-/// Zero the process-wide probe counter (benchmarks/tests).
+/// Total candidate rows produced by [`ColumnImprints::probe_f64`] calls
+/// since process start (or the last [`reset_probe_count`]).
+pub fn probe_rows() -> u64 {
+    PROBE_ROWS.load(Ordering::Relaxed)
+}
+
+/// Zero the process-wide probe counters (benchmarks/tests).
 pub fn reset_probe_count() {
     PROBES.store(0, Ordering::Relaxed);
+    PROBE_ROWS.store(0, Ordering::Relaxed);
 }
 
 /// An imprints index over a type-erased column.
@@ -120,7 +131,7 @@ impl ColumnImprints {
                 }
             };
         }
-        match self {
+        let cand = match self {
             ColumnImprints::I8(i) => probe!(i),
             ColumnImprints::I16(i) => probe!(i),
             ColumnImprints::I32(i) => probe!(i),
@@ -131,7 +142,9 @@ impl ColumnImprints {
             ColumnImprints::U64(i) => probe!(i),
             ColumnImprints::F32(i) => probe!(i),
             ColumnImprints::F64(i) => probe!(i),
-        }
+        };
+        PROBE_ROWS.fetch_add(cand.num_rows() as u64, Ordering::Relaxed);
+        cand
     }
 
     /// Number of indexed values.

@@ -49,7 +49,7 @@ pub mod stats;
 
 pub use bins::BinMap;
 pub use candidates::{CandidateList, CandidateRange};
-pub use erased::{probe_count, reset_probe_count, ColumnImprints};
+pub use erased::{probe_count, probe_rows, reset_probe_count, ColumnImprints};
 pub use imprint::Imprints;
 pub use stats::ImprintStats;
 

@@ -3,8 +3,14 @@
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    /// A (possibly `EXPLAIN`-prefixed) SELECT.
-    Select(SelectStmt),
+    /// A (possibly `EXPLAIN`-prefixed) SELECT. Boxed: the statement body
+    /// dwarfs the other variants.
+    Select(Box<SelectStmt>),
+    /// `SET TRACE = ON|OFF` — toggle per-query span tracing for the
+    /// session (see `lidardb_core::trace`).
+    SetTrace(bool),
+    /// `SHOW SLOW QUERIES` — the K worst traced queries by wall time.
+    ShowSlowQueries,
 }
 
 /// A SELECT statement.

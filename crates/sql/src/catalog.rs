@@ -119,6 +119,9 @@ pub enum Table {
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     parallelism: Parallelism,
+    /// Session tracing toggle (`SET TRACE = ON`). Shared across clones so
+    /// a statement executed on a cloned catalog sees the session's state.
+    trace: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl Catalog {
@@ -136,6 +139,18 @@ impl Catalog {
     /// The catalog's worker-count policy.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Toggle session tracing (`SET TRACE = ON|OFF`): while on, every
+    /// statement executed against this catalog runs with per-query span
+    /// tracing forced on its thread (see `lidardb_core::trace`).
+    pub fn set_trace(&self, on: bool) {
+        self.trace.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether session tracing is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Register a point cloud under `name`.

@@ -379,9 +379,54 @@ impl Ctx for RowEnv<'_> {
     }
 }
 
+/// `SHOW SLOW QUERIES`: the K worst traced queries by wall time, worst
+/// first, with a compact rendering of each span tree.
+fn show_slow_queries() -> ResultSet {
+    let rows = lidardb_core::SlowQueryLog::global()
+        .worst()
+        .into_iter()
+        .map(|q| {
+            let tree = lidardb_core::TraceSink { spans: q.spans };
+            vec![
+                SqlValue::Int(q.trace_id as i64),
+                SqlValue::Float(q.seconds),
+                SqlValue::Int(q.result_rows as i64),
+                SqlValue::Int(tree.len() as i64),
+                SqlValue::Str(tree.render_tree()),
+            ]
+        })
+        .collect();
+    ResultSet {
+        columns: ["trace_id", "seconds", "result_rows", "spans", "tree"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        trace: Vec::new(),
+    }
+}
+
 /// Execute a parsed statement against the catalog.
 pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlError> {
-    let Statement::Select(sel) = stmt;
+    let sel = match stmt {
+        Statement::Select(sel) => sel,
+        Statement::SetTrace(on) => {
+            catalog.set_trace(*on);
+            return Ok(ResultSet {
+                columns: vec!["trace".to_string()],
+                rows: vec![vec![SqlValue::Str(
+                    if *on { "ON" } else { "OFF" }.to_string(),
+                )]],
+                trace: Vec::new(),
+            });
+        }
+        Statement::ShowSlowQueries => return Ok(show_slow_queries()),
+    };
+    // While session tracing is on, everything this statement runs — point
+    // scans, join probes, aggregates — records spans (the guard drops
+    // when execution finishes).
+    let _trace_scope = catalog
+        .trace_enabled()
+        .then(lidardb_core::trace::force_thread);
     let plan = plan_select(catalog, sel)?;
     if sel.explain && !sel.analyze {
         let lines: Vec<Vec<SqlValue>> = plan
@@ -961,7 +1006,7 @@ mod tests {
     #[test]
     fn const_eval() {
         let e = crate::parser::parse("SELECT 1 + 2 * 3 FROM t").unwrap();
-        let Statement::Select(s) = e;
+        let Statement::Select(s) = e else { panic!() };
         let SelectItem::Expr { expr, .. } = &s.items[0] else {
             panic!()
         };

@@ -89,6 +89,23 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("SET") {
+            self.expect_kw("TRACE")?;
+            self.expect(TokenKind::Eq)?;
+            let on = if self.eat_kw("ON") {
+                true
+            } else if self.eat_kw("OFF") {
+                false
+            } else {
+                return Err(self.err("expected ON or OFF"));
+            };
+            return Ok(Statement::SetTrace(on));
+        }
+        if self.eat_kw("SHOW") {
+            self.expect_kw("SLOW")?;
+            self.expect_kw("QUERIES")?;
+            return Ok(Statement::ShowSlowQueries);
+        }
         let explain = self.eat_kw("EXPLAIN");
         let analyze = explain && self.eat_kw("ANALYZE");
         self.expect_kw("SELECT")?;
@@ -143,7 +160,7 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Select(SelectStmt {
+        Ok(Statement::Select(Box::new(SelectStmt {
             explain,
             analyze,
             distinct,
@@ -154,7 +171,7 @@ impl Parser {
             having,
             order_by,
             limit,
-        }))
+        })))
     }
 
     fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
@@ -392,7 +409,8 @@ mod tests {
 
     fn select(sql: &str) -> SelectStmt {
         match parse(sql).unwrap() {
-            Statement::Select(s) => s,
+            Statement::Select(s) => *s,
+            other => panic!("expected SELECT, parsed {other:?}"),
         }
     }
 

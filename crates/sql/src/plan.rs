@@ -537,7 +537,9 @@ mod tests {
     }
 
     fn plan(sql: &str) -> Plan {
-        let crate::ast::Statement::Select(s) = parse(sql).unwrap();
+        let crate::ast::Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
         plan_select(&catalog(), &s).unwrap()
     }
 
@@ -645,7 +647,10 @@ mod tests {
     #[test]
     fn join_without_spatial_predicate_rejected() {
         let crate::ast::Statement::Select(s) =
-            parse("SELECT COUNT(*) FROM points p, roads r WHERE r.id = 1").unwrap();
+            parse("SELECT COUNT(*) FROM points p, roads r WHERE r.id = 1").unwrap()
+        else {
+            panic!()
+        };
         assert!(matches!(
             plan_select(&catalog(), &s),
             Err(SqlError::Plan(_))
@@ -654,7 +659,9 @@ mod tests {
 
     #[test]
     fn unknown_table_rejected() {
-        let crate::ast::Statement::Select(s) = parse("SELECT * FROM nope").unwrap();
+        let crate::ast::Statement::Select(s) = parse("SELECT * FROM nope").unwrap() else {
+            panic!()
+        };
         assert!(plan_select(&catalog(), &s).is_err());
     }
 
@@ -725,7 +732,10 @@ mod tests {
     #[test]
     fn conjunct_splitting() {
         let crate::ast::Statement::Select(s) =
-            parse("SELECT * FROM points WHERE a = 1 AND (b = 2 OR c = 3) AND d = 4").unwrap();
+            parse("SELECT * FROM points WHERE a = 1 AND (b = 2 OR c = 3) AND d = 4").unwrap()
+        else {
+            panic!()
+        };
         let terms = conjuncts(s.where_clause.as_ref().unwrap());
         assert_eq!(terms.len(), 3);
     }

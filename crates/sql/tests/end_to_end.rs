@@ -471,3 +471,61 @@ fn st_buffer_envelope_numpoints() {
     .unwrap();
     assert!(rs.rows[0][0].render().contains("POLYGON"));
 }
+
+#[test]
+fn set_trace_session_records_spans_and_shows_slow_queries() {
+    let c = setup();
+
+    // Parser shapes first.
+    assert!(query(&c, "SET TRACE = maybe").is_err());
+    assert!(query(&c, "SHOW SLOW").is_err());
+
+    // Untraced session: queries get no trace id, the session flag is off.
+    assert!(!c.trace_enabled());
+    let rs = query(&c, "SET TRACE = ON").unwrap();
+    assert_eq!(rs.columns, vec!["trace"]);
+    assert_eq!(rs.rows[0][0], SqlValue::Str("ON".into()));
+    assert!(c.trace_enabled());
+
+    // A traced SELECT lands in the slow-query log with a span tree that
+    // includes the query root and its bbox scan.
+    lidardb_core::SlowQueryLog::global().clear();
+    let rs = query(
+        &c,
+        "SELECT COUNT(*) FROM points WHERE \
+         ST_Contains(ST_MakeEnvelope(10, 10, 30, 30), ST_Point(x, y))",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(21 * 21));
+    let slow = lidardb_core::SlowQueryLog::global().worst();
+    assert!(!slow.is_empty(), "traced query entered the slow log");
+    let q = &slow[0];
+    assert!(q.profile.trace_id.is_some());
+    let names: Vec<&str> = q.spans.iter().map(|s| s.kind.name()).collect();
+    assert!(names.contains(&"query"), "{names:?}");
+    assert!(names.contains(&"bbox_scan"), "{names:?}");
+
+    let rs = query(&c, "SHOW SLOW QUERIES").unwrap();
+    assert_eq!(
+        rs.columns,
+        vec!["trace_id", "seconds", "result_rows", "spans", "tree"]
+    );
+    assert!(!rs.rows.is_empty());
+    assert!(rs.rows[0][4].render().contains("query"), "span tree rendered");
+
+    // OFF stops new queries from being traced.
+    query(&c, "SET TRACE = OFF").unwrap();
+    assert!(!c.trace_enabled());
+    lidardb_core::SlowQueryLog::global().clear();
+    query(&c, "SELECT COUNT(*) FROM points WHERE x BETWEEN 0 AND 5").unwrap();
+    assert!(
+        lidardb_core::SlowQueryLog::global().worst().is_empty(),
+        "untraced queries stay out of the slow log"
+    );
+
+    // Clones of the catalog share the session flag.
+    let clone = c.clone();
+    clone.set_trace(true);
+    assert!(c.trace_enabled());
+    c.set_trace(false);
+}

@@ -31,7 +31,9 @@ fn expr_text() -> impl Strategy<Value = String> {
 }
 
 fn first_expr(stmt: &Statement) -> Expr {
-    let Statement::Select(s) = stmt;
+    let Statement::Select(s) = stmt else {
+        panic!("generator only emits SELECT")
+    };
     match &s.items[0] {
         SelectItem::Expr { expr, .. } => expr.clone(),
         SelectItem::Wildcard => panic!("generator never emits *"),

@@ -40,6 +40,16 @@ pub fn rows_examined() -> u64 {
     ROWS_EXAMINED.load(MemOrdering::Relaxed)
 }
 
+/// Both counters in one consistent-enough read: `(calls, rows_examined)`.
+/// The tracer uses before/after deltas of this pair to attribute
+/// scan-kernel work to a span.
+pub fn totals() -> (u64, u64) {
+    (
+        SCAN_CALLS.load(MemOrdering::Relaxed),
+        ROWS_EXAMINED.load(MemOrdering::Relaxed),
+    )
+}
+
 /// Zero both scan counters (used by `MetricsRegistry::reset`).
 pub fn reset_scan_counters() {
     SCAN_CALLS.store(0, MemOrdering::Relaxed);

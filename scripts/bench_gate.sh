@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf-regression gate: diff a fresh E9 harness run against the committed
+# BENCH_query.json baseline; non-zero exit on >25% regression in any
+# stage's p50 (see crates/bench/src/gate.rs).
+#
+# Usage:
+#   scripts/bench_gate.sh                  # full run: rebuild, run E9, diff
+#   BENCH_GATE_FRESH=path scripts/bench_gate.sh
+#                                          # diff an existing results file
+#                                          # (CI uses this to avoid the
+#                                          # multi-minute 12M-point run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REPO="$PWD"
+BASE="${BENCH_GATE_BASE:-$REPO/BENCH_query.json}"
+
+FRESH="${BENCH_GATE_FRESH:-}"
+if [ -z "$FRESH" ]; then
+    # Run harness E9 in a scratch cwd so its BENCH_*.json / BENCH_trace.json
+    # artifacts don't clobber the committed baselines.
+    SCRATCH="$(mktemp -d)"
+    trap 'rm -rf "$SCRATCH"' EXIT
+    echo "bench_gate.sh: running fresh E9 harness (this takes a few minutes)..."
+    (cd "$SCRATCH" && cargo run --release --quiet \
+        --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e9)
+    FRESH="$SCRATCH/BENCH_query.json"
+fi
+
+exec cargo run --release --quiet --manifest-path "$REPO/Cargo.toml" \
+    -p lidardb-bench --bin bench_gate -- --base "$BASE" --fresh "$FRESH"

@@ -16,6 +16,16 @@ LIDARDB_WORKERS=8 cargo test -q -p lidardb-core --test differential -- --test-th
 
 echo "==> metrics smoke (snapshot JSON parses, stage timers within wall-clock)"
 cargo test -q -p lidardb-core --test metrics_smoke -- --test-threads=1
+# Debug atomics can hide lost-update bugs behind slow interleavings; run
+# the concurrency-exactness checks under release codegen too.
+cargo test -q --release -p lidardb-core --test metrics_smoke -- --test-threads=1
+
+echo "==> trace smoke (chrome JSON shape, per-cloud toggle, slow-query log)"
+cargo test -q -p lidardb-core --test trace_smoke -- --test-threads=1
+cargo test -q --release -p lidardb-core --test trace_smoke -- --test-threads=1
+
+echo "==> core builds with tracing compiled out"
+cargo check -q -p lidardb-core --no-default-features
 
 echo "==> decoder-hardening and observability regression tests"
 cargo test -q -p lidardb-storage huge_declared_counts_are_rejected_without_allocating
@@ -23,6 +33,23 @@ cargo test -q -p lidardb-las absurd_point_count_rejected_without_overflow
 cargo test -q -p lidardb-core forged_manifest_row_count_rejected_without_overflow
 cargo test -q -p lidardb-core to_table_renders_every_explain_field
 cargo test -q -p lidardb-sql explain_analyze
+cargo test -q -p lidardb-core --test differential differential_span_trees_serial_vs_parallel
+cargo test -q -p lidardb-sql set_trace_session_records_spans_and_shows_slow_queries
+
+echo "==> perf-regression gate (identity: committed baseline vs itself must pass)"
+BENCH_GATE_FRESH=BENCH_query.json scripts/bench_gate.sh
+
+echo "==> perf-regression gate (negative: a 2x slowdown must fail)"
+SLOWED="$(mktemp)"
+trap 'rm -f "$SLOWED"' EXIT
+cargo run --release --quiet -p lidardb-bench --bin bench_gate -- \
+    --base BENCH_query.json --scale 2.0 --out "$SLOWED"
+if BENCH_GATE_FRESH="$SLOWED" scripts/bench_gate.sh; then
+    echo "ci FAIL: bench gate accepted a 2x slowdown" >&2
+    exit 1
+else
+    echo "gate correctly rejected the slowed run"
+fi
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
