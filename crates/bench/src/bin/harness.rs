@@ -52,6 +52,9 @@ fn main() {
     if want("e9") {
         e9_parallel();
     }
+    if want("e10") {
+        e10_overload();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1017,4 +1020,234 @@ fn e8_sfc() {
         imp_h.num_lines() as f64 / imp_h.num_vectors() as f64
     );
     println!();
+}
+
+// ---------------------------------------------------------------------------
+// E10 — overload governance
+// ---------------------------------------------------------------------------
+
+/// One resolved query under open-loop load.
+struct E10Sample {
+    outcome: &'static str, // "ok" | "cancelled" | "overloaded"
+    secs: f64,
+}
+
+/// Open-loop burst: `threads` clients each firing `per_thread` queries
+/// back-to-back. Every query must resolve to Ok / Cancelled / Overloaded —
+/// anything else aborts the experiment.
+fn e10_burst(
+    pc: &Arc<PointCloud>,
+    preds: &[SpatialPredicate],
+    threads: usize,
+    per_thread: usize,
+    deadline: Option<std::time::Duration>,
+) -> Vec<E10Sample> {
+    let samples: Vec<E10Sample> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pc = Arc::clone(pc);
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(per_thread);
+                    for q in 0..per_thread {
+                        let pred = &preds[(t + q) % preds.len()];
+                        let start = std::time::Instant::now();
+                        let res = pc.select_query_governed(
+                            Some(pred),
+                            &[],
+                            RefineStrategy::default(),
+                            Parallelism::Serial,
+                            deadline,
+                            None,
+                        );
+                        let secs = start.elapsed().as_secs_f64();
+                        let outcome = match &res {
+                            Ok(_) => "ok",
+                            Err(lidardb_core::CoreError::Cancelled { .. }) => "cancelled",
+                            Err(lidardb_core::CoreError::Overloaded { .. }) => "overloaded",
+                            Err(e) => panic!("E10: untyped failure under load: {e}"),
+                        };
+                        out.push(E10Sample { outcome, secs });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("E10 client thread must not panic"))
+            .collect()
+    });
+    samples
+}
+
+fn e10_percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).min(sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn e10_overload() {
+    header(
+        "E10 (overload governance)",
+        "admission control + deadlines under 64-client burst: bounded tail, typed shedding, no hangs",
+    );
+    lidardb_core::MetricsRegistry::global().reset();
+
+    const N: usize = 2_000_000;
+    const CHUNK: usize = 500_000;
+    const THREADS: usize = 64;
+    const PER_THREAD: usize = 3;
+    const DEADLINE_MS: u64 = 50;
+
+    println!("building {N} synthetic points ...");
+    let mut pc = PointCloud::new();
+    let mut state = 0xE10_0DDu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut unit = move || (next() % (1u64 << 53)) as f64 / (1u64 << 53) as f64;
+    let mut chunk = Vec::with_capacity(CHUNK);
+    for i in 0..N {
+        chunk.push(lidardb_las::PointRecord {
+            x: unit() * 10_000.0,
+            y: unit() * 10_000.0,
+            z: unit() * 120.0,
+            classification: (i % 12) as u8,
+            intensity: (i % 5000) as u16,
+            gps_time: i as f64 * 1e-4,
+            ..Default::default()
+        });
+        if chunk.len() == CHUNK {
+            pc.append_records(&chunk).expect("append");
+            chunk.clear();
+        }
+    }
+
+    let preds = vec![
+        SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::rectangle(
+                &lidardb_geom::Envelope::new(1000.0, 1000.0, 9000.0, 9000.0).expect("env"),
+            ),
+        )),
+        SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::from_exterior(vec![
+                Point::new(5000.0, 500.0),
+                Point::new(9500.0, 5000.0),
+                Point::new(5000.0, 9500.0),
+                Point::new(500.0, 5000.0),
+            ])
+            .expect("diamond"),
+        )),
+        SpatialPredicate::Within(Geometry::Polygon(
+            Polygon::rectangle(
+                &lidardb_geom::Envelope::new(4000.0, 4000.0, 5000.0, 5000.0).expect("env"),
+            ),
+        )),
+    ];
+    // Warm lazy imprints so the burst measures query latency, not builds.
+    for p in &preds {
+        pc.select_with(p, RefineStrategy::default()).expect("warmup");
+    }
+
+    // Config A: ungoverned — unlimited admission, no deadline.
+    let pc_open = Arc::new(pc);
+    println!(
+        "\nburst: {THREADS} clients x {PER_THREAD} queries, serial executor per query\n"
+    );
+    println!(
+        "{:<12} {:>5} {:>10} {:>11} {:>9} {:>9} {:>9}",
+        "config", "ok", "cancelled", "overloaded", "p50 ms", "p99 ms", "max ms"
+    );
+
+    let mut json_configs = Vec::new();
+    let mut report = |name: &'static str,
+                      max_in_flight: usize,
+                      queue: usize,
+                      deadline_ms: u64,
+                      samples: &[E10Sample]|
+     -> (usize, usize, usize) {
+        let ok = samples.iter().filter(|s| s.outcome == "ok").count();
+        let cancelled = samples.iter().filter(|s| s.outcome == "cancelled").count();
+        let overloaded = samples.iter().filter(|s| s.outcome == "overloaded").count();
+        let mut ms: Vec<f64> = samples.iter().map(|s| s.secs * 1e3).collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99, max) = (
+            e10_percentile(&ms, 0.50),
+            e10_percentile(&ms, 0.99),
+            ms.last().copied().unwrap_or(0.0),
+        );
+        println!(
+            "{name:<12} {ok:>5} {cancelled:>10} {overloaded:>11} {p50:>9.1} {p99:>9.1} {max:>9.1}"
+        );
+        json_configs.push(format!(
+            "    {{\"name\": \"{name}\", \"max_in_flight\": {max_in_flight}, \
+             \"max_queue\": {queue}, \"deadline_ms\": {deadline_ms}, \
+             \"ok\": {ok}, \"cancelled\": {cancelled}, \"overloaded\": {overloaded}, \
+             \"p50_ms\": {p50:.2}, \"p99_ms\": {p99:.2}, \"max_ms\": {max:.2}}}"
+        ));
+        (ok, cancelled, overloaded)
+    };
+
+    let open = e10_burst(&pc_open, &preds, THREADS, PER_THREAD, None);
+    let (open_ok, _, _) = report("ungoverned", 0, 0, 0, &open);
+    assert_eq!(open_ok, THREADS * PER_THREAD, "ungoverned queries all succeed");
+
+    // Config B: governed — 4 in flight, queue of 8, 50 ms deadline that
+    // also bounds queue wait. The queue WILL fill at 64 clients: excess
+    // is shed as Overloaded, queued-but-stale work dies as Cancelled.
+    let mut pc_gov = Arc::try_unwrap(pc_open).ok().expect("sole owner between bursts");
+    pc_gov.set_admission(Arc::new(lidardb_core::AdmissionController::new(4, 8)));
+    let pc_gov = Arc::new(pc_gov);
+    let governed = e10_burst(
+        &pc_gov,
+        &preds,
+        THREADS,
+        PER_THREAD,
+        Some(std::time::Duration::from_millis(DEADLINE_MS)),
+    );
+    let (gov_ok, gov_cancelled, gov_overloaded) =
+        report("governed", 4, 8, DEADLINE_MS, &governed);
+    assert_eq!(
+        gov_ok + gov_cancelled + gov_overloaded,
+        THREADS * PER_THREAD,
+        "every governed query resolves"
+    );
+
+    let m = lidardb_core::MetricsRegistry::global();
+    println!(
+        "\ngovernor counters: shed={} timed_out={} killed={} budget_trips={}",
+        m.queries_shed.get(),
+        m.queries_timed_out.get(),
+        m.queries_killed.get(),
+        m.budget_trips.get()
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e10_overload\",\n");
+    out.push_str(&format!("  \"points\": {},\n", pc_gov.num_points()));
+    out.push_str(&format!("  \"clients\": {THREADS},\n"));
+    out.push_str(&format!("  \"queries_per_client\": {PER_THREAD},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"configs\": [\n");
+    out.push_str(&json_configs.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"governor_counters\": {{\"queries_shed\": {}, \"queries_timed_out\": {}, \
+         \"queries_killed\": {}, \"budget_trips\": {}}}\n",
+        m.queries_shed.get(),
+        m.queries_timed_out.get(),
+        m.queries_killed.get(),
+        m.budget_trips.get()
+    ));
+    out.push_str("}\n");
+    std::fs::write("BENCH_overload.json", &out).expect("write BENCH_overload.json");
+    println!("wrote BENCH_overload.json\n");
 }

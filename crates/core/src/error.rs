@@ -1,10 +1,32 @@
 //! Error type of the core engine.
 
 use std::fmt;
+use std::time::Duration;
 
 use lidardb_geom::GeomError;
 use lidardb_las::LasError;
 use lidardb_storage::StorageError;
+
+/// Why a query was cancelled (see `core::governor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The statement deadline expired.
+    Deadline,
+    /// An operator (or SQL `KILL <id>`) stopped the query.
+    Killed,
+    /// The query's memory budget was exceeded.
+    MemBudget,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CancelReason::Deadline => "deadline",
+            CancelReason::Killed => "killed",
+            CancelReason::MemBudget => "memory budget",
+        })
+    }
+}
 
 /// Errors produced by the point-cloud engine.
 #[derive(Debug)]
@@ -38,6 +60,21 @@ pub enum CoreError {
         /// Why it failed.
         source: Box<CoreError>,
     },
+    /// The query was cooperatively cancelled before completing: its
+    /// deadline expired, it was killed, or it exceeded its memory
+    /// budget. `Display` deliberately omits `elapsed` so a serial and a
+    /// parallel cancellation of the same query render identically.
+    Cancelled {
+        /// What tripped the cancellation token.
+        reason: CancelReason,
+        /// Wall time the query ran before noticing the trip.
+        elapsed: Duration,
+        /// Result rows materialised before cancellation (discarded).
+        partial_rows: usize,
+    },
+    /// The admission queue was full (or the wait deadline expired): the
+    /// query was shed without starting. Retryable by definition.
+    Overloaded,
 }
 
 impl CoreError {
@@ -47,6 +84,9 @@ impl CoreError {
         match self {
             CoreError::Las(e) => e.is_transient(),
             CoreError::FileLoad { source, .. } => source.is_transient(),
+            // A shed query never started; retrying once load drains is
+            // exactly what the admission queue is for.
+            CoreError::Overloaded => true,
             _ => false,
         }
     }
@@ -66,6 +106,19 @@ impl fmt::Display for CoreError {
             CoreError::WorkerPanic(msg) => write!(f, "loader worker panicked: {msg}"),
             CoreError::FileLoad { path, source } => {
                 write!(f, "load of {} failed: {source}", path.display())
+            }
+            CoreError::Cancelled {
+                reason,
+                partial_rows,
+                ..
+            } => {
+                write!(
+                    f,
+                    "query cancelled ({reason}) after {partial_rows} partial rows"
+                )
+            }
+            CoreError::Overloaded => {
+                f.write_str("overloaded: admission queue full, query shed")
             }
         }
     }
@@ -144,5 +197,40 @@ mod tests {
         let p: CoreError = LasError::Io(std::io::Error::other("disk on fire")).into();
         assert!(!p.is_transient());
         assert!(!CoreError::InvalidQuery("x".into()).is_transient());
+        assert!(CoreError::Overloaded.is_transient(), "shed queries retry");
+        let c = CoreError::Cancelled {
+            reason: CancelReason::Deadline,
+            elapsed: Duration::from_millis(7),
+            partial_rows: 0,
+        };
+        assert!(!c.is_transient(), "a timed-out query times out again");
+    }
+
+    #[test]
+    fn cancelled_display_is_elapsed_free() {
+        // The differential suite compares serial and parallel cancellation
+        // errors by their Display strings; elapsed wall time must not leak
+        // into the rendering or they could never match.
+        let mk = |ms: u64| CoreError::Cancelled {
+            reason: CancelReason::Killed,
+            elapsed: Duration::from_millis(ms),
+            partial_rows: 12,
+        };
+        assert_eq!(mk(1).to_string(), mk(999).to_string());
+        assert!(mk(1).to_string().contains("killed"), "{}", mk(1));
+        assert!(mk(1).to_string().contains("12"), "{}", mk(1));
+        for reason in [
+            CancelReason::Deadline,
+            CancelReason::Killed,
+            CancelReason::MemBudget,
+        ] {
+            let e = CoreError::Cancelled {
+                reason,
+                elapsed: Duration::ZERO,
+                partial_rows: 0,
+            };
+            assert!(e.to_string().contains(&reason.to_string()), "{e}");
+        }
+        assert!(CoreError::Overloaded.to_string().contains("overloaded"));
     }
 }

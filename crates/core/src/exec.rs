@@ -26,6 +26,7 @@ use lidardb_storage::scan::{self, AggState};
 use lidardb_storage::Native;
 
 use crate::error::CoreError;
+use crate::governor::{GovernCtx, CHECKPOINT_STRIDE};
 use crate::pointcloud::PointCloud;
 use crate::query::{grid_cell, grid_cell_env, AttrRange, Explain, SpatialPredicate};
 
@@ -71,7 +72,11 @@ pub struct MorselTiming {
 
 /// Run `f(0..n)` on `workers` scoped threads pulling indexes off a shared
 /// counter, containing panics as [`CoreError::WorkerPanic`]. Results come
-/// back in index order; the first error (in index order) wins.
+/// back in index order. Error precedence: a [`CoreError::Cancelled`] wins
+/// (cancellation is the root cause — remaining morsels all observe the
+/// tripped token), then worker panics — aggregated so *every* panicked
+/// morsel is reported, not just the first — then the first other error in
+/// index order.
 fn run_indexed<T: Send>(
     workers: usize,
     n: usize,
@@ -103,10 +108,36 @@ fn run_indexed<T: Send>(
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled when the scope ends"))
-        .collect()
+    let mut results = Vec::with_capacity(n);
+    let mut panics: Vec<String> = Vec::new();
+    let mut cancelled: Option<CoreError> = None;
+    let mut other: Option<CoreError> = None;
+    for s in slots {
+        match s.expect("every slot filled when the scope ends") {
+            Ok(t) => results.push(t),
+            Err(e @ CoreError::Cancelled { .. }) => {
+                if cancelled.is_none() {
+                    cancelled = Some(e);
+                }
+            }
+            Err(CoreError::WorkerPanic(m)) => panics.push(m),
+            Err(e) => {
+                if other.is_none() {
+                    other = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = cancelled {
+        return Err(e);
+    }
+    if !panics.is_empty() {
+        return Err(CoreError::WorkerPanic(panics.join("; ")));
+    }
+    if let Some(e) = other {
+        return Err(e);
+    }
+    Ok(results)
 }
 
 /// Split `total` work items into per-worker portions of at least
@@ -129,6 +160,9 @@ pub(crate) struct FilterJob<'a> {
     /// The spawning query's bbox-scan span `(trace_id, span_id)` when it
     /// runs traced: workers adopt it so their morsel spans parent there.
     pub trace_ctx: Option<(u64, u64)>,
+    /// The query's governance context; morsels checkpoint against it at
+    /// [`CHECKPOINT_STRIDE`]-row boundaries.
+    pub govern: &'a GovernCtx,
 }
 
 /// Morsel-parallel step 1b: exact bbox scan + attribute refines over the
@@ -149,19 +183,32 @@ pub(crate) fn parallel_filter(
         ));
         let t0 = Instant::now();
         let mut rows: Vec<usize> = Vec::new();
+        // Cancellation checkpoints every CHECKPOINT_STRIDE candidate rows.
+        // Runs longer than the stride (a degraded probe can hand one run
+        // spanning the whole morsel) are split so cancellation latency
+        // stays bounded by the stride, not the morsel size. The split is
+        // invisible to results: sub-ranges scan the same rows in order.
+        let mut since = 0usize;
         for r in m.ranges() {
-            if r.all_qualify {
-                rows.extend(r.start..r.end);
-            } else if let Some(env) = job.env {
-                scan::range_scan_ranges(
-                    job.xs,
-                    &[(r.start, r.end)],
-                    env.min_x,
-                    env.max_x,
-                    &mut rows,
-                );
-            } else {
-                rows.extend(r.start..r.end);
+            let mut s = r.start;
+            while s < r.end {
+                let e = r.end.min(s + (CHECKPOINT_STRIDE - since));
+                if r.all_qualify {
+                    rows.extend(s..e);
+                } else if let Some(env) = job.env {
+                    scan::range_scan_ranges(job.xs, &[(s, e)], env.min_x, env.max_x, &mut rows);
+                } else {
+                    rows.extend(s..e);
+                }
+                since += e - s;
+                s = e;
+                if since >= CHECKPOINT_STRIDE {
+                    since = 0;
+                    if let Err(err) = job.govern.checkpoint("bbox_scan") {
+                        mspan.add_flags(crate::trace::FLAG_CANCELLED);
+                        return Err(err);
+                    }
+                }
             }
         }
         // Kernel work is tallied outside the scan loop (accumulators inside
@@ -191,6 +238,17 @@ pub(crate) fn parallel_filter(
             scan_rows += rows.len() as u64;
             job.pc.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
         }
+        // Selection materialisation is the morsel's memory footprint:
+        // charge it (budget trips cancel the query) and record the rows
+        // toward `partial_rows` before handing the morsel back.
+        if let Err(err) = job
+            .govern
+            .charge((rows.len() * std::mem::size_of::<usize>()) as u64)
+        {
+            mspan.add_flags(crate::trace::FLAG_CANCELLED);
+            return Err(err);
+        }
+        job.govern.add_rows(rows.len());
         scan::note_scans(scan_calls, scan_rows);
         let took = t0.elapsed();
         let metrics = crate::metrics::MetricsRegistry::global();
@@ -223,15 +281,21 @@ pub(crate) fn parallel_exhaustive(
     ys: &[f64],
     rows: &mut Vec<usize>,
     workers: usize,
+    govern: &GovernCtx,
 ) -> Result<(), CoreError> {
     let kept = {
         let chunks: Vec<&[usize]> = rows.chunks(morsel_size(rows.len(), workers)).collect();
         run_indexed(workers, chunks.len(), |i| {
-            Ok(chunks[i]
-                .iter()
-                .copied()
-                .filter(|&row| pred.matches(&Point::new(xs[row], ys[row])))
-                .collect::<Vec<usize>>())
+            let mut out = Vec::new();
+            for sub in chunks[i].chunks(CHECKPOINT_STRIDE) {
+                for &row in sub {
+                    if pred.matches(&Point::new(xs[row], ys[row])) {
+                        out.push(row);
+                    }
+                }
+                govern.checkpoint("grid_refine")?;
+            }
+            Ok(out)
         })?
     };
     rows.clear();
@@ -259,17 +323,26 @@ pub(crate) fn parallel_grid_refine(
     rows: &mut Vec<usize>,
     explain: &mut Explain,
     workers: usize,
+    govern: &GovernCtx,
 ) -> Result<(), CoreError> {
     let w = env.width().max(f64::MIN_POSITIVE);
     let h = env.height().max(f64::MIN_POSITIVE);
+    // The cell-id side table is the refinement's memory footprint: one u32
+    // per candidate, charged before the buffers are built.
+    govern.charge((rows.len() * std::mem::size_of::<u32>()) as u64)?;
     let (kept, tests) = {
         let chunks: Vec<&[usize]> = rows.chunks(morsel_size(rows.len(), workers)).collect();
         // Pass 1: bin candidates to cells (cell ids fit u32: cells <= 2048).
         let cell_ids = run_indexed(workers, chunks.len(), |i| {
-            Ok(chunks[i]
-                .iter()
-                .map(|&row| grid_cell(env, w, h, cells, xs[row], ys[row]) as u32)
-                .collect::<Vec<u32>>())
+            let mut ids = Vec::with_capacity(chunks[i].len());
+            for sub in chunks[i].chunks(CHECKPOINT_STRIDE) {
+                ids.extend(
+                    sub.iter()
+                        .map(|&row| grid_cell(env, w, h, cells, xs[row], ys[row]) as u32),
+                );
+                govern.checkpoint("grid_refine")?;
+            }
+            Ok(ids)
         })?;
         // Classify each non-empty cell exactly once (serial: the table scan
         // is cheap next to the geometry tests).
@@ -307,6 +380,7 @@ pub(crate) fn parallel_grid_refine(
         let results = run_indexed(workers, chunks.len(), |i| {
             let mut out = Vec::new();
             let mut tests = 0usize;
+            let mut since = 0usize;
             for (&row, &c) in chunks[i].iter().zip(&cell_ids[i]) {
                 match class[c as usize] {
                     INSIDE => out.push(row),
@@ -318,6 +392,11 @@ pub(crate) fn parallel_grid_refine(
                         }
                     }
                     _ => unreachable!("present cells were classified"),
+                }
+                since += 1;
+                if since >= CHECKPOINT_STRIDE {
+                    since = 0;
+                    govern.checkpoint("grid_refine")?;
                 }
             }
             Ok((out, tests))
@@ -341,10 +420,21 @@ pub(crate) fn parallel_aggregate<T: Native>(
     data: &[T],
     rows: &[usize],
     workers: usize,
+    govern: &GovernCtx,
 ) -> Result<AggState, CoreError> {
     let chunks: Vec<&[usize]> = rows.chunks(morsel_size(rows.len(), workers)).collect();
     let states = run_indexed(workers, chunks.len(), |i| {
-        Ok(scan::aggregate_rows(data, chunks[i]))
+        // Sub-chunks accumulate into one state sequentially, which pushes
+        // the same values in the same order as one whole-chunk pass — the
+        // compensated sum is bit-identical, checkpoints or not.
+        let mut st = AggState::default();
+        for sub in chunks[i].chunks(CHECKPOINT_STRIDE) {
+            for &r in sub {
+                st.push(data[r].to_f64());
+            }
+            govern.checkpoint("aggregate")?;
+        }
+        Ok(st)
     })?;
     let mut acc = AggState::default();
     for s in states {
@@ -399,6 +489,46 @@ mod tests {
             }
             other => panic!("expected WorkerPanic, got {other}"),
         }
+    }
+
+    /// Regression: multiple panicked morsels must *all* be reported, not
+    /// just the first in index order.
+    #[test]
+    fn run_indexed_aggregates_all_panics() {
+        let err = run_indexed(4, 10, |i| {
+            if i == 2 || i == 7 {
+                panic!("boom morsel {i}");
+            }
+            Ok::<usize, CoreError>(i)
+        })
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanic(msg) => {
+                assert!(msg.contains("morsel 2"), "{msg}");
+                assert!(msg.contains("morsel 7"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_indexed_prefers_cancelled_over_panics() {
+        use crate::error::CancelReason;
+        let err = run_indexed(2, 6, |i| {
+            if i == 0 {
+                panic!("worker panicked");
+            }
+            Err::<usize, _>(CoreError::Cancelled {
+                reason: CancelReason::Killed,
+                elapsed: std::time::Duration::ZERO,
+                partial_rows: 0,
+            })
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Cancelled { .. }),
+            "cancellation is the root cause, got {err}"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum FaultStage {
     LoadDecode,
     /// Building a column imprint (target = column name).
     ImprintBuild,
+    /// A cooperative-cancellation checkpoint on the query path (target =
+    /// the surrounding stage name, e.g. `"bbox_scan"`); pairs with the
+    /// `Cancel` and `Stall` kinds.
+    QueryCheckpoint,
 }
 
 /// What kind of fault fires. Seeds make the corruption deterministic.
@@ -45,6 +49,12 @@ pub enum FaultKind {
     /// Simulate the process dying at this point: the operation stops
     /// immediately, leaving whatever partial state exists on disk.
     Crash,
+    /// Trip the query's cancellation token at a `QueryCheckpoint`, as a
+    /// `KILL` landing at exactly that point would.
+    Cancel,
+    /// Sleep this many milliseconds at a `QueryCheckpoint`, so a
+    /// statement deadline expires deterministically mid-stage.
+    Stall(u64),
 }
 
 /// One bounded-mix step of splitmix64; enough to spread a test seed.
@@ -75,7 +85,7 @@ impl FaultKind {
                 let keep = (mix(seed) as usize) % bytes.len();
                 bytes.truncate(keep);
             }
-            FaultKind::IoError | FaultKind::Crash => {}
+            FaultKind::IoError | FaultKind::Crash | FaultKind::Cancel | FaultKind::Stall(_) => {}
         }
     }
 
@@ -225,5 +235,23 @@ mod tests {
     fn io_error_kind_is_transient() {
         let e = FaultKind::IoError.to_io_error();
         assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn query_fault_kinds_are_not_byte_level() {
+        // Cancel and Stall act at checkpoints, never on buffers.
+        let orig: Vec<u8> = (0..64).collect();
+        for kind in [FaultKind::Cancel, FaultKind::Stall(50)] {
+            let mut b = orig.clone();
+            kind.corrupt(&mut b);
+            assert_eq!(b, orig, "{kind:?} must not touch bytes");
+        }
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::QueryCheckpoint, Some("bbox"), FaultKind::Cancel);
+        assert!(fi.fire(FaultStage::QueryCheckpoint, "grid_refine").is_none());
+        assert_eq!(
+            fi.fire(FaultStage::QueryCheckpoint, "bbox_scan"),
+            Some(FaultKind::Cancel)
+        );
     }
 }

@@ -41,6 +41,7 @@ pub mod csv;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod governor;
 pub mod loader;
 pub mod metrics;
 pub mod persist;
@@ -49,8 +50,12 @@ pub mod query;
 pub mod soa;
 pub mod trace;
 
-pub use error::CoreError;
+pub use error::{CancelReason, CoreError};
 pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
+pub use governor::{
+    AdmissionController, CancelToken, GovernCtx, MemBudget, QueryId, QueryInfo,
+    QueryRegistry, CHECKPOINT_STRIDE,
+};
 pub use metrics::{MetricsRegistry, QueryProfile, Stage, StageSample};
 pub use fault::{FaultInjector, FaultKind, FaultStage};
 pub use loader::{

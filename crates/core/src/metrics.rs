@@ -54,11 +54,16 @@ pub enum Stage {
     PersistLoad,
     /// One morsel of the parallel executor (recorded per worker).
     Morsel,
+    /// Query-lifecycle governance: admission-queue waits (`seconds`) and
+    /// shed/timeout/kill/budget decisions (the dedicated counters).
+    Governor,
 }
 
 impl Stage {
     /// Every stage, in the (stable) order the snapshot renders them.
-    pub const ALL: [Stage; 8] = [
+    /// `Governor` was appended last so the positional span codes of the
+    /// earlier stages (see `trace::SpanKind::code`) stay stable.
+    pub const ALL: [Stage; 9] = [
         Stage::ImprintProbe,
         Stage::BboxScan,
         Stage::GridRefine,
@@ -67,6 +72,7 @@ impl Stage {
         Stage::PersistSave,
         Stage::PersistLoad,
         Stage::Morsel,
+        Stage::Governor,
     ];
 
     /// The stage's snapshot/display name.
@@ -80,6 +86,7 @@ impl Stage {
             Stage::PersistSave => "persist_save",
             Stage::PersistLoad => "persist_load",
             Stage::Morsel => "morsel",
+            Stage::Governor => "governor",
         }
     }
 
@@ -233,6 +240,15 @@ pub struct MetricsRegistry {
     pub files_quarantined: Counter,
     /// Points appended by the bulk loader.
     pub points_loaded: Counter,
+    /// Queries shed by admission control (queue full or wait expired).
+    pub queries_shed: Counter,
+    /// Queries cancelled by an expired statement deadline.
+    pub queries_timed_out: Counter,
+    /// Queries cancelled by `KILL` / `kill_query` (incl. injected Cancel
+    /// faults).
+    pub queries_killed: Counter,
+    /// Queries cancelled by an exceeded memory budget.
+    pub budget_trips: Counter,
     /// Rows in the most recently appended-to table.
     pub table_rows: Gauge,
     /// Imprint indexes currently cached on the most recently probed table.
@@ -279,6 +295,10 @@ impl MetricsRegistry {
         self.files_loaded.reset();
         self.files_quarantined.reset();
         self.points_loaded.reset();
+        self.queries_shed.reset();
+        self.queries_timed_out.reset();
+        self.queries_killed.reset();
+        self.budget_trips.reset();
         self.table_rows.reset();
         self.indexed_columns.reset();
         lidardb_imprints::reset_probe_count();
@@ -292,7 +312,7 @@ impl MetricsRegistry {
     pub fn snapshot_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n  \"counters\": {\n");
-        let counters: [(&str, u64); 11] = [
+        let counters: [(&str, u64); 15] = [
             ("queries", self.queries.get()),
             ("imprint_cache_hits", self.imprint_cache_hits.get()),
             ("imprint_cache_misses", self.imprint_cache_misses.get()),
@@ -301,6 +321,10 @@ impl MetricsRegistry {
             ("files_loaded", self.files_loaded.get()),
             ("files_quarantined", self.files_quarantined.get()),
             ("points_loaded", self.points_loaded.get()),
+            ("queries_shed", self.queries_shed.get()),
+            ("queries_timed_out", self.queries_timed_out.get()),
+            ("queries_killed", self.queries_killed.get()),
+            ("budget_trips", self.budget_trips.get()),
             ("imprint_probes", lidardb_imprints::probe_count()),
             ("imprint_candidate_rows", lidardb_imprints::probe_rows()),
             ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
@@ -450,7 +474,8 @@ mod tests {
                 "imprint_build",
                 "persist_save",
                 "persist_load",
-                "morsel"
+                "morsel",
+                "governor"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {
@@ -517,6 +542,18 @@ mod tests {
         let json = r.snapshot_json();
         assert!(json.contains("\"queries\": 3"));
         assert!(json.contains("\"name\": \"persist_save\", \"calls\": 1, \"rows\": 42"));
+        // The governor's shed/timeout/kill/budget decisions are part of
+        // the stable snapshot shape.
+        r.queries_shed.add(2);
+        r.queries_timed_out.inc();
+        r.queries_killed.inc();
+        r.budget_trips.inc();
+        let json = r.snapshot_json();
+        assert!(json.contains("\"queries_shed\": 2"));
+        assert!(json.contains("\"queries_timed_out\": 1"));
+        assert!(json.contains("\"queries_killed\": 1"));
+        assert!(json.contains("\"budget_trips\": 1"));
+        assert!(json.contains("\"name\": \"governor\""));
         // Every stage appears exactly once, in declaration order.
         let mut last = 0;
         for s in Stage::ALL {

@@ -127,6 +127,9 @@ impl Manifest {
         }
         // v2: the manifest must checksum itself and every column.
         let declared = manifest_crc.ok_or_else(|| corrupt("manifest: missing manifest_crc"))?;
+        // invariant: `manifest_crc` was Some above, which only happens after
+        // the line-scan saw a "manifest_crc " line in `text` — find() cannot
+        // miss it, so this expect is unreachable on any input, forged or not.
         let body_end = text
             .find("manifest_crc ")
             .expect("manifest_crc line parsed above");

@@ -24,6 +24,13 @@ pub struct PointCloud {
     fault: Option<Arc<crate::fault::FaultInjector>>,
     parallelism: crate::exec::Parallelism,
     tracing: std::sync::atomic::AtomicBool,
+    /// Default statement timeout in milliseconds; 0 = none.
+    default_deadline_ms: std::sync::atomic::AtomicU64,
+    /// Default per-query memory budget in bytes; 0 = unlimited.
+    mem_budget_bytes: std::sync::atomic::AtomicU64,
+    /// Admission controller queries on this cloud pass through; `None`
+    /// falls back to the process-wide controller (unlimited by default).
+    admission: Option<Arc<crate::governor::AdmissionController>>,
 }
 
 impl std::fmt::Debug for PointCloud {
@@ -50,7 +57,82 @@ impl PointCloud {
             fault: None,
             parallelism: crate::exec::Parallelism::default(),
             tracing: std::sync::atomic::AtomicBool::new(false),
+            default_deadline_ms: std::sync::atomic::AtomicU64::new(0),
+            mem_budget_bytes: std::sync::atomic::AtomicU64::new(0),
+            admission: None,
         }
+    }
+
+    /// Set the default statement timeout applied to every query on this
+    /// cloud (`None` clears it). Sub-millisecond durations round up to
+    /// 1 ms — a zero would mean "no deadline" in the atomic encoding.
+    pub fn set_default_deadline(&self, d: Option<std::time::Duration>) {
+        let ms = d.map_or(0, |d| (d.as_millis() as u64).max(1));
+        self.default_deadline_ms
+            .store(ms, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The cloud's default statement timeout, if any.
+    pub fn default_deadline(&self) -> Option<std::time::Duration> {
+        match self
+            .default_deadline_ms
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        }
+    }
+
+    /// Set the default per-query memory budget in bytes (`None` = off).
+    /// Queries whose materialised selections would exceed it are
+    /// cancelled with [`crate::CancelReason::MemBudget`] instead of
+    /// allocating unboundedly.
+    pub fn set_mem_budget(&self, bytes: Option<u64>) {
+        self.mem_budget_bytes
+            .store(bytes.map_or(0, |b| b.max(1)), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The cloud's default per-query memory budget, if any.
+    pub fn mem_budget(&self) -> Option<u64> {
+        match self.mem_budget_bytes.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Route queries on this cloud through an explicit admission
+    /// controller (overload shedding; see [`crate::governor`]).
+    pub fn set_admission(&mut self, adm: Arc<crate::governor::AdmissionController>) {
+        self.admission = Some(adm);
+    }
+
+    /// The admission controller queries pass through: the instance one if
+    /// set, else the process-wide default (unlimited out of the box).
+    pub(crate) fn admission(&self) -> &crate::governor::AdmissionController {
+        match &self.admission {
+            Some(a) => a,
+            None => crate::governor::AdmissionController::global(),
+        }
+    }
+
+    /// Cooperatively cancel a running query by id (from
+    /// [`Self::running_queries`] or SQL `SHOW QUERIES`). Returns whether
+    /// the id named a live query; the query itself unwinds with
+    /// [`CoreError::Cancelled`] at its next checkpoint.
+    pub fn kill_query(&self, id: crate::governor::QueryId) -> bool {
+        crate::governor::QueryRegistry::global().kill(id)
+    }
+
+    /// Snapshot of queries currently in flight (process-wide registry,
+    /// like [`Self::metrics`]).
+    pub fn running_queries(&self) -> Vec<crate::governor::QueryInfo> {
+        crate::governor::QueryRegistry::global().list()
+    }
+
+    /// The cloud's fault injector, if one is attached (query-checkpoint
+    /// fault rules fire through the governance context).
+    pub(crate) fn fault_injector(&self) -> Option<Arc<crate::fault::FaultInjector>> {
+        self.fault.clone()
     }
 
     /// Turn per-query span tracing on or off for queries against this

@@ -24,6 +24,7 @@ use lidardb_storage::scan::{self, CmpOp};
 
 use crate::error::CoreError;
 use crate::exec::{self, MorselTiming, Parallelism};
+use crate::governor::{CancelToken, GovernCtx, QueryRegistry, CHECKPOINT_STRIDE};
 use crate::metrics::{MetricsRegistry, QueryProfile, Stage, StageSample};
 use crate::pointcloud::PointCloud;
 use crate::trace::{self, SpanKind};
@@ -314,6 +315,60 @@ impl PointCloud {
         strategy: RefineStrategy,
         parallelism: Parallelism,
     ) -> Result<Selection, CoreError> {
+        self.select_query_governed(
+            pred,
+            attrs,
+            strategy,
+            parallelism,
+            self.default_deadline(),
+            self.mem_budget(),
+        )
+    }
+
+    /// [`select_query_with`](Self::select_query_with) with explicit
+    /// deadline / memory-budget overrides (`None` = ungoverned). This is
+    /// where a session layer's `SET STATEMENT_TIMEOUT` / `SET MEM_BUDGET`
+    /// land; the query still passes admission and the query registry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_query_governed(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+        deadline: Option<Duration>,
+        budget: Option<u64>,
+    ) -> Result<Selection, CoreError> {
+        // ---- Governance: admission, token, registry. -----------------------
+        // Admission happens before any other work: a shed query costs one
+        // mutex round-trip, never a scan. The permit is RAII — every path
+        // out of this function releases the in-flight slot.
+        let _permit = self.admission().admit(deadline)?;
+        let token = CancelToken::with(deadline, budget);
+        let ctx = GovernCtx::new(token.clone(), self.fault_injector());
+        let detail = match pred {
+            Some(SpatialPredicate::Within(_)) => "select within",
+            Some(SpatialPredicate::DWithin(..)) => "select dwithin",
+            None => "select",
+        };
+        let _ticket = QueryRegistry::global()
+            .register(format!("{detail} ({} attr filters)", attrs.len()), &token);
+        self.select_query_ctx(pred, attrs, strategy, parallelism, &ctx)
+    }
+
+    /// [`select_query_with`](Self::select_query_with) under an explicit
+    /// governance context, bypassing admission and the query registry —
+    /// the seam for deterministic cancellation tests (differential suite,
+    /// fault injection) and for callers that manage their own
+    /// [`CancelToken`] lifecycle.
+    pub fn select_query_ctx(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+        ctx: &GovernCtx,
+    ) -> Result<Selection, CoreError> {
         let metrics = MetricsRegistry::global();
         metrics.queries.inc();
         // Root span: records when tracing is active (process flag, thread
@@ -322,12 +377,94 @@ impl PointCloud {
         // kernels below never see a tracing branch.
         let mut root = trace::root_span_if(self.tracing(), SpanKind::Query);
         let query_start = root.is_recording().then(Instant::now);
+        let trace_id = root.trace_id();
         let mut stages: Vec<StageSample> = Vec::new();
         let mut explain = Explain::default();
+        let result = self.query_stages(
+            pred,
+            attrs,
+            strategy,
+            parallelism,
+            ctx,
+            &mut root,
+            &mut stages,
+            &mut explain,
+        );
+        match result {
+            Ok(rows) => {
+                root.set_rows(explain.after_imprints as u64, explain.result_rows as u64);
+                drop(root);
+                let profile = QueryProfile {
+                    explain,
+                    stages,
+                    trace_id,
+                };
+                if let (Some(tid), Some(start)) = (trace_id, query_start) {
+                    trace::SlowQueryLog::global().record(trace::SlowQuery {
+                        trace_id: tid,
+                        seconds: start.elapsed().as_secs_f64(),
+                        result_rows: rows.len(),
+                        profile: profile.clone(),
+                        spans: trace::Tracer::global().snapshot().for_trace(tid).spans,
+                    });
+                }
+                Ok(Selection { rows, profile })
+            }
+            Err(e) => {
+                // Cancelled queries still leave a trace: the root span gets
+                // the cancelled flag and the query enters the slow log — a
+                // query someone had to kill is exactly what the log exists
+                // to surface.
+                if matches!(e, CoreError::Cancelled { .. }) {
+                    root.add_flags(trace::FLAG_CANCELLED);
+                }
+                drop(root);
+                if let (Some(tid), Some(start)) = (trace_id, query_start) {
+                    trace::SlowQueryLog::global().record(trace::SlowQuery {
+                        trace_id: tid,
+                        seconds: start.elapsed().as_secs_f64(),
+                        result_rows: ctx.partial_rows(),
+                        profile: QueryProfile {
+                            explain,
+                            stages,
+                            trace_id,
+                        },
+                        spans: trace::Tracer::global().snapshot().for_trace(tid).spans,
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The two-step pipeline proper: probes, exact scans, refinement.
+    /// Returns the matching rows; `stages`/`explain` are filled in as far
+    /// as execution got (on cancellation they describe the completed
+    /// prefix).
+    #[allow(clippy::too_many_arguments)]
+    fn query_stages(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+        ctx: &GovernCtx,
+        root: &mut trace::SpanGuard,
+        stages: &mut Vec<StageSample>,
+        explain: &mut Explain,
+    ) -> Result<Vec<usize>, CoreError> {
+        let metrics = MetricsRegistry::global();
+        // The query's first checkpoint, before any work: an already-expired
+        // deadline or pre-killed token cancels here with zero partial rows.
+        // This is also the deterministic site the `Cancel`/`Stall` fault
+        // rules target (site `"query"`) — it runs identically on the
+        // serial and parallel paths, which is what lets the differential
+        // suite demand byte-identical `Cancelled` errors from both.
+        ctx.checkpoint("query")?;
         let env = match pred {
             Some(p) => match p.filter_envelope() {
                 Some(e) => Some(e),
-                None => return Ok(Selection::default()), // empty geometry
+                None => return Ok(Vec::new()), // empty geometry
             },
             None => None,
         };
@@ -375,7 +512,7 @@ impl PointCloud {
         }
         for a in attrs {
             if a.lo > a.hi {
-                return Ok(Selection::default());
+                return Ok(Vec::new());
             }
             let (cl, b) = self.imprint_probe(&a.column, a.lo, a.hi)?;
             build_secs += b;
@@ -430,6 +567,9 @@ impl PointCloud {
             }
         }
         drop(probe_span);
+        // Stage-boundary checkpoint: a deadline burnt entirely by lazy
+        // imprint builds cancels here instead of starting the scans.
+        ctx.checkpoint("imprint_probe")?;
 
         // Parallel execution pays off only when there are at least two
         // morsels' worth of candidates; below that the serial path runs.
@@ -459,25 +599,34 @@ impl PointCloud {
                 xs,
                 ys,
                 trace_ctx: bbox_span.ctx(),
+                govern: ctx,
             };
             let (rows, timings) = exec::parallel_filter(&job, &cand, workers)?;
             explain.morsel_times = timings;
             rows
         } else {
             let mut rows: Vec<usize> = Vec::new();
+            // `since` carries across runs: candidate lists are often many
+            // short runs, and a per-run counter would never reach the
+            // stride, leaving cancellation latency unbounded.
+            let mut since = 0usize;
             for r in cand.ranges() {
-                if r.all_qualify {
-                    rows.extend(r.start..r.end);
-                } else if let Some(env) = &env {
-                    scan::range_scan_ranges(
-                        xs,
-                        &[(r.start, r.end)],
-                        env.min_x,
-                        env.max_x,
-                        &mut rows,
-                    );
-                } else {
-                    rows.extend(r.start..r.end);
+                let mut s = r.start;
+                while s < r.end {
+                    let e = r.end.min(s + (CHECKPOINT_STRIDE - since));
+                    if r.all_qualify {
+                        rows.extend(s..e);
+                    } else if let Some(env) = &env {
+                        scan::range_scan_ranges(xs, &[(s, e)], env.min_x, env.max_x, &mut rows);
+                    } else {
+                        rows.extend(s..e);
+                    }
+                    since += e - s;
+                    s = e;
+                    if since >= CHECKPOINT_STRIDE {
+                        since = 0;
+                        ctx.checkpoint("bbox_scan")?;
+                    }
                 }
             }
             // Tally scan-kernel work in a separate pass over the (already
@@ -503,17 +652,24 @@ impl PointCloud {
                     scan_calls += 1;
                     scan_rows += rows.len() as u64;
                     scan::refine_range(xs, &mut rows, env.min_x, env.max_x);
+                    ctx.checkpoint("bbox_scan")?;
                 }
                 scan_calls += 1;
                 scan_rows += rows.len() as u64;
                 scan::refine_range(ys, &mut rows, env.min_y, env.max_y);
+                ctx.checkpoint("bbox_scan")?;
             }
             for a in attrs {
                 scan_calls += 1;
                 scan_rows += rows.len() as u64;
                 self.refine_attr_range(&mut rows, &a.column, a.lo, a.hi)?;
+                ctx.checkpoint("bbox_scan")?;
             }
             scan::note_scans(scan_calls, scan_rows);
+            // The selection vector is the query's dominant allocation:
+            // charge it against the budget before refinement grows costs.
+            ctx.charge((rows.len() * std::mem::size_of::<usize>()) as u64)?;
+            ctx.add_rows(rows.len());
             rows
         };
         explain.after_bbox = rows.len();
@@ -550,9 +706,28 @@ impl PointCloud {
                 RefineStrategy::Exhaustive => {
                     explain.exact_tests = rows.len();
                     if refine_parallel {
-                        exec::parallel_exhaustive(pred, xs, ys, &mut rows, workers)?;
+                        exec::parallel_exhaustive(pred, xs, ys, &mut rows, workers, ctx)?;
                     } else {
-                        rows.retain(|&i| pred.matches(&Point::new(xs[i], ys[i])));
+                        // Chunked retain: exact point-in-polygon tests are the
+                        // slowest per-row work in the engine, so checkpoint at
+                        // stride boundaries here too.
+                        let mut kept = 0usize;
+                        let mut cursor = 0usize;
+                        while cursor < rows.len() {
+                            let end = rows.len().min(cursor + CHECKPOINT_STRIDE);
+                            for i in cursor..end {
+                                let r = rows[i];
+                                if pred.matches(&Point::new(xs[r], ys[r])) {
+                                    rows[kept] = r;
+                                    kept += 1;
+                                }
+                            }
+                            cursor = end;
+                            if cursor < rows.len() {
+                                ctx.checkpoint("grid_refine")?;
+                            }
+                        }
+                        rows.truncate(kept);
                     }
                 }
                 RefineStrategy::Grid { .. } | RefineStrategy::AdaptiveGrid => {
@@ -571,11 +746,12 @@ impl PointCloud {
                             xs,
                             ys,
                             &mut rows,
-                            &mut explain,
+                            explain,
                             workers,
+                            ctx,
                         )?;
                     } else {
-                        self.grid_refine(pred, env, cells, xs, ys, &mut rows, &mut explain);
+                        self.grid_refine(pred, env, cells, xs, ys, &mut rows, explain, ctx)?;
                     }
                 }
             }
@@ -597,27 +773,7 @@ impl PointCloud {
         refine_span.set_rows(explain.after_bbox as u64, explain.result_rows as u64);
         drop(refine_span);
 
-        // Finish the trace: close the root, then hand the query's span
-        // tree to the slow-query log. Untraced queries skip all of this —
-        // the log's lock is never touched on the fast path.
-        let trace_id = root.trace_id();
-        root.set_rows(explain.after_imprints as u64, explain.result_rows as u64);
-        drop(root);
-        let profile = QueryProfile {
-            explain,
-            stages,
-            trace_id,
-        };
-        if let (Some(tid), Some(start)) = (trace_id, query_start) {
-            trace::SlowQueryLog::global().record(trace::SlowQuery {
-                trace_id: tid,
-                seconds: start.elapsed().as_secs_f64(),
-                result_rows: rows.len(),
-                profile: profile.clone(),
-                spans: trace::Tracer::global().snapshot().for_trace(tid).spans,
-            });
-        }
-        Ok(Selection { rows, profile })
+        Ok(rows)
     }
 
     /// Probe a column's imprint, degrading to `None` (no pruning — the
@@ -682,16 +838,28 @@ impl PointCloud {
         ys: &[f64],
         rows: &mut Vec<usize>,
         explain: &mut Explain,
-    ) {
+        ctx: &GovernCtx,
+    ) -> Result<(), CoreError> {
         let w = env.width().max(f64::MIN_POSITIVE);
         let h = env.height().max(f64::MIN_POSITIVE);
+        // The refinement working set: cells² bucket heads (8 B each) plus
+        // per-row bucket nodes (~16 B) and the keep bitmap (1 B). Charging
+        // up front converts a would-be OOM into a budget cancellation.
+        ctx.charge((cells * cells * 8 + rows.len() * 17) as u64)?;
         // Bin candidate points to cells.
         let mut buckets: HashMapLite = HashMapLite::new(cells * cells);
+        let mut since = 0usize;
         for (k, &row) in rows.iter().enumerate() {
             buckets.push(grid_cell(env, w, h, cells, xs[row], ys[row]), k);
+            since += 1;
+            if since >= CHECKPOINT_STRIDE {
+                since = 0;
+                ctx.checkpoint("grid_refine")?;
+            }
         }
         // Classify each non-empty cell once, then dispatch its points.
         let mut keep = vec![false; rows.len()];
+        let mut since = 0usize;
         for (cell, members) in buckets.iter_non_empty() {
             let cell_env = grid_cell_env(env, w, h, cells, cell);
             match pred.classify_cell(&cell_env) {
@@ -710,6 +878,11 @@ impl PointCloud {
                         let row = rows[k];
                         explain.exact_tests += 1;
                         keep[k] = pred.matches(&Point::new(xs[row], ys[row]));
+                        since += 1;
+                    }
+                    if since >= CHECKPOINT_STRIDE {
+                        since = 0;
+                        ctx.checkpoint("grid_refine")?;
                     }
                 }
             }
@@ -722,6 +895,7 @@ impl PointCloud {
             }
         }
         rows.truncate(w_idx);
+        Ok(())
     }
 
     /// Thematic refinement: keep rows whose `column` satisfies `op rhs`
@@ -803,7 +977,7 @@ impl PointCloud {
             ($t:ty) => {{
                 let data = col.as_slice::<$t>()?;
                 if workers > 1 && rows.len() >= 2 * exec::MORSEL_MIN_ROWS {
-                    exec::parallel_aggregate(data, rows, workers)?
+                    exec::parallel_aggregate(data, rows, workers, &GovernCtx::ungoverned())?
                 } else {
                     scan::aggregate_rows(data, rows)
                 }
@@ -1445,5 +1619,193 @@ mod review_regressions {
             .select_with(&tri, RefineStrategy::Exhaustive)
             .unwrap();
         assert_eq!(sel.rows, oracle.rows);
+    }
+
+    // ---- Governance: cancellation, budgets, typed hostile-input errors. ----
+
+    use std::sync::Arc;
+
+    use crate::error::CancelReason;
+    use crate::governor::{CancelToken, GovernCtx};
+
+    /// A 100x100 grid of points (10 000 rows).
+    fn grid_cloud() -> PointCloud {
+        let mut pc = PointCloud::new();
+        let recs: Vec<PointRecord> = (0..100)
+            .flat_map(|y| {
+                (0..100).map(move |x| PointRecord {
+                    x: x as f64,
+                    y: y as f64,
+                    z: (x + y) as f64 / 10.0,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        pc.append_records(&recs).unwrap();
+        pc
+    }
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialPredicate {
+        SpatialPredicate::Within(Geometry::Polygon(Polygon::rectangle(
+            &Envelope::new(x0, y0, x1, y1).unwrap(),
+        )))
+    }
+
+    fn expect_cancelled(err: CoreError, want: CancelReason) -> usize {
+        match err {
+            CoreError::Cancelled {
+                reason,
+                partial_rows,
+                ..
+            } => {
+                assert_eq!(reason, want);
+                partial_rows
+            }
+            other => panic!("expected Cancelled({want:?}), got {other}"),
+        }
+    }
+
+    #[test]
+    fn pre_killed_token_cancels_with_zero_partial_rows() {
+        let pc = grid_cloud();
+        let token = CancelToken::new();
+        token.kill();
+        let ctx = GovernCtx::new(token, None);
+        let err = pc
+            .select_query_ctx(
+                Some(&rect(0.0, 0.0, 99.0, 99.0)),
+                &[],
+                RefineStrategy::AdaptiveGrid,
+                Parallelism::Serial,
+                &ctx,
+            )
+            .unwrap_err();
+        assert_eq!(expect_cancelled(err, CancelReason::Killed), 0);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_with_typed_error() {
+        let pc = grid_cloud();
+        let token = CancelToken::with(Some(std::time::Duration::from_nanos(1)), None);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ctx = GovernCtx::new(token, None);
+        let err = pc
+            .select_query_ctx(
+                Some(&rect(0.0, 0.0, 99.0, 99.0)),
+                &[],
+                RefineStrategy::AdaptiveGrid,
+                Parallelism::Serial,
+                &ctx,
+            )
+            .unwrap_err();
+        expect_cancelled(err, CancelReason::Deadline);
+    }
+
+    #[test]
+    fn mem_budget_trips_instead_of_materialising() {
+        let pc = grid_cloud();
+        // 64 bytes of budget cannot hold a 10 000-row selection vector.
+        let token = CancelToken::with(None, Some(64));
+        let ctx = GovernCtx::new(token, None);
+        let err = pc
+            .select_query_ctx(
+                Some(&rect(0.0, 0.0, 99.0, 99.0)),
+                &[],
+                RefineStrategy::AdaptiveGrid,
+                Parallelism::Serial,
+                &ctx,
+            )
+            .unwrap_err();
+        expect_cancelled(err, CancelReason::MemBudget);
+        // An unbudgeted run of the same query succeeds.
+        assert_eq!(
+            pc.select(&rect(0.0, 0.0, 99.0, 99.0)).unwrap().rows.len(),
+            10_000
+        );
+    }
+
+    #[test]
+    fn kill_query_via_registry_trips_registered_token() {
+        let pc = grid_cloud();
+        let token = CancelToken::new();
+        let ticket = crate::governor::QueryRegistry::global().register("test select", &token);
+        assert!(pc.kill_query(ticket.id()), "id names a live query");
+        let ctx = GovernCtx::new(token, None);
+        let err = pc
+            .select_query_ctx(
+                Some(&rect(0.0, 0.0, 9.0, 9.0)),
+                &[],
+                RefineStrategy::AdaptiveGrid,
+                Parallelism::Serial,
+                &ctx,
+            )
+            .unwrap_err();
+        expect_cancelled(err, CancelReason::Killed);
+        drop(ticket);
+        assert!(!pc.kill_query(crate::governor::QueryId(u64::MAX)));
+    }
+
+    #[test]
+    fn cancel_fault_at_query_site_is_identical_serial_and_parallel() {
+        // The "query" checkpoint runs before the serial/parallel fork, so a
+        // Cancel fault there must yield byte-identical errors from both.
+        let mut errs = Vec::new();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let mut pc = grid_cloud();
+            let fi = Arc::new(crate::fault::FaultInjector::new());
+            fi.inject(
+                crate::fault::FaultStage::QueryCheckpoint,
+                Some("query"),
+                crate::fault::FaultKind::Cancel,
+            );
+            pc.set_fault_injector(fi);
+            let err = pc
+                .select_query_with(
+                    Some(&rect(0.0, 0.0, 99.0, 99.0)),
+                    &[],
+                    RefineStrategy::AdaptiveGrid,
+                    par,
+                )
+                .unwrap_err();
+            errs.push(err.to_string());
+        }
+        assert_eq!(errs[0], errs[1], "serial and parallel cancellations render identically");
+        assert!(errs[0].contains("killed"), "cancel fault trips as a kill: {}", errs[0]);
+    }
+
+    #[test]
+    fn hostile_query_inputs_are_typed_errors_not_panics() {
+        let pc = grid_cloud();
+        // Unknown attribute column: typed error, not a panic.
+        let err = pc
+            .select_query(
+                None,
+                &[AttrRange {
+                    column: "no_such_column".into(),
+                    lo: 0.0,
+                    hi: 1.0,
+                }],
+                RefineStrategy::AdaptiveGrid,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("no_such_column"), "{err}");
+        // Out-of-range rows handed to aggregate: typed error.
+        let err = pc
+            .aggregate(&[usize::MAX], "z", Aggregate::Sum)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidQuery(_)), "{err}");
+        // Inverted attribute range: empty result, not a panic.
+        let sel = pc
+            .select_query(
+                None,
+                &[AttrRange {
+                    column: "z".into(),
+                    lo: 5.0,
+                    hi: 1.0,
+                }],
+                RefineStrategy::AdaptiveGrid,
+            )
+            .unwrap();
+        assert!(sel.rows.is_empty());
     }
 }

@@ -61,6 +61,9 @@ use crate::metrics::{QueryProfile, Stage};
 pub const FLAG_DEGRADED: u64 = 1;
 /// Span flag: a fault injection fired inside this span.
 pub const FLAG_FAULT: u64 = 2;
+/// Span flag: the query was cooperatively cancelled (deadline, `KILL`, or
+/// memory-budget trip) inside or below this span.
+pub const FLAG_CANCELLED: u64 = 4;
 
 /// Spans the global ring holds before evicting the oldest. 16Ki spans ≈
 /// 1.4 MiB; a traced 12M-point E9 query emits ~40 spans, so the window
@@ -134,7 +137,7 @@ pub struct SpanRecord {
     pub rows_in: u64,
     /// Rows surviving the span.
     pub rows_out: u64,
-    /// [`FLAG_DEGRADED`] / [`FLAG_FAULT`] bits.
+    /// [`FLAG_DEGRADED`] / [`FLAG_FAULT`] / [`FLAG_CANCELLED`] bits.
     pub flags: u64,
     /// Stage-specific extra count: imprint probes answered (probe spans),
     /// scan-kernel rows examined (bbox spans), zero elsewhere.
@@ -568,7 +571,7 @@ impl TraceSink {
                  \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\
                  \"trace_id\": {}, \"span_id\": {}, \"parent_id\": {}, \
                  \"rows_in\": {}, \"rows_out\": {}, \"degraded\": {}, \
-                 \"fault\": {}, \"aux\": {}}}}}{}\n",
+                 \"fault\": {}, \"cancelled\": {}, \"aux\": {}}}}}{}\n",
                 s.kind.name(),
                 s.thread,
                 s.start_ns as f64 / 1e3,
@@ -580,6 +583,7 @@ impl TraceSink {
                 s.rows_out,
                 u64::from(s.flags & FLAG_DEGRADED != 0),
                 u64::from(s.flags & FLAG_FAULT != 0),
+                u64::from(s.flags & FLAG_CANCELLED != 0),
                 s.aux,
                 if i + 1 < self.spans.len() { "," } else { "" }
             ));
@@ -590,8 +594,9 @@ impl TraceSink {
 
     /// Compact single-line tree rendering: spans in record order, each
     /// prefixed with one `>` per ancestor *present in the sink*, as
-    /// `name:rows_out r:milliseconds`. Parents evicted from the ring
-    /// simply contribute no depth — links never dangle into wrong nodes.
+    /// `name:rows_out r:milliseconds` (cancelled spans carry a trailing
+    /// `[cancelled]`). Parents evicted from the ring simply contribute no
+    /// depth — links never dangle into wrong nodes.
     pub fn render_tree(&self) -> String {
         use std::collections::HashMap;
         let depth_of: HashMap<u64, usize> = {
@@ -619,11 +624,12 @@ impl TraceSink {
         let mut parts = Vec::with_capacity(self.spans.len());
         for s in &self.spans {
             parts.push(format!(
-                "{}{}:{}r:{:.1}ms",
+                "{}{}:{}r:{:.1}ms{}",
                 ">".repeat(depth_of.get(&s.span_id).copied().unwrap_or(0)),
                 s.kind.name(),
                 s.rows_out,
                 s.dur_ns as f64 / 1e6,
+                if s.flags & FLAG_CANCELLED != 0 { "[cancelled]" } else { "" },
             ));
         }
         parts.join(" ")
@@ -915,6 +921,20 @@ mod tests {
         assert!(json.contains("\"ts\": 0.200"), "{json}");
         assert!(json.contains("\"dur\": 0.050"), "{json}");
         assert!(json.contains("\"rows_out\": 5"), "{json}");
+        assert!(json.contains("\"cancelled\": 0"), "{json}");
+    }
+
+    #[test]
+    fn cancelled_flag_renders_in_json_and_tree() {
+        let mut r = rec(0, 9, 2, 0);
+        r.flags = FLAG_CANCELLED | FLAG_FAULT;
+        let sink = TraceSink { spans: vec![r] };
+        let json = sink.to_chrome_json();
+        assert!(json.contains("\"cancelled\": 1"), "{json}");
+        assert!(json.contains("\"fault\": 1"), "{json}");
+        assert!(json.contains("\"degraded\": 0"), "{json}");
+        let tree = sink.render_tree();
+        assert!(tree.contains("[cancelled]"), "{tree}");
     }
 
     #[test]

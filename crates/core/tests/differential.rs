@@ -395,6 +395,87 @@ fn differential_span_trees_serial_vs_parallel() {
     }
 }
 
+// ------------------------------------------- governance / cancellation
+
+/// Run one governed query against a fresh cloud with `rules` injected,
+/// returning the result as `Ok(rows)` or the error's rendered form.
+fn governed_run(
+    workers: Parallelism,
+    deadline: Option<std::time::Duration>,
+    rules: &[(FaultStage, Option<&str>, FaultKind)],
+) -> Result<Vec<usize>, String> {
+    let mut pc = build_cloud(20_000, 0xFEED);
+    let fi = Arc::new(FaultInjector::new());
+    for (stage, target, kind) in rules {
+        fi.inject(*stage, *target, *kind);
+    }
+    pc.set_fault_injector(fi);
+    pc.select_query_governed(
+        Some(&diamond(500.0, 500.0, 400.0)),
+        &[AttrRange::new("classification", 1.0, 9.0)],
+        RefineStrategy::default(),
+        workers,
+        deadline,
+        None,
+    )
+    .map(|sel| sel.rows)
+    .map_err(|e| e.to_string())
+}
+
+#[test]
+fn differential_cancel_fault_is_identical_serial_and_parallel() {
+    // The Cancel fault targets the "query" checkpoint, which runs before
+    // the serial/parallel fork — both executors must return byte-identical
+    // Cancelled errors.
+    let rules = [(FaultStage::QueryCheckpoint, Some("query"), FaultKind::Cancel)];
+    let serial = governed_run(Parallelism::Serial, None, &rules).unwrap_err();
+    assert!(serial.contains("cancelled") && serial.contains("killed"), "{serial}");
+    for &w in &worker_counts() {
+        let par = governed_run(Parallelism::Threads(w), None, &rules).unwrap_err();
+        assert_eq!(serial, par, "cancelled errors differ at {w} workers");
+    }
+}
+
+#[test]
+fn differential_stall_fault_trips_deadline_identically() {
+    // Stall sleeps at the checkpoint; the expired deadline then trips at
+    // that same checkpoint with zero partial rows on both paths.
+    let rules = [(
+        FaultStage::QueryCheckpoint,
+        Some("query"),
+        FaultKind::Stall(30),
+    )];
+    let deadline = Some(std::time::Duration::from_millis(5));
+    let serial = governed_run(Parallelism::Serial, deadline, &rules).unwrap_err();
+    assert!(serial.contains("deadline"), "{serial}");
+    assert!(serial.contains("after 0 partial rows"), "{serial}");
+    for &w in &worker_counts() {
+        let par = governed_run(Parallelism::Threads(w), deadline, &rules).unwrap_err();
+        assert_eq!(serial, par, "deadline errors differ at {w} workers");
+    }
+}
+
+#[test]
+fn differential_stall_without_deadline_leaves_results_identical() {
+    // A Stall fault alone (no deadline to trip) slows the query down but
+    // must not change its result: serial and parallel stay byte-identical
+    // with each other and with the ungoverned baseline.
+    let baseline = governed_run(Parallelism::Serial, None, &[]).unwrap();
+    for site in ["query", "bbox_scan"] {
+        let rules = [(
+            FaultStage::QueryCheckpoint,
+            Some(site),
+            FaultKind::Stall(5),
+        )];
+        let serial = governed_run(Parallelism::Serial, None, &rules).unwrap();
+        assert_eq!(baseline, serial, "stall at {site} changed serial rows");
+        for &w in &worker_counts() {
+            let par = governed_run(Parallelism::Threads(w), None, &rules).unwrap();
+            assert_eq!(baseline, par, "stall at {site} changed rows at {w} workers");
+        }
+    }
+}
+
 // ------------------------------------------------------- randomised sweep
 
 proptest! {

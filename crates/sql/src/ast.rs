@@ -9,6 +9,16 @@ pub enum Statement {
     /// `SET TRACE = ON|OFF` — toggle per-query span tracing for the
     /// session (see `lidardb_core::trace`).
     SetTrace(bool),
+    /// `SET STATEMENT_TIMEOUT = <ms>` — deadline for point-cloud scans in
+    /// this session; 0 clears it (see `lidardb_core::governor`).
+    SetStatementTimeout(u64),
+    /// `SET MEM_BUDGET = <bytes>` — per-query memory budget for this
+    /// session; 0 clears it.
+    SetMemBudget(u64),
+    /// `KILL <query_id>` — cooperatively cancel a running query.
+    Kill(u64),
+    /// `SHOW QUERIES` — queries currently in flight.
+    ShowQueries,
     /// `SHOW SLOW QUERIES` — the K worst traced queries by wall time.
     ShowSlowQueries,
 }

@@ -122,6 +122,12 @@ pub struct Catalog {
     /// Session tracing toggle (`SET TRACE = ON`). Shared across clones so
     /// a statement executed on a cloned catalog sees the session's state.
     trace: Arc<std::sync::atomic::AtomicBool>,
+    /// Session statement timeout in milliseconds (`SET STATEMENT_TIMEOUT`);
+    /// 0 = unset. Shared across clones like `trace`.
+    statement_timeout_ms: Arc<std::sync::atomic::AtomicU64>,
+    /// Session per-query memory budget in bytes (`SET MEM_BUDGET`);
+    /// 0 = unset.
+    mem_budget_bytes: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Catalog {
@@ -151,6 +157,39 @@ impl Catalog {
     /// Whether session tracing is on.
     pub fn trace_enabled(&self) -> bool {
         self.trace.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// `SET STATEMENT_TIMEOUT = <ms>`: deadline applied to every
+    /// point-cloud scan this session runs; 0 clears it.
+    pub fn set_statement_timeout_ms(&self, ms: u64) {
+        self.statement_timeout_ms
+            .store(ms, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The session's statement timeout, if set.
+    pub fn statement_timeout(&self) -> Option<std::time::Duration> {
+        match self
+            .statement_timeout_ms
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        }
+    }
+
+    /// `SET MEM_BUDGET = <bytes>`: per-query memory budget for this
+    /// session's point-cloud scans; 0 clears it.
+    pub fn set_mem_budget_bytes(&self, bytes: u64) {
+        self.mem_budget_bytes
+            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The session's per-query memory budget, if set.
+    pub fn mem_budget(&self) -> Option<u64> {
+        match self.mem_budget_bytes.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
     }
 
     /// Register a point cloud under `name`.

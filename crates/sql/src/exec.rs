@@ -380,27 +380,73 @@ impl Ctx for RowEnv<'_> {
 }
 
 /// `SHOW SLOW QUERIES`: the K worst traced queries by wall time, worst
-/// first, with a compact rendering of each span tree.
+/// first, with a compact rendering of each span tree. Queries that were
+/// cancelled (deadline, kill, memory budget) carry `cancelled = 1` and a
+/// `[cancelled]` marker in the tree.
 fn show_slow_queries() -> ResultSet {
     let rows = lidardb_core::SlowQueryLog::global()
         .worst()
         .into_iter()
         .map(|q| {
+            let cancelled = q
+                .spans
+                .iter()
+                .any(|s| s.flags & lidardb_core::trace::FLAG_CANCELLED != 0);
             let tree = lidardb_core::TraceSink { spans: q.spans };
             vec![
                 SqlValue::Int(q.trace_id as i64),
                 SqlValue::Float(q.seconds),
                 SqlValue::Int(q.result_rows as i64),
+                SqlValue::Int(i64::from(cancelled)),
                 SqlValue::Int(tree.len() as i64),
                 SqlValue::Str(tree.render_tree()),
             ]
         })
         .collect();
     ResultSet {
-        columns: ["trace_id", "seconds", "result_rows", "spans", "tree"]
+        columns: [
+            "trace_id",
+            "seconds",
+            "result_rows",
+            "cancelled",
+            "spans",
+            "tree",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+        trace: Vec::new(),
+    }
+}
+
+/// `SHOW QUERIES`: queries currently in flight (process-wide registry).
+fn show_queries() -> ResultSet {
+    let rows = lidardb_core::QueryRegistry::global()
+        .list()
+        .into_iter()
+        .map(|q| {
+            vec![
+                SqlValue::Int(q.id.0 as i64),
+                SqlValue::Float(q.elapsed.as_secs_f64()),
+                SqlValue::Str(q.detail),
+                SqlValue::Int(i64::from(q.cancelled)),
+            ]
+        })
+        .collect();
+    ResultSet {
+        columns: ["query_id", "elapsed_seconds", "detail", "cancelled"]
             .map(String::from)
             .to_vec(),
         rows,
+        trace: Vec::new(),
+    }
+}
+
+/// One-row acknowledgement result (session knobs, KILL).
+fn ack(column: &str, value: SqlValue) -> ResultSet {
+    ResultSet {
+        columns: vec![column.to_string()],
+        rows: vec![vec![value]],
         trace: Vec::new(),
     }
 }
@@ -419,6 +465,22 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
                 trace: Vec::new(),
             });
         }
+        Statement::SetStatementTimeout(ms) => {
+            catalog.set_statement_timeout_ms(*ms);
+            return Ok(ack("statement_timeout_ms", SqlValue::Int(*ms as i64)));
+        }
+        Statement::SetMemBudget(bytes) => {
+            catalog.set_mem_budget_bytes(*bytes);
+            return Ok(ack("mem_budget_bytes", SqlValue::Int(*bytes as i64)));
+        }
+        Statement::Kill(id) => {
+            let hit = lidardb_core::QueryRegistry::global().kill(lidardb_core::QueryId(*id));
+            return Ok(ack(
+                "killed",
+                SqlValue::Str(if hit { "OK" } else { "no such query" }.to_string()),
+            ));
+        }
+        Statement::ShowQueries => return Ok(show_queries()),
         Statement::ShowSlowQueries => return Ok(show_slow_queries()),
     };
     // While session tracing is on, everything this statement runs — point
@@ -450,7 +512,7 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
                 unreachable!("bound as points");
             };
             let pc = Arc::clone(pc);
-            let rows = pc_scan_rows(&pc, scan, catalog.parallelism(), &mut trace)?;
+            let rows = pc_scan_rows(&pc, scan, catalog, &mut trace)?;
             let envs: Vec<RowEnv> = rows
                 .into_iter()
                 .map(|row| {
@@ -547,14 +609,7 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
                     JoinPred::DWithin { dist, .. } => SpatialPredicate::DWithin(g, *dist),
                     JoinPred::ContainsPoint { .. } => SpatialPredicate::Within(g),
                 };
-                let sel_rows = pc
-                    .select_query_with(
-                        Some(&pred),
-                        &pc_scan.attr_ranges,
-                        Default::default(),
-                        catalog.parallelism(),
-                    )
-                    .map_err(|e| SqlError::Exec(e.to_string()))?;
+                let sel_rows = governed_select(&pc, catalog, Some(&pred), &pc_scan.attr_ranges)?;
                 pairs.extend(sel_rows.rows.into_iter().map(|prow| (prow, frow)));
             }
             trace.push(TraceEntry {
@@ -634,23 +689,36 @@ fn analyze_result(plan: &Plan, executed: ResultSet, total_seconds: f64) -> Resul
     }
 }
 
+/// Run a point-cloud selection under the session's governance settings
+/// (`SET STATEMENT_TIMEOUT` / `SET MEM_BUDGET`), falling back to the
+/// cloud's own defaults when the session leaves them unset.
+fn governed_select(
+    pc: &PointCloud,
+    catalog: &Catalog,
+    pred: Option<&SpatialPredicate>,
+    attrs: &[lidardb_core::AttrRange],
+) -> Result<lidardb_core::Selection, SqlError> {
+    pc.select_query_governed(
+        pred,
+        attrs,
+        Default::default(),
+        catalog.parallelism(),
+        catalog.statement_timeout().or_else(|| pc.default_deadline()),
+        catalog.mem_budget().or_else(|| pc.mem_budget()),
+    )
+    .map_err(|e| SqlError::Exec(e.to_string()))
+}
+
 /// Run the point-cloud scan (pushdown + residual) and return row ids.
 fn pc_scan_rows(
     pc: &PointCloud,
     scan: &crate::plan::PcScan,
-    parallelism: lidardb_core::Parallelism,
+    catalog: &Catalog,
     trace: &mut Vec<TraceEntry>,
 ) -> Result<Vec<usize>, SqlError> {
     let rows = if scan.spatial.is_some() || !scan.attr_ranges.is_empty() {
         {
-            let sel = pc
-                .select_query_with(
-                    scan.spatial.as_ref(),
-                    &scan.attr_ranges,
-                    Default::default(),
-                    parallelism,
-                )
-                .map_err(|e| SqlError::Exec(e.to_string()))?;
+            let sel = governed_select(pc, catalog, scan.spatial.as_ref(), &scan.attr_ranges)?;
             let e = &sel.explain;
             if e.t_imprint_build > 0.0 {
                 trace.push(TraceEntry {

@@ -88,20 +88,46 @@ impl Parser {
         }
     }
 
+    /// A non-negative integer literal (session knobs, KILL ids).
+    fn integer(&mut self) -> Result<u64, SqlError> {
+        match self.bump() {
+            TokenKind::Number(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+            other => Err(self.err(format!(
+                "expected a non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
     fn parse_statement(&mut self) -> Result<Statement, SqlError> {
         if self.eat_kw("SET") {
-            self.expect_kw("TRACE")?;
-            self.expect(TokenKind::Eq)?;
-            let on = if self.eat_kw("ON") {
-                true
-            } else if self.eat_kw("OFF") {
-                false
-            } else {
-                return Err(self.err("expected ON or OFF"));
-            };
-            return Ok(Statement::SetTrace(on));
+            if self.eat_kw("TRACE") {
+                self.expect(TokenKind::Eq)?;
+                let on = if self.eat_kw("ON") {
+                    true
+                } else if self.eat_kw("OFF") {
+                    false
+                } else {
+                    return Err(self.err("expected ON or OFF"));
+                };
+                return Ok(Statement::SetTrace(on));
+            }
+            if self.eat_kw("STATEMENT_TIMEOUT") {
+                self.expect(TokenKind::Eq)?;
+                return Ok(Statement::SetStatementTimeout(self.integer()?));
+            }
+            if self.eat_kw("MEM_BUDGET") {
+                self.expect(TokenKind::Eq)?;
+                return Ok(Statement::SetMemBudget(self.integer()?));
+            }
+            return Err(self.err("expected TRACE, STATEMENT_TIMEOUT or MEM_BUDGET"));
+        }
+        if self.eat_kw("KILL") {
+            return Ok(Statement::Kill(self.integer()?));
         }
         if self.eat_kw("SHOW") {
+            if self.eat_kw("QUERIES") {
+                return Ok(Statement::ShowQueries);
+            }
             self.expect_kw("SLOW")?;
             self.expect_kw("QUERIES")?;
             return Ok(Statement::ShowSlowQueries);
@@ -543,5 +569,36 @@ mod tests {
         assert_eq!(s.from[0].alias, "r");
         let s = select("SELECT * FROM roads r");
         assert_eq!(s.from[0].alias, "r");
+    }
+
+    #[test]
+    fn governance_statements() {
+        assert_eq!(
+            parse("SET STATEMENT_TIMEOUT = 500").unwrap(),
+            Statement::SetStatementTimeout(500)
+        );
+        assert_eq!(
+            parse("set statement_timeout = 0").unwrap(),
+            Statement::SetStatementTimeout(0),
+            "keywords are case-insensitive"
+        );
+        assert_eq!(
+            parse("SET MEM_BUDGET = 1048576").unwrap(),
+            Statement::SetMemBudget(1_048_576)
+        );
+        assert_eq!(parse("KILL 42").unwrap(), Statement::Kill(42));
+        assert_eq!(parse("SHOW QUERIES").unwrap(), Statement::ShowQueries);
+        assert_eq!(
+            parse("SHOW SLOW QUERIES").unwrap(),
+            Statement::ShowSlowQueries
+        );
+        // Malformed forms are parse errors, not panics.
+        assert!(parse("SET STATEMENT_TIMEOUT = 2.5").is_err());
+        assert!(parse("SET STATEMENT_TIMEOUT = -1").is_err());
+        assert!(parse("SET MEM_BUDGET").is_err());
+        assert!(parse("SET UNKNOWN_KNOB = 1").is_err());
+        assert!(parse("KILL x").is_err());
+        assert!(parse("KILL 1 2").is_err(), "trailing input rejected");
+        assert!(parse("SHOW FAST QUERIES").is_err());
     }
 }

@@ -472,8 +472,13 @@ fn st_buffer_envelope_numpoints() {
     assert!(rs.rows[0][0].render().contains("POLYGON"));
 }
 
+/// The process-wide slow-query log is shared state: tests that clear and
+/// inspect it must not interleave.
+static SLOW_LOG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn set_trace_session_records_spans_and_shows_slow_queries() {
+    let _serial = SLOW_LOG_LOCK.lock().unwrap();
     let c = setup();
 
     // Parser shapes first.
@@ -508,10 +513,11 @@ fn set_trace_session_records_spans_and_shows_slow_queries() {
     let rs = query(&c, "SHOW SLOW QUERIES").unwrap();
     assert_eq!(
         rs.columns,
-        vec!["trace_id", "seconds", "result_rows", "spans", "tree"]
+        vec!["trace_id", "seconds", "result_rows", "cancelled", "spans", "tree"]
     );
     assert!(!rs.rows.is_empty());
-    assert!(rs.rows[0][4].render().contains("query"), "span tree rendered");
+    assert_eq!(rs.rows[0][3], SqlValue::Int(0), "not cancelled");
+    assert!(rs.rows[0][5].render().contains("query"), "span tree rendered");
 
     // OFF stops new queries from being traced.
     query(&c, "SET TRACE = OFF").unwrap();
@@ -528,4 +534,93 @@ fn set_trace_session_records_spans_and_shows_slow_queries() {
     clone.set_trace(true);
     assert!(c.trace_enabled());
     c.set_trace(false);
+}
+
+#[test]
+fn session_governance_statements() {
+    let c = setup();
+
+    // Parser shapes.
+    assert!(query(&c, "SET STATEMENT_TIMEOUT = banana").is_err());
+    assert!(query(&c, "SET MEM_BUDGET = -3").is_err());
+    assert!(query(&c, "KILL").is_err());
+    assert!(query(&c, "SET LIFE = 42").is_err());
+
+    // SET STATEMENT_TIMEOUT: acknowledged, visible on the session, and 0
+    // clears it.
+    let rs = query(&c, "SET STATEMENT_TIMEOUT = 250").unwrap();
+    assert_eq!(rs.columns, vec!["statement_timeout_ms"]);
+    assert_eq!(rs.rows[0][0], SqlValue::Int(250));
+    assert_eq!(
+        c.statement_timeout(),
+        Some(std::time::Duration::from_millis(250))
+    );
+    // A generous timeout leaves a small query unaffected.
+    let rs = query(&c, "SELECT COUNT(*) FROM points WHERE x BETWEEN 0 AND 5").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(600));
+    query(&c, "SET STATEMENT_TIMEOUT = 0").unwrap();
+    assert_eq!(c.statement_timeout(), None);
+
+    // SET MEM_BUDGET: a 32-byte budget cannot materialise thousands of
+    // rows — the scan is cancelled with a typed, rendered error.
+    query(&c, "SET MEM_BUDGET = 32").unwrap();
+    assert_eq!(c.mem_budget(), Some(32));
+    let err = query(&c, "SELECT COUNT(*) FROM points WHERE x >= 0").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("memory budget"), "{msg}");
+    query(&c, "SET MEM_BUDGET = 0").unwrap();
+    let rs = query(&c, "SELECT COUNT(*) FROM points WHERE x >= 0").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(10_000));
+
+    // Session knobs are shared across catalog clones, like SET TRACE.
+    let clone = c.clone();
+    clone.set_statement_timeout_ms(77);
+    assert_eq!(
+        c.statement_timeout(),
+        Some(std::time::Duration::from_millis(77))
+    );
+    c.set_statement_timeout_ms(0);
+
+    // KILL on an unknown id is a polite no-op.
+    let rs = query(&c, "KILL 999999999").unwrap();
+    assert_eq!(rs.columns, vec!["killed"]);
+    assert_eq!(rs.rows[0][0], SqlValue::Str("no such query".into()));
+
+    // SHOW QUERIES lists in-flight queries; idle sessions see none of
+    // their own (the statement itself is not a point-cloud query).
+    let rs = query(&c, "SHOW QUERIES").unwrap();
+    assert_eq!(
+        rs.columns,
+        vec!["query_id", "elapsed_seconds", "detail", "cancelled"]
+    );
+}
+
+#[test]
+fn cancelled_queries_render_in_show_slow_queries() {
+    let _serial = SLOW_LOG_LOCK.lock().unwrap();
+    let c = setup();
+    query(&c, "SET TRACE = ON").unwrap();
+    lidardb_core::SlowQueryLog::global().clear();
+    // A 1-byte budget cancels the scan after the governance checkpoint.
+    query(&c, "SET MEM_BUDGET = 1").unwrap();
+    let err = query(&c, "SELECT COUNT(*) FROM points WHERE x >= 0").unwrap_err();
+    assert!(err.to_string().contains("cancelled"), "{err}");
+    let rs = query(&c, "SHOW SLOW QUERIES").unwrap();
+    let cancelled_rows: Vec<_> = rs
+        .rows
+        .iter()
+        .filter(|r| r[3] == SqlValue::Int(1))
+        .collect();
+    assert!(
+        !cancelled_rows.is_empty(),
+        "cancelled query appears in SHOW SLOW QUERIES: {rs:?}"
+    );
+    assert!(
+        cancelled_rows[0][5].render().contains("[cancelled]"),
+        "tree renders the cancelled marker: {}",
+        cancelled_rows[0][5].render()
+    );
+    query(&c, "SET MEM_BUDGET = 0").unwrap();
+    query(&c, "SET TRACE = OFF").unwrap();
+    lidardb_core::SlowQueryLog::global().clear();
 }

@@ -94,6 +94,50 @@ pub fn range_scan_ranges<T: Native>(
     out.len() - before
 }
 
+/// Interruptible variant of [`range_scan_ranges`] for cooperative
+/// cancellation: rows are scanned in chunks of at most `stride`, and
+/// between chunks `check` is invoked with the total rows examined so far.
+/// Returning an error aborts the scan (rows already pushed to `out` are
+/// left in place — the caller owns partial-result cleanup).
+///
+/// The per-chunk inner loop is the same tight kernel as the plain
+/// variant: the checkpoint cost is one callback per `stride` rows, never
+/// per row, preserving the batched-counter discipline of [`note_scans`].
+pub fn range_scan_ranges_ck<T: Native, E>(
+    data: &[T],
+    ranges: &[(usize, usize)],
+    lo: T,
+    hi: T,
+    out: &mut Vec<usize>,
+    stride: usize,
+    check: &mut dyn FnMut(u64) -> Result<(), E>,
+) -> Result<usize, E> {
+    let stride = stride.max(1);
+    let before = out.len();
+    let mut since = 0usize;
+    let mut examined = 0u64;
+    for &(start, end) in ranges {
+        let end = end.min(data.len());
+        let mut pos = start.min(end);
+        while pos < end {
+            let chunk_end = end.min(pos + (stride - since));
+            for (off, v) in data[pos..chunk_end].iter().enumerate() {
+                if *v >= lo && *v <= hi {
+                    out.push(pos + off);
+                }
+            }
+            examined += (chunk_end - pos) as u64;
+            since += chunk_end - pos;
+            pos = chunk_end;
+            if since >= stride {
+                since = 0;
+                check(examined)?;
+            }
+        }
+    }
+    Ok(out.len() - before)
+}
+
 /// Refine an existing selection with an inclusive range predicate.
 ///
 /// Keeps only the rows of `sel` whose value satisfies `lo <= v <= hi`,
@@ -405,6 +449,42 @@ pub fn count_range_ranges<T: Native>(data: &[T], ranges: &[(usize, usize)], lo: 
     n
 }
 
+/// Interruptible variant of [`count_range_ranges`] (see
+/// [`range_scan_ranges_ck`] for the chunking contract).
+pub fn count_range_ranges_ck<T: Native, E>(
+    data: &[T],
+    ranges: &[(usize, usize)],
+    lo: T,
+    hi: T,
+    stride: usize,
+    check: &mut dyn FnMut(u64) -> Result<(), E>,
+) -> Result<usize, E> {
+    let stride = stride.max(1);
+    let mut n = 0;
+    let mut since = 0usize;
+    let mut examined = 0u64;
+    for &(start, end) in ranges {
+        let end = end.min(data.len());
+        let mut pos = start.min(end);
+        while pos < end {
+            let chunk_end = end.min(pos + (stride - since));
+            for v in &data[pos..chunk_end] {
+                if *v >= lo && *v <= hi {
+                    n += 1;
+                }
+            }
+            examined += (chunk_end - pos) as u64;
+            since += chunk_end - pos;
+            pos = chunk_end;
+            if since >= stride {
+                since = 0;
+                check(examined)?;
+            }
+        }
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +503,51 @@ mod tests {
         let mut sel = Vec::new();
         range_scan_ranges(&data, &[(10, 20), (90, 200)], 15, 95, &mut sel);
         assert_eq!(sel, (15..20).chain(90..96).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interruptible_scan_matches_plain_and_checkpoints_at_stride() {
+        let data: Vec<i64> = (0..10_000).map(|i| i * 13 % 997).collect();
+        let ranges = [(100usize, 4_000usize), (4_500, 9_990)];
+        let mut plain = Vec::new();
+        range_scan_ranges(&data, &ranges, 50, 600, &mut plain);
+        let mut calls = 0u64;
+        let mut out = Vec::new();
+        let n = range_scan_ranges_ck(&data, &ranges, 50, 600, &mut out, 1000, &mut |ex| {
+            calls += 1;
+            assert_eq!(ex % 1000, 0, "checkpoints land on stride multiples");
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(out, plain, "interruptible kernel is result-identical");
+        assert_eq!(n, plain.len());
+        // 9290 rows examined => 9 full strides.
+        assert_eq!(calls, 9);
+        let counted =
+            count_range_ranges_ck(&data, &ranges, 50, 600, 1000, &mut |_| Ok::<(), ()>(()))
+                .unwrap();
+        assert_eq!(counted, plain.len());
+    }
+
+    #[test]
+    fn interruptible_scan_aborts_within_one_stride() {
+        let data: Vec<i32> = (0..100_000).collect();
+        let ranges = [(0usize, 100_000usize)];
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        let err = range_scan_ranges_ck(&data, &ranges, 0, i32::MAX, &mut out, 4096, &mut |ex| {
+            seen = ex;
+            if ex >= 8192 { Err("cancelled") } else { Ok(()) }
+        })
+        .unwrap_err();
+        assert_eq!(err, "cancelled");
+        assert_eq!(seen, 8192, "stopped at the second checkpoint");
+        assert_eq!(out.len(), 8192, "partial rows bounded by the stride");
+        let err = count_range_ranges_ck(&data, &ranges, 0, i32::MAX, 4096, &mut |_| {
+            Err::<(), _>("cancelled")
+        })
+        .unwrap_err();
+        assert_eq!(err, "cancelled");
     }
 
     #[test]

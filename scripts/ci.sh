@@ -9,10 +9,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> serial/parallel differential suite (default, 2 and 8 workers)"
+echo "==> serial/parallel differential suite (default, 2 and 8 workers; incl. Cancel/Stall faults)"
 cargo test -q -p lidardb-core --test differential -- --test-threads=1
 LIDARDB_WORKERS=2 cargo test -q -p lidardb-core --test differential -- --test-threads=1
 LIDARDB_WORKERS=8 cargo test -q -p lidardb-core --test differential -- --test-threads=1
+
+echo "==> governance suite (admission, cancellation, slow-log storm) debug + release"
+cargo test -q -p lidardb-core --test governance -- --test-threads=1
+cargo test -q --release -p lidardb-core --test governance -- --test-threads=1
 
 echo "==> metrics smoke (snapshot JSON parses, stage timers within wall-clock)"
 cargo test -q -p lidardb-core --test metrics_smoke -- --test-threads=1
@@ -35,6 +39,11 @@ cargo test -q -p lidardb-core to_table_renders_every_explain_field
 cargo test -q -p lidardb-sql explain_analyze
 cargo test -q -p lidardb-core --test differential differential_span_trees_serial_vs_parallel
 cargo test -q -p lidardb-sql set_trace_session_records_spans_and_shows_slow_queries
+
+echo "==> governance regression tests (typed cancellation, SQL session knobs)"
+cargo test -q -p lidardb-core --lib review_regressions
+cargo test -q -p lidardb-sql session_governance_statements
+cargo test -q -p lidardb-sql cancelled_queries_render_in_show_slow_queries
 
 echo "==> perf-regression gate (identity: committed baseline vs itself must pass)"
 BENCH_GATE_FRESH=BENCH_query.json scripts/bench_gate.sh
