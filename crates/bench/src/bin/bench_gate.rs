@@ -12,28 +12,39 @@
 //! it back through compare and asserts the gate trips).
 
 use lidardb_bench::gate::{
-    compare, extract_runs, render_runs, scale_times, Json, REGRESSION_THRESHOLD,
+    compare, compare_ingest, extract_ingest_runs, extract_runs, render_ingest_runs, render_runs,
+    scale_ingest, scale_times, Json, REGRESSION_THRESHOLD,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate --base <BENCH_query.json> --fresh <BENCH_query.json> \
-         [--threshold <frac>]\n       bench_gate --base <BENCH_query.json> --scale <factor> \
-         --out <path>"
+        "usage: bench_gate [--kind query|ingest] --base <baseline.json> --fresh <fresh.json> \
+         [--threshold <frac>]\n       bench_gate [--kind query|ingest] --base <baseline.json> \
+         --scale <factor> --out <path>"
     );
     std::process::exit(2);
 }
 
-fn load_runs(path: &str) -> Vec<lidardb_bench::gate::BenchRun> {
+fn load_doc(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_gate: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let doc = Json::parse(&text).unwrap_or_else(|e| {
+    Json::parse(&text).unwrap_or_else(|e| {
         eprintln!("bench_gate: {path} is not valid JSON: {e}");
         std::process::exit(2);
-    });
-    extract_runs(&doc).unwrap_or_else(|e| {
+    })
+}
+
+fn load_runs(path: &str) -> Vec<lidardb_bench::gate::BenchRun> {
+    extract_runs(&load_doc(path)).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn load_ingest_runs(path: &str) -> Vec<lidardb_bench::gate::IngestRun> {
+    extract_ingest_runs(&load_doc(path)).unwrap_or_else(|e| {
         eprintln!("bench_gate: {path}: {e}");
         std::process::exit(2);
     })
@@ -46,6 +57,7 @@ fn main() {
     let mut out = None;
     let mut scale = None;
     let mut threshold = REGRESSION_THRESHOLD;
+    let mut kind = "query".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().cloned().unwrap_or_else(|| usage());
@@ -55,36 +67,52 @@ fn main() {
             "--out" => out = Some(val()),
             "--scale" => scale = val().parse::<f64>().ok(),
             "--threshold" => threshold = val().parse::<f64>().unwrap_or_else(|_| usage()),
+            "--kind" => kind = val(),
             _ => usage(),
         }
     }
+    if kind != "query" && kind != "ingest" {
+        usage();
+    }
     let Some(base) = base else { usage() };
-    let base_runs = load_runs(&base);
 
     if let Some(factor) = scale {
         // Synthetic-slowdown mode for the negative CI test.
         let Some(out) = out else { usage() };
-        let rendered = render_runs(&scale_times(&base_runs, factor));
+        let rendered = if kind == "ingest" {
+            render_ingest_runs(&scale_ingest(&load_ingest_runs(&base), factor))
+        } else {
+            render_runs(&scale_times(&load_runs(&base), factor))
+        };
         if let Err(e) = std::fs::write(&out, rendered) {
             eprintln!("bench_gate: cannot write {out}: {e}");
             std::process::exit(2);
         }
-        println!("bench_gate: wrote {out} ({factor}x slowed copy of {base})");
+        println!("bench_gate: wrote {out} ({factor}x degraded copy of {base})");
         return;
     }
 
     let Some(fresh) = fresh else { usage() };
-    let fresh_runs = load_runs(&fresh);
-    let regressions = compare(&base_runs, &fresh_runs, threshold);
+    let (cells, regressions) = if kind == "ingest" {
+        let base_runs = load_ingest_runs(&base);
+        let fresh_runs = load_ingest_runs(&fresh);
+        (
+            base_runs.len(),
+            compare_ingest(&base_runs, &fresh_runs, threshold),
+        )
+    } else {
+        let base_runs = load_runs(&base);
+        let fresh_runs = load_runs(&fresh);
+        (base_runs.len(), compare(&base_runs, &fresh_runs, threshold))
+    };
     if regressions.is_empty() {
         println!(
-            "bench_gate: PASS — {} cells within {:.0}% of {base}",
-            base_runs.len(),
+            "bench_gate: PASS — {cells} {kind} cells within {:.0}% of {base}",
             threshold * 100.0
         );
     } else {
         eprintln!(
-            "bench_gate: FAIL — {} regression(s) beyond {:.0}% vs {base}:",
+            "bench_gate: FAIL — {} {kind} regression(s) beyond {:.0}% vs {base}:",
             regressions.len(),
             threshold * 100.0
         );

@@ -55,6 +55,9 @@ fn main() {
     if want("e10") {
         e10_overload();
     }
+    if want("e12") {
+        e12_ingest();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1250,4 +1253,172 @@ fn e10_overload() {
     out.push_str("}\n");
     std::fs::write("BENCH_overload.json", &out).expect("write BENCH_overload.json");
     println!("wrote BENCH_overload.json\n");
+}
+
+// ---------------------------------------------------------------------------
+// E12 — crash-safe streaming ingest
+// ---------------------------------------------------------------------------
+
+/// Streaming-ingest throughput under the three fsync policies, with
+/// governed queries running against the committed snapshot while batches
+/// land, followed by a cold-start recovery replaying the whole WAL.
+/// Emits `BENCH_ingest.json` for the CI ingest gate.
+fn e12_ingest() {
+    use lidardb_core::Durability;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::RwLock;
+    use std::time::Duration;
+
+    header(
+        "E12 (streaming ingest)",
+        "WAL-logged appends: fsync-policy throughput, snapshot queries, recovery",
+    );
+
+    let total: usize = std::env::var("LIDARDB_E12_POINTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+    const BATCH: usize = 2_000;
+    let query_cut = (total / 2) as f64;
+
+    let policies: [(&str, Durability); 3] = [
+        ("none", Durability::None),
+        (
+            "group_commit",
+            Durability::GroupCommit {
+                max_batches: 16,
+                max_delay: Duration::from_millis(20),
+            },
+        ),
+        ("always", Durability::Always),
+    ];
+
+    println!("workload: {total} points in {BATCH}-row batches; queries probe x < {query_cut}\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>9} {:>11}",
+        "durability", "ingest s", "points/s", "wal MiB", "recovery s", "queries", "violations"
+    );
+
+    let mut json_rows: Vec<(String, f64, f64, u64, f64, usize, usize, usize)> = Vec::new();
+    for (label, durability) in policies {
+        let dir = std::env::temp_dir().join(format!("lidardb_e12_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = lidardb_core::wal::wal_path_for(&dir);
+        let _ = std::fs::remove_file(&wal);
+
+        let pc = PointCloud::open_ingest(&dir, durability).expect("open ingest dir");
+        let lock = RwLock::new(pc);
+        let done = AtomicBool::new(false);
+        let queries = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        let mut ingest_seconds = 0.0f64;
+
+        std::thread::scope(|s| {
+            // Reader: governed snapshot queries racing the writer. Each
+            // holds the read lock, so `visible_rows` is pinned per query;
+            // the workload's x IS the row index, so the expected count is
+            // exactly min(visible, cut).
+            let reader = s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    {
+                        let pc = lock.read().unwrap();
+                        let visible = pc.visible_rows();
+                        let sel = pc
+                            .select_query_governed(
+                                None,
+                                &[lidardb_core::AttrRange::new("x", 0.0, query_cut - 0.5)],
+                                RefineStrategy::default(),
+                                Parallelism::Auto,
+                                Some(Duration::from_secs(10)),
+                                None,
+                            )
+                            .expect("governed query");
+                        let expect = visible.min(query_cut as usize);
+                        if sel.rows.len() != expect
+                            || sel.rows.iter().any(|&r| r >= visible)
+                        {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+
+            // Writer: batches straight through the WAL, final flush so the
+            // tail group commit is acknowledged before "shutdown".
+            let t0 = std::time::Instant::now();
+            for base in (0..total).step_by(BATCH) {
+                let recs: Vec<lidardb_las::PointRecord> = (base..(base + BATCH).min(total))
+                    .map(|row| lidardb_las::PointRecord {
+                        x: row as f64,
+                        y: (row % 1000) as f64,
+                        z: (row % 97) as f64,
+                        intensity: (row % 5000) as u16,
+                        classification: (row % 13) as u8,
+                        gps_time: row as f64 * 1e-3,
+                        ..Default::default()
+                    })
+                    .collect();
+                lock.write().unwrap().ingest_records(&recs).expect("ingest batch");
+            }
+            lock.write().unwrap().flush_wal().expect("final flush");
+            ingest_seconds = t0.elapsed().as_secs_f64();
+            done.store(true, Ordering::Release);
+            reader.join().expect("reader thread");
+        });
+
+        let pc = lock.into_inner().unwrap();
+        assert_eq!(pc.visible_rows(), total, "all batches acknowledged");
+        drop(pc);
+        let wal_bytes = std::fs::metadata(&wal).map_or(0, |m| m.len());
+
+        // Cold start: replay the whole WAL on top of the (empty) dump.
+        let recovered = PointCloud::open_ingest(&dir, durability).expect("recover");
+        let rep = recovered.recovery_report().expect("recovery report").clone();
+        assert_eq!(rep.total_rows, total, "recovery restores every acked row");
+        drop(recovered);
+
+        let pps = total as f64 / ingest_seconds.max(1e-9);
+        let (q, v) = (queries.load(Ordering::Relaxed), violations.load(Ordering::Relaxed));
+        println!(
+            "{label:<14} {ingest_seconds:>10.3} {pps:>12.0} {:>10.2} {:>12.4} {q:>9} {v:>11}",
+            wal_bytes as f64 / (1024.0 * 1024.0),
+            rep.seconds,
+        );
+        assert_eq!(v, 0, "snapshot violations under {label}");
+        json_rows.push((
+            label.to_string(),
+            ingest_seconds,
+            pps,
+            wal_bytes,
+            rep.seconds,
+            rep.replayed_rows,
+            q,
+            v,
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&wal);
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e12_streaming_ingest\",\n");
+    out.push_str(&format!("  \"points\": {total},\n"));
+    out.push_str(&format!("  \"batch_rows\": {BATCH},\n"));
+    out.push_str("  \"policies\": [\n");
+    for (i, (label, secs, pps, wal_bytes, rec_secs, rec_rows, q, v)) in
+        json_rows.iter().enumerate()
+    {
+        out.push_str(&format!(
+            "    {{\"durability\": \"{label}\", \"ingest_seconds\": {secs:.6}, \
+             \"points_per_sec\": {pps:.0}, \"wal_bytes\": {wal_bytes}, \
+             \"recovery_seconds\": {rec_secs:.6}, \"recovered_rows\": {rec_rows}, \
+             \"queries\": {q}, \"snapshot_violations\": {v}}}{}\n",
+            if i + 1 < json_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_ingest.json", &out).expect("write BENCH_ingest.json");
+    println!("\nwrote BENCH_ingest.json\n");
 }

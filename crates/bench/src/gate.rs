@@ -293,7 +293,7 @@ impl Regression {
             format!("{}: cell missing from fresh run", self.cell)
         } else {
             format!(
-                "{} {}: {:.6}s -> {:.6}s (+{:.0}%)",
+                "{} {}: {:.6} -> {:.6} ({:+.0}%)",
                 self.cell,
                 self.stage,
                 self.base,
@@ -377,6 +377,130 @@ pub fn render_runs(runs: &[BenchRun]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+// ---------------------------------------------------------------------------
+// Ingest-gate extraction and comparison (BENCH_ingest.json)
+// ---------------------------------------------------------------------------
+
+/// One gateable cell of `BENCH_ingest.json`: a durability policy with its
+/// ingest throughput and cold-start recovery time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRun {
+    /// Durability policy (`none` / `group_commit` / `always`).
+    pub policy: String,
+    /// Acked points per second during ingest.
+    pub points_per_sec: f64,
+    /// Seconds to replay the full WAL on reopen.
+    pub recovery_seconds: f64,
+}
+
+/// Pull every policy row out of a parsed `BENCH_ingest.json`.
+pub fn extract_ingest_runs(doc: &Json) -> Result<Vec<IngestRun>, String> {
+    let policies = doc
+        .get("policies")
+        .and_then(Json::as_arr)
+        .ok_or("document has no \"policies\" array")?;
+    let mut out = Vec::new();
+    for p in policies {
+        let policy = p
+            .get("durability")
+            .and_then(Json::as_str)
+            .ok_or("policy entry has no \"durability\"")?;
+        let pps = p
+            .get("points_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("policy {policy} has no \"points_per_sec\""))?;
+        let rec = p
+            .get("recovery_seconds")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("policy {policy} has no \"recovery_seconds\""))?;
+        out.push(IngestRun {
+            policy: policy.to_string(),
+            points_per_sec: pps,
+            recovery_seconds: rec,
+        });
+    }
+    if out.is_empty() {
+        return Err("document contains no policies".into());
+    }
+    Ok(out)
+}
+
+/// Compare fresh ingest numbers against the baseline: every policy must
+/// still be measured, throughput may not drop by more than `threshold`,
+/// and recovery may not slow down by more than `threshold` (recovery
+/// faster than [`TIME_FLOOR_SECONDS`] is noise, not signal).
+pub fn compare_ingest(
+    base: &[IngestRun],
+    fresh: &[IngestRun],
+    threshold: f64,
+) -> Vec<Regression> {
+    let fresh_by_policy: BTreeMap<&str, &IngestRun> =
+        fresh.iter().map(|r| (r.policy.as_str(), r)).collect();
+    let mut out = Vec::new();
+    for b in base {
+        let cell = format!("ingest/{}", b.policy);
+        let Some(f) = fresh_by_policy.get(b.policy.as_str()) else {
+            out.push(Regression {
+                cell,
+                stage: "<missing>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+            continue;
+        };
+        if f.points_per_sec < b.points_per_sec * (1.0 - threshold) {
+            out.push(Regression {
+                cell: cell.clone(),
+                stage: "points_per_sec".into(),
+                base: b.points_per_sec,
+                fresh: f.points_per_sec,
+            });
+        }
+        if b.recovery_seconds >= TIME_FLOOR_SECONDS
+            && f.recovery_seconds > b.recovery_seconds * (1.0 + threshold)
+        {
+            out.push(Regression {
+                cell,
+                stage: "recovery_seconds".into(),
+                base: b.recovery_seconds,
+                fresh: f.recovery_seconds,
+            });
+        }
+    }
+    out
+}
+
+/// Render ingest runs back into a gate-readable document — `--scale`'s
+/// synthetically degraded copy for the negative CI test.
+pub fn render_ingest_runs(runs: &[IngestRun]) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"ingest_gate_scaled\",\n  \"policies\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"durability\": \"{}\", \"points_per_sec\": {:.0}, \
+             \"recovery_seconds\": {:.6}}}{}\n",
+            r.policy,
+            r.points_per_sec,
+            r.recovery_seconds,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Degrade every policy by `factor`: throughput divided, recovery
+/// multiplied (a uniform slowdown, same knob as [`scale_times`]).
+pub fn scale_ingest(runs: &[IngestRun], factor: f64) -> Vec<IngestRun> {
+    runs.iter()
+        .map(|r| IngestRun {
+            policy: r.policy.clone(),
+            points_per_sec: r.points_per_sec / factor,
+            recovery_seconds: r.recovery_seconds * factor,
+        })
+        .collect()
 }
 
 /// Multiply every stage timing by `factor` (the synthetic-slowdown knob).
@@ -470,6 +594,83 @@ mod tests {
         assert_eq!(reparsed.len(), runs.len());
         assert!(!compare(&runs, &reparsed, REGRESSION_THRESHOLD).is_empty());
         assert!(compare(&reparsed, &reparsed, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    const INGEST_SAMPLE: &str = r#"{
+      "experiment": "e12_streaming_ingest",
+      "points": 120000,
+      "policies": [
+        {"durability": "none", "points_per_sec": 1500000, "recovery_seconds": 0.090},
+        {"durability": "group_commit", "points_per_sec": 1200000, "recovery_seconds": 0.095},
+        {"durability": "always", "points_per_sec": 400000, "recovery_seconds": 0.0004}
+      ]
+    }"#;
+
+    #[test]
+    fn ingest_runs_extract_and_identical_passes() {
+        let runs = extract_ingest_runs(&Json::parse(INGEST_SAMPLE).unwrap()).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].policy, "none");
+        assert!((runs[1].points_per_sec - 1_200_000.0).abs() < 1e-6);
+        assert!(compare_ingest(&runs, &runs, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn ingest_throughput_drop_and_recovery_slowdown_fail() {
+        let runs = extract_ingest_runs(&Json::parse(INGEST_SAMPLE).unwrap()).unwrap();
+        let degraded = scale_ingest(&runs, 2.0);
+        let regs = compare_ingest(&runs, &degraded, REGRESSION_THRESHOLD);
+        // Every policy loses half its throughput; the two policies with
+        // gateable recovery times also slow down. The sub-floor recovery
+        // (0.4ms under "always") is not flagged.
+        assert_eq!(
+            regs.iter().filter(|r| r.stage == "points_per_sec").count(),
+            3,
+            "{regs:?}"
+        );
+        assert_eq!(
+            regs.iter().filter(|r| r.stage == "recovery_seconds").count(),
+            2,
+            "{regs:?}"
+        );
+        assert!(regs
+            .iter()
+            .any(|r| r.describe().contains("-50%")), "{regs:?}");
+        // Small jitter passes.
+        assert!(compare_ingest(&runs, &scale_ingest(&runs, 1.2), REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn ingest_missing_policy_is_a_regression() {
+        let runs = extract_ingest_runs(&Json::parse(INGEST_SAMPLE).unwrap()).unwrap();
+        let fresh = runs[..2].to_vec();
+        let regs = compare_ingest(&runs, &fresh, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].stage, "<missing>");
+        assert_eq!(regs[0].cell, "ingest/always");
+    }
+
+    #[test]
+    fn ingest_render_round_trips_through_the_gate() {
+        let runs = extract_ingest_runs(&Json::parse(INGEST_SAMPLE).unwrap()).unwrap();
+        let rendered = render_ingest_runs(&scale_ingest(&runs, 2.0));
+        let reparsed = extract_ingest_runs(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(reparsed.len(), runs.len());
+        assert!(!compare_ingest(&runs, &reparsed, REGRESSION_THRESHOLD).is_empty());
+        assert!(compare_ingest(&reparsed, &reparsed, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn parses_the_committed_ingest_baseline() {
+        // The gate must always be able to read the real artifact.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_ingest.json"
+        ))
+        .expect("committed ingest baseline exists");
+        let runs = extract_ingest_runs(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(runs.len(), 3, "three durability policies");
+        assert!(runs.iter().all(|r| r.points_per_sec > 0.0));
     }
 
     #[test]

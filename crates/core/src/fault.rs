@@ -32,6 +32,21 @@ pub enum FaultStage {
     /// the surrounding stage name, e.g. `"bbox_scan"`); pairs with the
     /// `Cancel` and `Stall` kinds.
     QueryCheckpoint,
+    /// Appending one framed batch to the write-ahead log (target =
+    /// `"frame:<seq>"`). Byte-level kinds corrupt the frame *as written*,
+    /// modelling a crash mid-write.
+    WalAppend,
+    /// The WAL group-commit fsync (target = `"sync:<seq>"`). `Crash`
+    /// drops every unsynced byte; `TornWrite` persists only a prefix of
+    /// them — the two page-cache-loss shapes a real power cut produces.
+    WalSync,
+    /// Sealing the WAL into a fresh dump: fires between the dump's commit
+    /// rename and the WAL truncation, the window idempotent replay must
+    /// cover.
+    Seal,
+    /// Replaying the WAL during `open_ingest` recovery (target =
+    /// `"frame:<seq>"`).
+    Recover,
 }
 
 /// What kind of fault fires. Seeds make the corruption deterministic.
@@ -55,6 +70,10 @@ pub enum FaultKind {
     /// Sleep this many milliseconds at a `QueryCheckpoint`, so a
     /// statement deadline expires deterministically mid-stage.
     Stall(u64),
+    /// A torn write: only a seed-chosen prefix reaches the medium *and*
+    /// one bit of its tail is damaged — the classic power-cut shape a
+    /// checksummed WAL frame must detect and truncate, never replay.
+    TornWrite(u64),
 }
 
 /// One bounded-mix step of splitmix64; enough to spread a test seed.
@@ -84,6 +103,19 @@ impl FaultKind {
             FaultKind::ShortWrite(seed) => {
                 let keep = (mix(seed) as usize) % bytes.len();
                 bytes.truncate(keep);
+            }
+            FaultKind::TornWrite(seed) => {
+                // Keep a proper prefix, then flip one bit near its end:
+                // a sector boundary cut through the frame plus in-flight
+                // bit rot, both under the same seed.
+                let keep = 1 + (mix(seed) as usize) % bytes.len().max(1);
+                bytes.truncate(keep.min(bytes.len().saturating_sub(1)).max(1));
+                if !bytes.is_empty() {
+                    let tail = bytes.len().saturating_sub(8);
+                    let span = bytes.len() - tail;
+                    let bit = (mix(seed ^ 0xD1F7) as usize) % (span * 8);
+                    bytes[tail + bit / 8] ^= 1 << (bit % 8);
+                }
             }
             FaultKind::IoError | FaultKind::Crash | FaultKind::Cancel | FaultKind::Stall(_) => {}
         }
@@ -196,6 +228,7 @@ mod tests {
             FaultKind::Truncate(7),
             FaultKind::BitFlip(7),
             FaultKind::ShortWrite(7),
+            FaultKind::TornWrite(7),
         ] {
             let mut a = orig.clone();
             let mut b = orig.clone();
@@ -229,6 +262,19 @@ mod tests {
         assert!(fi.fire(FaultStage::LoadDecode, "dir/b.las").is_some());
         assert!(fi.fire(FaultStage::LoadDecode, "b.las").is_none());
         assert_eq!(fi.fired().len(), 2);
+    }
+
+    #[test]
+    fn torn_write_is_a_damaged_proper_prefix() {
+        let orig: Vec<u8> = (0..=255).collect();
+        let mut b = orig.clone();
+        FaultKind::TornWrite(3).corrupt(&mut b);
+        assert!(!b.is_empty() && b.len() < orig.len(), "proper prefix");
+        assert_ne!(&orig[..b.len()], &b[..], "tail bit damaged");
+        // Single-byte buffers survive without panicking.
+        let mut one = vec![0xAAu8];
+        FaultKind::TornWrite(9).corrupt(&mut one);
+        assert_eq!(one.len(), 1);
     }
 
     #[test]

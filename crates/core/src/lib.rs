@@ -49,6 +49,7 @@ pub mod pointcloud;
 pub mod query;
 pub mod soa;
 pub mod trace;
+pub mod wal;
 
 pub use error::{CancelReason, CoreError};
 pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
@@ -64,3 +65,4 @@ pub use loader::{
 pub use pointcloud::PointCloud;
 pub use query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};
 pub use trace::{SlowQuery, SlowQueryLog, SpanKind, SpanRecord, TraceSink, Tracer};
+pub use wal::{Durability, RecoveryReport};

@@ -57,13 +57,21 @@ pub enum Stage {
     /// Query-lifecycle governance: admission-queue waits (`seconds`) and
     /// shed/timeout/kill/budget decisions (the dedicated counters).
     Governor,
+    /// One framed batch appended to the write-ahead log (`rows` = points
+    /// in the batch; `seconds` includes any group-commit fsync it trips).
+    WalAppend,
+    /// WAL recovery during `open_ingest`: replaying the committed frame
+    /// prefix on top of the last dump.
+    Recover,
 }
 
 impl Stage {
     /// Every stage, in the (stable) order the snapshot renders them.
-    /// `Governor` was appended last so the positional span codes of the
-    /// earlier stages (see `trace::SpanKind::code`) stay stable.
-    pub const ALL: [Stage; 9] = [
+    /// New stages are always appended so the positional span codes of the
+    /// earlier stages (see `trace::SpanKind::code`) stay stable —
+    /// `Governor` in PR 5, `WalAppend`/`Recover` with the streaming-ingest
+    /// WAL.
+    pub const ALL: [Stage; 11] = [
         Stage::ImprintProbe,
         Stage::BboxScan,
         Stage::GridRefine,
@@ -73,6 +81,8 @@ impl Stage {
         Stage::PersistLoad,
         Stage::Morsel,
         Stage::Governor,
+        Stage::WalAppend,
+        Stage::Recover,
     ];
 
     /// The stage's snapshot/display name.
@@ -87,6 +97,8 @@ impl Stage {
             Stage::PersistLoad => "persist_load",
             Stage::Morsel => "morsel",
             Stage::Governor => "governor",
+            Stage::WalAppend => "wal_append",
+            Stage::Recover => "recover",
         }
     }
 
@@ -249,6 +261,12 @@ pub struct MetricsRegistry {
     pub queries_killed: Counter,
     /// Queries cancelled by an exceeded memory budget.
     pub budget_trips: Counter,
+    /// Batches appended to a write-ahead log.
+    pub wal_batches: Counter,
+    /// WAL group-commit fsyncs (every durability acknowledgement).
+    pub wal_syncs: Counter,
+    /// WAL recoveries performed by `open_ingest` (incl. empty-log opens).
+    pub wal_recoveries: Counter,
     /// Rows in the most recently appended-to table.
     pub table_rows: Gauge,
     /// Imprint indexes currently cached on the most recently probed table.
@@ -299,6 +317,9 @@ impl MetricsRegistry {
         self.queries_timed_out.reset();
         self.queries_killed.reset();
         self.budget_trips.reset();
+        self.wal_batches.reset();
+        self.wal_syncs.reset();
+        self.wal_recoveries.reset();
         self.table_rows.reset();
         self.indexed_columns.reset();
         lidardb_imprints::reset_probe_count();
@@ -312,7 +333,7 @@ impl MetricsRegistry {
     pub fn snapshot_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n  \"counters\": {\n");
-        let counters: [(&str, u64); 15] = [
+        let counters: [(&str, u64); 18] = [
             ("queries", self.queries.get()),
             ("imprint_cache_hits", self.imprint_cache_hits.get()),
             ("imprint_cache_misses", self.imprint_cache_misses.get()),
@@ -325,6 +346,9 @@ impl MetricsRegistry {
             ("queries_timed_out", self.queries_timed_out.get()),
             ("queries_killed", self.queries_killed.get()),
             ("budget_trips", self.budget_trips.get()),
+            ("wal_batches", self.wal_batches.get()),
+            ("wal_syncs", self.wal_syncs.get()),
+            ("wal_recoveries", self.wal_recoveries.get()),
             ("imprint_probes", lidardb_imprints::probe_count()),
             ("imprint_candidate_rows", lidardb_imprints::probe_rows()),
             ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
@@ -475,7 +499,9 @@ mod tests {
                 "persist_save",
                 "persist_load",
                 "morsel",
-                "governor"
+                "governor",
+                "wal_append",
+                "recover"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {

@@ -34,6 +34,7 @@ use crate::crc::crc32;
 use crate::error::CoreError;
 use crate::fault::{FaultInjector, FaultKind, FaultStage};
 use crate::pointcloud::PointCloud;
+use crate::wal::Durability;
 
 /// Manifest file name.
 const MANIFEST: &str = "MANIFEST.lidardb";
@@ -232,11 +233,12 @@ impl Staging {
 
     /// Atomically move the staged state to `target`, replacing whatever
     /// is there. The new state appears at `target` in one rename.
-    fn commit(mut self, target: &Path) -> Result<(), CoreError> {
+    fn commit(mut self, target: &Path, fi: Option<&FaultInjector>) -> Result<(), CoreError> {
         // `rename` cannot replace a non-empty directory, so an existing
         // target is moved aside first and dropped after the swap. The
         // crash window between the two renames leaves *no* directory at
-        // the target — never a partial one.
+        // the target — never a partial one; [`recover_stale_dirs`] rolls
+        // the `.replaced` copy back on the next open.
         let old = self.path.with_extension("replaced");
         let _ = std::fs::remove_dir_all(&old);
         let had_old = match std::fs::rename(target, &old) {
@@ -244,6 +246,17 @@ impl Staging {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
             Err(e) => return Err(io_err(e)),
         };
+        if fi
+            .and_then(|fi| fi.fire(FaultStage::Commit, "swap"))
+            .is_some()
+        {
+            // Simulated kill inside the two-rename window: the old state
+            // sits at `.replaced`, the staged state never reached the
+            // target. A real crash leaves both directories on disk, so
+            // the abandoned staging dir must survive Drop too.
+            self.committed = true;
+            return Err(corrupt("injected crash between commit renames"));
+        }
         if let Err(e) = std::fs::rename(&self.path, target) {
             // Roll the old state back so a failed commit is a no-op.
             if had_old {
@@ -267,11 +280,44 @@ impl Drop for Staging {
     }
 }
 
+/// fsync an already-open file, honouring the durability policy.
+fn sync_file(f: &std::fs::File, durability: Durability) -> Result<(), CoreError> {
+    if durability == Durability::None {
+        return Ok(());
+    }
+    f.sync_all().map_err(io_err)
+}
+
+/// fsync a *directory*, making the renames/creates inside it durable.
+/// A `rename` only becomes crash-safe once its parent directory entry is
+/// flushed — syncing the files alone is not enough.
+fn sync_dir(dir: &Path, durability: Durability) -> Result<(), CoreError> {
+    if durability == Durability::None {
+        return Ok(());
+    }
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io_err)
+}
+
 impl PointCloud {
     /// Write the table as one binary dump per column plus a checksummed
-    /// manifest, atomically (staging directory + rename).
+    /// manifest, atomically (staging directory + rename) and **durably**:
+    /// every dump, the manifest and the parent directory entry are
+    /// fsynced before the call returns.
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), CoreError> {
-        self.save_dir_with_faults(dir, None)
+        self.save_dir_inner(dir, None, Durability::Always)
+    }
+
+    /// [`PointCloud::save_dir`] with an explicit [`Durability`]:
+    /// `Durability::None` skips every fsync (bulk loads that end with an
+    /// explicit durable save); anything else syncs like `save_dir`.
+    pub fn save_dir_durable(
+        &self,
+        dir: impl AsRef<Path>,
+        durability: Durability,
+    ) -> Result<(), CoreError> {
+        self.save_dir_inner(dir, None, durability)
     }
 
     /// [`PointCloud::save_dir`] with fault-injection hooks (tests only).
@@ -279,6 +325,15 @@ impl PointCloud {
         &self,
         dir: impl AsRef<Path>,
         fi: Option<&FaultInjector>,
+    ) -> Result<(), CoreError> {
+        self.save_dir_inner(dir, fi, Durability::Always)
+    }
+
+    pub(crate) fn save_dir_inner(
+        &self,
+        dir: impl AsRef<Path>,
+        fi: Option<&FaultInjector>,
+        durability: Durability,
     ) -> Result<(), CoreError> {
         let mut pspan = crate::trace::span(crate::trace::SpanKind::Stage(
             crate::metrics::Stage::PersistSave,
@@ -316,6 +371,10 @@ impl PointCloud {
             f.write_all(&bytes)
                 .and_then(|()| f.flush())
                 .map_err(io_err)?;
+            // Regression: the dump used to leave the page cache unflushed,
+            // so a power cut after a "successful" save could lose or tear
+            // column bytes the checksums were computed over.
+            sync_file(f.get_ref(), durability)?;
         }
         let mut manifest = Manifest::render_v2(self.num_points(), &checksums).into_bytes();
         if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::WriteManifest, MANIFEST)) {
@@ -325,7 +384,16 @@ impl PointCloud {
                 _ => kind.corrupt(&mut manifest),
             }
         }
-        std::fs::write(staging.path.join(MANIFEST), manifest).map_err(io_err)?;
+        {
+            let mut f =
+                std::fs::File::create(staging.path.join(MANIFEST)).map_err(io_err)?;
+            f.write_all(&manifest).map_err(io_err)?;
+            sync_file(&f, durability)?;
+        }
+        // The staged files themselves must be durable before the commit
+        // rename: otherwise the rename can survive a crash while the
+        // content it points at does not.
+        sync_dir(&staging.path, durability)?;
         if fi
             .and_then(|fi| fi.fire(FaultStage::Commit, MANIFEST))
             .is_some()
@@ -335,7 +403,20 @@ impl PointCloud {
             // its previous state.
             return Err(corrupt("injected crash before commit"));
         }
-        staging.commit(dir)?;
+        staging.commit(dir, fi)?;
+        if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::Commit, "fsync")) {
+            return Err(match kind {
+                FaultKind::IoError => io_err(kind.to_io_error()),
+                other => corrupt(format!("injected {other:?} before parent-dir fsync")),
+            });
+        }
+        // And the commit rename itself must reach the disk: fsync the
+        // parent directory that holds the renamed entry.
+        if let Some(parent) = dir.parent() {
+            if !parent.as_os_str().is_empty() {
+                sync_dir(parent, durability)?;
+            }
+        }
         crate::metrics::MetricsRegistry::global().record_stage(
             crate::metrics::Stage::PersistSave,
             self.num_points(),
@@ -363,6 +444,7 @@ impl PointCloud {
         }
         let t0 = std::time::Instant::now();
         let dir = dir.as_ref();
+        recover_stale_dirs(dir)?;
         let manifest = read_manifest(dir, fi)?;
         let mut pc = PointCloud::new();
         let schema = point_schema();
@@ -386,6 +468,61 @@ impl PointCloud {
         pspan.set_rows(pc.num_points() as u64, pc.num_points() as u64);
         Ok(pc)
     }
+}
+
+/// Clean up the debris a crash inside [`Staging::commit`] can leave next
+/// to `target`, returning a description of each action taken.
+///
+/// Two leftover shapes exist:
+///
+/// * `.{name}.staging.{pid}` — a save died before (or during) its commit
+///   rename. The target still holds the previous state (or the `.replaced`
+///   copy does); the staging dir is incomplete debris and is removed.
+/// * `.{name}.staging.replaced` — the crash landed *between* the two
+///   commit renames: the old state was moved aside but the new state never
+///   reached the target. If the target is missing and the copy still has
+///   a valid manifest, it is rolled back to the target; if the target
+///   exists (the swap completed, only the cleanup was lost), the copy is
+///   removed.
+///
+/// Called automatically by [`PointCloud::open_dir`]; idempotent.
+pub fn recover_stale_dirs(target: impl AsRef<Path>) -> Result<Vec<String>, CoreError> {
+    let target = target.as_ref();
+    let Some(name) = target.file_name().and_then(|n| n.to_str()) else {
+        return Ok(Vec::new());
+    };
+    let parent = match target.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let entries = match std::fs::read_dir(parent) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(e)),
+    };
+    let prefix = format!(".{name}.staging.");
+    let mut actions = Vec::new();
+    for entry in entries.filter_map(|e| e.ok()) {
+        let fname = entry.file_name().to_string_lossy().into_owned();
+        if !fname.starts_with(&prefix) {
+            continue;
+        }
+        let path = entry.path();
+        if fname.ends_with(".replaced") {
+            if !target.exists() && read_manifest(&path, None).is_ok() {
+                std::fs::rename(&path, target).map_err(io_err)?;
+                sync_dir(parent, Durability::Always)?;
+                actions.push(format!("rolled back {fname}"));
+                continue;
+            }
+            std::fs::remove_dir_all(&path).map_err(io_err)?;
+            actions.push(format!("removed {fname}"));
+        } else {
+            std::fs::remove_dir_all(&path).map_err(io_err)?;
+            actions.push(format!("removed {fname}"));
+        }
+    }
+    Ok(actions)
 }
 
 /// Validate a table directory without building the in-memory table
@@ -616,6 +753,108 @@ mod tests {
         assert!(err.is_transient(), "{err}");
         // And with no faults armed the same directory opens fine.
         assert!(PointCloud::open_dir_with_faults(&dir, Some(&FaultInjector::new())).is_ok());
+    }
+
+    /// Regression for the crash window *between* the two commit renames:
+    /// the old state sits at `.replaced`, nothing sits at the target, and
+    /// the abandoned staging directory survives. The next `open_dir` must
+    /// roll the old state back and sweep the debris.
+    #[test]
+    fn crash_between_commit_renames_rolls_back_on_open() {
+        let parent = tdir("swapcrash");
+        std::fs::create_dir_all(&parent).unwrap();
+        let target = parent.join("table");
+        cloud(40).save_dir(&target).unwrap();
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::Commit, Some("swap"), FaultKind::Crash);
+        let err = cloud(99).save_dir_with_faults(&target, Some(&fi)).unwrap_err();
+        assert!(matches!(err, CoreError::Corrupt(_)), "{err}");
+        assert!(!target.exists(), "crash window leaves no target");
+        let leftovers: Vec<String> = std::fs::read_dir(&parent)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.iter().any(|n| n.ends_with(".replaced")),
+            "old state parked at .replaced: {leftovers:?}"
+        );
+        assert!(
+            leftovers
+                .iter()
+                .any(|n| n.contains(".staging.") && !n.ends_with(".replaced")),
+            "abandoned staging dir left behind: {leftovers:?}"
+        );
+        // Reopen: stale-dir recovery rolls the previous state back.
+        let back = PointCloud::open_dir(&target).unwrap();
+        assert_eq!(back.num_points(), 40, "pre-crash state restored");
+        let residue: Vec<String> = std::fs::read_dir(&parent)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".staging."))
+            .collect();
+        assert!(residue.is_empty(), "debris swept: {residue:?}");
+    }
+
+    /// Each leftover shape on its own: an orphaned staging dir is removed,
+    /// and a `.replaced` dir next to a live target (swap completed, only
+    /// the cleanup was lost) is removed rather than rolled back.
+    #[test]
+    fn stale_leftovers_are_swept_per_shape() {
+        let parent = tdir("sweep");
+        std::fs::create_dir_all(&parent).unwrap();
+        let target = parent.join("table");
+        cloud(30).save_dir(&target).unwrap();
+        // Orphaned staging dir (crash before commit in another process).
+        let orphan = parent.join(".table.staging.424242");
+        std::fs::create_dir_all(&orphan).unwrap();
+        std::fs::write(orphan.join("x.bin"), b"junk").unwrap();
+        // Replaced dir while the target is alive.
+        let replaced = parent.join(".table.staging.replaced");
+        std::fs::create_dir_all(&replaced).unwrap();
+        std::fs::write(replaced.join("debris"), b"junk").unwrap();
+        let actions = recover_stale_dirs(&target).unwrap();
+        assert_eq!(actions.len(), 2, "{actions:?}");
+        assert!(!orphan.exists() && !replaced.exists());
+        assert_eq!(PointCloud::open_dir(&target).unwrap().num_points(), 30);
+        // A `.replaced` dir that does NOT hold a valid manifest is never
+        // promoted to the target, even when the target is missing.
+        std::fs::remove_dir_all(&target).unwrap();
+        std::fs::create_dir_all(&replaced).unwrap();
+        std::fs::write(replaced.join("MANIFEST.lidardb"), b"garbage").unwrap();
+        let actions = recover_stale_dirs(&target).unwrap();
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        assert!(!target.exists(), "garbage must not be resurrected");
+        assert!(!replaced.exists());
+    }
+
+    /// The save path fsyncs dumps, manifest and parent dir; the fault hook
+    /// at the parent-dir fsync site fires after the swap, so the new state
+    /// is already at the target when the "crash" hits.
+    #[test]
+    fn fsync_fault_fires_after_commit_swap() {
+        let parent = tdir("fsyncfault");
+        std::fs::create_dir_all(&parent).unwrap();
+        let target = parent.join("table");
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::Commit, Some("fsync"), FaultKind::Crash);
+        let err = cloud(25).save_dir_with_faults(&target, Some(&fi)).unwrap_err();
+        assert!(matches!(err, CoreError::Corrupt(_)), "{err}");
+        assert_eq!(fi.fired().len(), 1);
+        // The swap happened; only the directory-entry flush was lost. The
+        // state is openable — the caller just must not treat the save as
+        // acknowledged (it got an Err).
+        assert_eq!(PointCloud::open_dir(&target).unwrap().num_points(), 25);
+        // A transient fsync error surfaces as retryable I/O.
+        let fi = FaultInjector::new();
+        fi.inject(FaultStage::Commit, Some("fsync"), FaultKind::IoError);
+        let err = cloud(25).save_dir_with_faults(&target, Some(&fi)).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // `Durability::None` skips the fsyncs entirely but still saves.
+        let none_target = parent.join("table_none");
+        cloud(12).save_dir_durable(&none_target, Durability::None).unwrap();
+        assert_eq!(PointCloud::open_dir(&none_target).unwrap().num_points(), 12);
     }
 
     #[test]

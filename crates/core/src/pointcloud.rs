@@ -1,6 +1,9 @@
-//! The flat point-cloud table with its lazy imprint cache.
+//! The flat point-cloud table with its lazy imprint cache and the
+//! streaming-ingest state (WAL + visibility watermark).
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -11,6 +14,7 @@ use lidardb_storage::{Column, FlatTable};
 
 use crate::error::CoreError;
 use crate::soa::ColumnArrays;
+use crate::wal::{self, Durability, RecoveryReport, WalWriter};
 
 /// A point cloud stored as a flat 26-column table (§3.1 of the paper).
 ///
@@ -31,6 +35,22 @@ pub struct PointCloud {
     /// Admission controller queries on this cloud pass through; `None`
     /// falls back to the process-wide controller (unlimited by default).
     admission: Option<Arc<crate::governor::AdmissionController>>,
+    /// Snapshot-isolation watermark: rows below it are visible to queries.
+    /// Plain clouds keep it at `num_points`; ingesting clouds advance it
+    /// only when the covering WAL frames are durable, so a reader can
+    /// never observe a row that a crash would take back (no ghost rows).
+    visible_rows: AtomicUsize,
+    /// Streaming-ingest state (`None` for plain in-memory clouds).
+    ingest: Option<IngestState>,
+}
+
+/// Everything an ingesting cloud carries beyond the plain table.
+struct IngestState {
+    wal: WalWriter,
+    /// The dump directory `seal` folds the WAL into.
+    dir: PathBuf,
+    /// What recovery found when this cloud was opened.
+    recovery: RecoveryReport,
 }
 
 impl std::fmt::Debug for PointCloud {
@@ -60,6 +80,8 @@ impl PointCloud {
             default_deadline_ms: std::sync::atomic::AtomicU64::new(0),
             mem_budget_bytes: std::sync::atomic::AtomicU64::new(0),
             admission: None,
+            visible_rows: AtomicUsize::new(0),
+            ingest: None,
         }
     }
 
@@ -201,29 +223,110 @@ impl PointCloud {
 
     /// Append a batch of decoded records (transposes, then bulk-appends).
     ///
-    /// Invalidates the imprint cache — appending changes cacheline
-    /// contents, and the paper's workload is bulk-load-then-query.
+    /// On an ingesting cloud ([`Self::open_ingest`]) the batch is WAL-
+    /// logged before it touches the table; on a plain cloud it is applied
+    /// directly. Cached imprints are refreshed incrementally either way.
     pub fn append_records(&mut self, records: &[PointRecord]) -> Result<usize, CoreError> {
         let soa = ColumnArrays::from_records(records);
         let dumps = soa.to_dumps();
         self.append_dumps(&dumps)
     }
 
+    /// [`Self::append_records`] returning the durability acknowledgement:
+    /// `Ok(true)` means the batch — and every batch before it — is fsynced
+    /// in the WAL and visible to queries. Under `Durability::GroupCommit`
+    /// an `Ok(false)` batch becomes durable at the next group sync or an
+    /// explicit [`Self::flush_wal`]. Plain clouds (no WAL) report `true`.
+    pub fn ingest_records(&mut self, records: &[PointRecord]) -> Result<bool, CoreError> {
+        let soa = ColumnArrays::from_records(records);
+        let dumps = soa.to_dumps();
+        if self.ingest.is_none() {
+            self.append_dumps(&dumps)?;
+            return Ok(true);
+        }
+        self.append_dumps_ingest(&dumps).map(|(_, durable)| durable)
+    }
+
     /// `COPY BINARY`: append one little-endian dump per column.
     pub fn append_dumps(&mut self, dumps: &[Vec<u8>]) -> Result<usize, CoreError> {
-        let refs: Vec<&[u8]> = dumps.iter().map(Vec::as_slice).collect();
-        let n = self.table.copy_binary(&refs)?;
-        self.imprints.get_mut().clear();
-        let m = crate::metrics::MetricsRegistry::global();
-        m.table_rows.set(self.table.num_rows() as u64);
-        m.indexed_columns.set(0);
+        if self.ingest.is_some() {
+            return self.append_dumps_ingest(dumps).map(|(n, _)| n);
+        }
+        let n = self.apply_dumps(dumps)?;
+        self.publish_visible(self.table.num_rows());
         Ok(n)
     }
 
-    /// Append one row the slow way (CSV path).
+    /// WAL-first append: the batch is framed and logged, then applied to
+    /// the table; the visibility watermark advances only when the WAL
+    /// acknowledges durability (always under `Durability::Always`; at
+    /// group boundaries under `GroupCommit`; immediately under `None`,
+    /// which trades the no-ghost-rows guarantee for speed).
+    fn append_dumps_ingest(&mut self, dumps: &[Vec<u8>]) -> Result<(usize, bool), CoreError> {
+        let rows = dump_rows(dumps)?;
+        if rows == 0 {
+            return Ok((0, true));
+        }
+        let t0 = std::time::Instant::now();
+        let durable = self
+            .ingest
+            .as_mut()
+            .expect("ingest state checked by caller")
+            .wal
+            .append_batch(dumps, rows)?;
+        let n = self.apply_dumps(dumps)?;
+        let ing = self.ingest.as_ref().expect("ingest state");
+        if durable || ing.wal.durability() == Durability::None {
+            self.publish_visible(self.table.num_rows());
+        }
+        let m = crate::metrics::MetricsRegistry::global();
+        m.wal_batches.inc();
+        m.record_stage(crate::metrics::Stage::WalAppend, rows, t0.elapsed());
+        Ok((n, durable))
+    }
+
+    /// Apply dumps to the table and refresh every cached imprint with the
+    /// appended tail — incremental `push_line` surgery on the index, not a
+    /// wholesale invalidation, so append-while-query keeps its indexes.
+    fn apply_dumps(&mut self, dumps: &[Vec<u8>]) -> Result<usize, CoreError> {
+        let refs: Vec<&[u8]> = dumps.iter().map(Vec::as_slice).collect();
+        let n = self.table.copy_binary(&refs)?;
+        let cache = self.imprints.get_mut();
+        let mut dead = Vec::new();
+        for (name, imp) in cache.iter_mut() {
+            match self.table.column_by_name(name) {
+                // Clone-on-write: queries holding the old Arc keep probing
+                // the pre-append index (consistent with their snapshot).
+                Ok(col) if Arc::make_mut(imp).append_column(col).is_ok() => {}
+                _ => dead.push(name.clone()),
+            }
+        }
+        for name in dead {
+            cache.remove(&name);
+        }
+        let m = crate::metrics::MetricsRegistry::global();
+        m.table_rows.set(self.table.num_rows() as u64);
+        m.indexed_columns.set(cache.len() as u64);
+        Ok(n)
+    }
+
+    /// Append one row the slow way (CSV path; plain clouds only).
     pub(crate) fn push_row_values(&mut self, row: &[lidardb_storage::Value]) {
+        debug_assert!(self.ingest.is_none(), "CSV path bypasses the WAL");
         self.table.push_row(row);
         self.imprints.get_mut().clear();
+        self.publish_visible(self.table.num_rows());
+    }
+
+    /// Rows currently visible to queries. Equals [`Self::num_points`] on
+    /// plain clouds; on ingesting clouds it lags `num_points` by the
+    /// applied-but-unsynced batches.
+    pub fn visible_rows(&self) -> usize {
+        self.visible_rows.load(Ordering::Acquire)
+    }
+
+    fn publish_visible(&self, rows: usize) {
+        self.visible_rows.store(rows, Ordering::Release);
     }
 
     /// Borrow a column by name.
@@ -331,6 +434,193 @@ impl PointCloud {
             wave_zt: f(25) as f32,
         })
     }
+
+    // ---- streaming ingest (WAL + recovery + seal) ----------------------
+
+    /// Open `dir` for crash-safe streaming ingestion.
+    ///
+    /// Recovery path: stale commit debris next to `dir` is cleaned (or
+    /// rolled back), the last dump is loaded, and the committed prefix of
+    /// the sibling WAL (`<dir>.wal`) is replayed on top — frames the dump
+    /// already contains are skipped (idempotent replay, covering a `seal`
+    /// that crashed between its dump rename and its WAL truncate), and a
+    /// torn or corrupt tail is truncated, never mis-replayed. The findings
+    /// are reported via [`Self::recovery_report`].
+    ///
+    /// A missing `dir` starts an empty ingesting cloud (the WAL alone
+    /// carries it until the first [`Self::seal`]).
+    pub fn open_ingest(
+        dir: impl AsRef<Path>,
+        durability: Durability,
+    ) -> Result<Self, CoreError> {
+        Self::open_ingest_with_faults(dir, durability, None)
+    }
+
+    /// [`Self::open_ingest`] with fault-injection hooks (tests only).
+    pub fn open_ingest_with_faults(
+        dir: impl AsRef<Path>,
+        durability: Durability,
+        fault: Option<Arc<crate::fault::FaultInjector>>,
+    ) -> Result<Self, CoreError> {
+        let t0 = std::time::Instant::now();
+        let dir = dir.as_ref();
+        crate::persist::recover_stale_dirs(dir)?;
+        let mut pc = if dir.exists() {
+            Self::open_dir_with_faults(dir, fault.as_deref())?
+        } else {
+            Self::new()
+        };
+        if let Some(fi) = &fault {
+            pc.set_fault_injector(Arc::clone(fi));
+        }
+        let base = pc.num_points();
+        let wal_path = wal::wal_path_for(dir);
+        let scan = wal::scan_file(&wal_path, fault.as_deref())?;
+        let mut report = RecoveryReport {
+            base_rows: base,
+            wal_frames: scan.frames.len(),
+            truncated_bytes: scan.tail_bytes,
+            torn_tail: scan.tail_bytes > 0,
+            ..Default::default()
+        };
+        for frame in &scan.frames {
+            if frame.end_rows <= base as u64 {
+                report.skipped_frames += 1;
+                continue;
+            }
+            let before = pc.num_points();
+            pc.apply_dumps(&frame.dumps)?;
+            report.replayed_frames += 1;
+            report.replayed_rows += pc.num_points() - before;
+            if pc.num_points() as u64 != frame.end_rows {
+                return Err(CoreError::Corrupt(format!(
+                    "wal replay: frame {} claims {} cumulative rows, table has {}",
+                    frame.seq,
+                    frame.end_rows,
+                    pc.num_points()
+                )));
+            }
+        }
+        let mut wal = wal::open_writer(
+            &wal_path,
+            pc.num_points() as u64,
+            durability,
+            fault.clone(),
+        )?;
+        if report.replayed_frames == 0 {
+            // Every logged frame (if any) is already inside the dump — a
+            // seal crashed between the dump rename and the log truncate.
+            // Finish that truncate so the frame chain restarts at the
+            // dump's base.
+            wal.reset(pc.num_points() as u64)?;
+        }
+        report.total_rows = pc.num_points();
+        report.seconds = t0.elapsed().as_secs_f64();
+        pc.publish_visible(pc.num_points());
+        let m = crate::metrics::MetricsRegistry::global();
+        m.wal_recoveries.inc();
+        m.record_stage(
+            crate::metrics::Stage::Recover,
+            report.replayed_rows,
+            t0.elapsed(),
+        );
+        pc.ingest = Some(IngestState {
+            wal,
+            dir: dir.to_path_buf(),
+            recovery: report,
+        });
+        Ok(pc)
+    }
+
+    /// What recovery found when this cloud was opened for ingest; `None`
+    /// on plain clouds. Rendered by SQL `SHOW RECOVERY`.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.ingest.as_ref().map(|i| &i.recovery)
+    }
+
+    /// The ingest durability policy, `None` for plain clouds.
+    pub fn ingest_durability(&self) -> Option<Durability> {
+        self.ingest.as_ref().map(|i| i.wal.durability())
+    }
+
+    /// Rows covered by fsynced WAL frames (`None` on plain clouds).
+    pub fn durable_rows(&self) -> Option<usize> {
+        self.ingest.as_ref().map(|i| i.wal.durable_rows() as usize)
+    }
+
+    /// Force a WAL group-commit sync: every appended batch becomes durable
+    /// and visible. No-op on plain clouds.
+    pub fn flush_wal(&mut self) -> Result<(), CoreError> {
+        if let Some(ing) = self.ingest.as_mut() {
+            ing.wal.sync()?;
+            self.publish_visible(self.table.num_rows());
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: flush the WAL, fold the whole table into a fresh
+    /// atomic + durable dump (staged rename), then truncate the WAL to a
+    /// new base. A crash anywhere inside leaves a recoverable state —
+    /// in the window between the dump commit and the WAL truncate, replay
+    /// skips the frames the dump already contains.
+    pub fn seal(&mut self) -> Result<(), CoreError> {
+        let Some((dir, durability)) = self
+            .ingest
+            .as_ref()
+            .map(|i| (i.dir.clone(), i.wal.durability()))
+        else {
+            return Err(CoreError::InvalidQuery(
+                "seal: cloud was not opened for ingest".into(),
+            ));
+        };
+        self.flush_wal()?;
+        self.save_dir_inner(&dir, self.fault.as_deref(), durability)?;
+        if let Some(fi) = &self.fault {
+            if let Some(kind) = fi.fire(crate::fault::FaultStage::Seal, "truncate") {
+                // Crash after the dump committed but before the WAL
+                // truncate: the log still holds frames the dump now
+                // contains — exactly the window idempotent replay covers.
+                return Err(CoreError::Corrupt(format!(
+                    "injected {kind:?} during seal before wal truncate"
+                )));
+            }
+        }
+        let n = self.table.num_rows() as u64;
+        self.ingest
+            .as_mut()
+            .expect("ingest state checked above")
+            .wal
+            .reset(n)?;
+        Ok(())
+    }
+}
+
+/// Row count of a per-column dump set, validating its shape against the
+/// point schema *before* anything is WAL-logged: every column must hold
+/// exactly `rows * type_size` bytes, so a malformed batch can never reach
+/// the log (where its replay would poison recovery).
+fn dump_rows(dumps: &[Vec<u8>]) -> Result<usize, CoreError> {
+    let schema = point_schema();
+    if dumps.len() != schema.width() {
+        return Err(CoreError::Corrupt(format!(
+            "dump set has {} columns, schema has {}",
+            dumps.len(),
+            schema.width()
+        )));
+    }
+    let rows = dumps[0].len() / schema.fields()[0].ptype.size();
+    for (d, f) in dumps.iter().zip(schema.fields()) {
+        if d.len() != rows * f.ptype.size() {
+            return Err(CoreError::Corrupt(format!(
+                "column {} dump has {} bytes, {} rows need {}",
+                f.name,
+                d.len(),
+                rows,
+                rows * f.ptype.size()
+            )));
+        }
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -378,15 +668,33 @@ mod tests {
     }
 
     #[test]
-    fn append_invalidates_imprints() {
+    fn append_refreshes_imprints_incrementally() {
         let mut pc = PointCloud::new();
         pc.append_records(&sample_records(100)).unwrap();
         pc.imprints_for("x").unwrap();
         assert!(pc.has_imprints("x"));
         pc.append_records(&sample_records(100)).unwrap();
-        assert!(!pc.has_imprints("x"), "cache cleared by append");
+        assert!(
+            pc.has_imprints("x"),
+            "append extends the cached index instead of invalidating it"
+        );
         let imp = pc.imprints_for("x").unwrap();
-        assert_eq!(imp.len(), 200);
+        assert_eq!(imp.len(), 200, "index covers the appended rows");
+        // x repeats 0..100 in each batch: a point probe must surface the
+        // matching row in *both* the old and the appended region.
+        let cand = imp.probe_f64(50.0, 50.0);
+        assert!(cand.contains(50) && cand.contains(150));
+    }
+
+    #[test]
+    fn visible_rows_tracks_appends_on_plain_clouds() {
+        let mut pc = PointCloud::new();
+        assert_eq!(pc.visible_rows(), 0);
+        pc.append_records(&sample_records(64)).unwrap();
+        assert_eq!(pc.visible_rows(), 64);
+        assert_eq!(pc.recovery_report(), None);
+        assert_eq!(pc.ingest_durability(), None);
+        assert!(pc.seal().is_err(), "plain clouds have nothing to seal");
     }
 
     #[test]
@@ -403,6 +711,104 @@ mod tests {
         // Row bytes: 81 bytes of unpacked payload per point in the flat
         // table (the LAS bit-fields each get their own u8 column).
         assert_eq!(pc.data_bytes(), 10_000 * 81);
+    }
+
+    fn tdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("lidardb_ingest_{name}"));
+        let _ = std::fs::remove_dir_all(&d);
+        let _ = std::fs::remove_file(wal::wal_path_for(&d));
+        std::fs::create_dir_all(d.parent().unwrap()).unwrap();
+        d
+    }
+
+    #[test]
+    fn ingest_survives_reopen_without_seal() {
+        let dir = tdir("reopen");
+        let mut pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        assert_eq!(pc.num_points(), 0);
+        assert!(pc.ingest_records(&sample_records(100)).unwrap());
+        assert!(pc.ingest_records(&sample_records(50)).unwrap());
+        assert_eq!(pc.visible_rows(), 150);
+        drop(pc); // "crash": no seal, the WAL alone carries the rows
+        let pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        assert_eq!(pc.num_points(), 150);
+        let rep = pc.recovery_report().unwrap();
+        assert_eq!(rep.replayed_rows, 150);
+        assert_eq!(rep.replayed_frames, 2);
+        assert_eq!(rep.base_rows, 0);
+        assert!(!rep.torn_tail);
+        assert_eq!(pc.record(107).unwrap().x, 7.0, "payload intact");
+    }
+
+    #[test]
+    fn seal_folds_wal_into_dump_and_truncates() {
+        let dir = tdir("seal");
+        let mut pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        pc.ingest_records(&sample_records(80)).unwrap();
+        pc.seal().unwrap();
+        let wal_len = std::fs::metadata(wal::wal_path_for(&dir)).unwrap().len();
+        assert!(wal_len < 64, "WAL truncated to header, got {wal_len} bytes");
+        // More appends after the seal land in the fresh log.
+        pc.ingest_records(&sample_records(20)).unwrap();
+        drop(pc);
+        let pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        assert_eq!(pc.num_points(), 100);
+        let rep = pc.recovery_report().unwrap();
+        assert_eq!(rep.base_rows, 80, "dump carries the sealed prefix");
+        assert_eq!(rep.replayed_rows, 20, "log carries the rest");
+    }
+
+    #[test]
+    fn group_commit_defers_visibility_until_flush() {
+        let dir = tdir("groupvis");
+        let mut pc = PointCloud::open_ingest(
+            &dir,
+            Durability::GroupCommit {
+                max_batches: 100,
+                max_delay: std::time::Duration::from_secs(3600),
+            },
+        )
+        .unwrap();
+        assert!(!pc.ingest_records(&sample_records(60)).unwrap());
+        assert_eq!(pc.num_points(), 60, "applied to the table");
+        assert_eq!(pc.visible_rows(), 0, "but not visible until durable");
+        assert_eq!(pc.durable_rows(), Some(0));
+        // A query sees the empty snapshot, not the in-flight batch.
+        let sel = pc
+            .select_query(None, &[], Default::default())
+            .unwrap();
+        assert_eq!(sel.rows.len(), 0, "no ghost rows");
+        pc.flush_wal().unwrap();
+        assert_eq!(pc.visible_rows(), 60);
+        assert_eq!(pc.durable_rows(), Some(60));
+        let sel = pc.select_query(None, &[], Default::default()).unwrap();
+        assert_eq!(sel.rows.len(), 60, "visible after the group commit");
+    }
+
+    #[test]
+    fn durability_none_is_visible_immediately() {
+        let dir = tdir("nonevis");
+        let mut pc = PointCloud::open_ingest(&dir, Durability::None).unwrap();
+        assert!(!pc.ingest_records(&sample_records(10)).unwrap());
+        assert_eq!(pc.visible_rows(), 10, "None trades safety for speed");
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_dumps_before_logging() {
+        let dir = tdir("malformed");
+        let mut pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        // Wrong column count.
+        assert!(pc.append_dumps(&[vec![0u8; 8]]).is_err());
+        // Right count, torn byte length in one column.
+        let soa = ColumnArrays::from_records(&sample_records(4));
+        let mut dumps = soa.to_dumps();
+        dumps[3].pop();
+        assert!(pc.append_dumps(&dumps).is_err());
+        // Nothing reached the WAL: a reopen recovers zero rows.
+        drop(pc);
+        let pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        assert_eq!(pc.num_points(), 0);
+        assert_eq!(pc.recovery_report().unwrap().wal_frames, 0);
     }
 
     #[test]

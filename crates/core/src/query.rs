@@ -461,6 +461,12 @@ impl PointCloud {
         // serial and parallel paths, which is what lets the differential
         // suite demand byte-identical `Cancelled` errors from both.
         ctx.checkpoint("query")?;
+        // Snapshot isolation: the visibility watermark is captured ONCE,
+        // before any probe. Batches a concurrent ingester applies (and
+        // whose incrementally refreshed imprints may already cover) while
+        // this query runs stay invisible — every stage below clamps its
+        // candidates to this row count.
+        let visible = self.visible_rows();
         let env = match pred {
             Some(p) => match p.filter_envelope() {
                 Some(e) => Some(e),
@@ -523,15 +529,19 @@ impl PointCloud {
             explain.attr_probes += 1;
         }
         explain.degraded_probes = degraded;
-        let cand = match cand {
+        let mut cand = match cand {
             Some(c) => c,
             None => {
-                // No predicates at all: everything matches.
+                // No predicates at all: everything *visible* matches.
                 let mut all = lidardb_imprints::CandidateList::empty();
-                all.push(0, self.num_points(), true);
+                all.push(0, visible, true);
                 all
             }
         };
+        // The snapshot clamp: imprints refreshed mid-ingest can propose
+        // rows past the watermark; they are cut before any exact scan, so
+        // serial and parallel runs see the identical candidate set.
+        cand.clamp(visible);
         explain.after_imprints = cand.num_rows();
         explain.sure_rows = cand.num_sure_rows();
         explain.t_imprint_build = build_secs;

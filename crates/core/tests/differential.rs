@@ -10,8 +10,8 @@
 use std::sync::{Arc, OnceLock};
 
 use lidardb_core::{
-    Aggregate, AttrRange, FaultInjector, FaultKind, FaultStage, Parallelism, PointCloud,
-    RefineStrategy, SpatialPredicate, MORSEL_MIN_ROWS,
+    wal, Aggregate, AttrRange, Durability, FaultInjector, FaultKind, FaultStage, Parallelism,
+    PointCloud, RefineStrategy, SpatialPredicate, MORSEL_MIN_ROWS,
 };
 use lidardb_geom::{Geometry, LineString, Point, Polygon};
 use lidardb_las::PointRecord;
@@ -35,8 +35,16 @@ fn unit(state: &mut u64) -> f64 {
 /// `y ∈ [400, 420)` (sorted-ish x inside the band produces all-qualify
 /// imprint runs, exercising the sure-row skip in both executors).
 fn build_cloud(n: usize, seed: u64) -> PointCloud {
+    let mut pc = PointCloud::new();
+    pc.append_records(&workload(n, seed)).unwrap();
+    pc
+}
+
+/// The raw records behind [`build_cloud`], for tests that feed the same
+/// workload through a different ingest path.
+fn workload(n: usize, seed: u64) -> Vec<PointRecord> {
     let mut s = seed | 1;
-    let recs: Vec<PointRecord> = (0..n)
+    (0..n)
         .map(|i| {
             let banded = i % 5 == 0;
             let x = if banded {
@@ -59,10 +67,7 @@ fn build_cloud(n: usize, seed: u64) -> PointCloud {
                 ..Default::default()
             }
         })
-        .collect();
-    let mut pc = PointCloud::new();
-    pc.append_records(&recs).unwrap();
-    pc
+        .collect()
 }
 
 /// The shared 120k-point cloud (large enough that realistic predicates
@@ -233,6 +238,58 @@ fn differential_spatial_plus_attrs() {
     ];
     assert_differential(pc, Some(&diamond(400.0, 450.0, 300.0)), &attrs, RefineStrategy::default());
     assert_differential(pc, Some(&road()), &attrs, RefineStrategy::AdaptiveGrid);
+}
+
+#[test]
+fn differential_mid_ingest_snapshot() {
+    // The executor parity contract must hold against a *live* ingesting
+    // cloud: with group commit deferring durability, the WAL has applied
+    // rows past the visibility watermark. Serial and every parallel run
+    // must return byte-identical results, and all of them must see exactly
+    // the committed snapshot — never the unacknowledged tail.
+    let dir = std::env::temp_dir().join(format!("lidardb_diff_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(wal::wal_path_for(&dir));
+    let recs = workload(80_000, 0xD1FF);
+    let durability = Durability::GroupCommit {
+        max_batches: 1_000,
+        max_delay: std::time::Duration::from_secs(3_600),
+    };
+    let mut pc = PointCloud::open_ingest(&dir, durability).unwrap();
+    for chunk in recs[..60_000].chunks(10_000) {
+        pc.ingest_records(chunk).unwrap();
+    }
+    pc.flush_wal().unwrap(); // commit: rows 0..60_000 become the snapshot
+    for chunk in recs[60_000..].chunks(5_000) {
+        assert!(!pc.ingest_records(chunk).unwrap(), "tail must be unacked");
+    }
+    assert_eq!(pc.num_points(), 80_000, "tail is applied");
+    assert_eq!(pc.visible_rows(), 60_000, "but not visible");
+
+    let pred = rect(0.0, 350.0, 1000.0, 500.0);
+    let attrs = [AttrRange::new("classification", 0.0, 8.0)];
+    let rows = assert_differential(&pc, Some(&pred), &attrs, RefineStrategy::default());
+    assert!(!rows.is_empty(), "snapshot query finds the dense band");
+    assert!(
+        rows.iter().all(|&r| r < 60_000),
+        "no ghost rows from the unsynced tail"
+    );
+    // Oracle: a plain cloud built from only the committed prefix answers
+    // identically — the snapshot IS the 60k-row cloud, bit for bit.
+    let oracle = build_cloud(60_000, 0xD1FF);
+    let expect = oracle
+        .select_query_with(Some(&pred), &attrs, RefineStrategy::default(), Parallelism::Serial)
+        .unwrap();
+    assert_eq!(rows, expect.rows, "snapshot equals the committed prefix");
+
+    // After the flush the watermark advances and the same query picks up
+    // the tail — again identically across executors.
+    pc.flush_wal().unwrap();
+    assert_eq!(pc.visible_rows(), 80_000);
+    let rows2 = assert_differential(&pc, Some(&pred), &attrs, RefineStrategy::default());
+    assert!(rows2.len() > rows.len(), "flushed tail joins the result");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(wal::wal_path_for(&dir));
 }
 
 #[test]

@@ -138,6 +138,22 @@ impl CandidateList {
         out
     }
 
+    /// Drop every candidate row at or beyond `max_row`.
+    ///
+    /// This is the snapshot-isolation clamp: a query captures a visibility
+    /// watermark once, and rows appended past it must not surface even
+    /// when an (incrementally refreshed) imprint already covers them.
+    pub fn clamp(&mut self, max_row: usize) {
+        while let Some(last) = self.ranges.last_mut() {
+            if last.start >= max_row {
+                self.ranges.pop();
+            } else {
+                last.end = last.end.min(max_row);
+                break;
+            }
+        }
+    }
+
     /// Intersect two candidate lists (used to AND the X- and Y-imprint
     /// results in the spatial filter). A row qualifies-for-sure only when
     /// both sides say so.
@@ -287,6 +303,30 @@ mod tests {
     #[test]
     fn split_rows_of_empty_is_empty() {
         assert!(CandidateList::empty().split_rows(8).is_empty());
+    }
+
+    #[test]
+    fn clamp_cuts_ranges_at_the_watermark() {
+        let mut c = CandidateList::empty();
+        c.push(0, 10, true);
+        c.push(20, 30, false);
+        c.push(40, 50, true);
+        let mut mid = c.clone();
+        mid.clamp(25);
+        assert_eq!(mid.as_plain_ranges(), vec![(0, 10), (20, 25)]);
+        assert_eq!(mid.num_sure_rows(), 10, "flags survive the clamp");
+        let mut all = c.clone();
+        all.clamp(100);
+        assert_eq!(all, c, "clamp beyond the end is a no-op");
+        let mut none = c.clone();
+        none.clamp(0);
+        assert!(none.is_empty());
+        let mut edge = c.clone();
+        edge.clamp(40);
+        assert_eq!(edge.as_plain_ranges(), vec![(0, 10), (20, 30)]);
+        let mut empty = CandidateList::empty();
+        empty.clamp(10);
+        assert!(empty.is_empty());
     }
 
     #[test]

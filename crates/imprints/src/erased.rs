@@ -147,6 +147,39 @@ impl ColumnImprints {
         cand
     }
 
+    /// Extend the index with the rows of `column` beyond the already
+    /// indexed prefix (incremental refresh after a table append — the
+    /// column is the *full* post-append column, and rows `len()..` are
+    /// new). Errs on a column whose physical type differs from the one
+    /// the index was built over.
+    ///
+    /// The bin layout is fixed at build time; its edge bins are
+    /// open-ended, so appended values outside the sampled domain still
+    /// map to a bin and probes stay sound (supersets, no false
+    /// negatives) — only selectivity can degrade.
+    pub fn append_column(&mut self, column: &Column) -> Result<(), StorageError> {
+        macro_rules! extend {
+            ($imp:expr) => {{
+                let s = column.as_slice()?;
+                let from = $imp.len().min(s.len());
+                $imp.append(&s[from..]);
+            }};
+        }
+        match self {
+            ColumnImprints::I8(i) => extend!(i),
+            ColumnImprints::I16(i) => extend!(i),
+            ColumnImprints::I32(i) => extend!(i),
+            ColumnImprints::I64(i) => extend!(i),
+            ColumnImprints::U8(i) => extend!(i),
+            ColumnImprints::U16(i) => extend!(i),
+            ColumnImprints::U32(i) => extend!(i),
+            ColumnImprints::U64(i) => extend!(i),
+            ColumnImprints::F32(i) => extend!(i),
+            ColumnImprints::F64(i) => extend!(i),
+        }
+        Ok(())
+    }
+
     /// Number of indexed values.
     pub fn len(&self) -> usize {
         dispatch!(self, i => i.len())
@@ -217,6 +250,28 @@ mod tests {
         let imp = ColumnImprints::build(&col).unwrap();
         assert!(imp.probe_f64(10.2, 10.8).is_empty());
         assert!(!imp.probe_f64(10.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn append_column_refreshes_and_rejects_type_mismatch() {
+        let mut col: Column = (0..100i32).collect();
+        let mut imp = ColumnImprints::build(&col).unwrap();
+        assert_eq!(imp.len(), 100);
+        for v in 100..250i32 {
+            col.push(lidardb_storage::Value::I64(v as i64));
+        }
+        imp.append_column(&col).unwrap();
+        assert_eq!(imp.len(), 250);
+        let cand = imp.probe_f64(150.0, 200.0);
+        for row in 150..=200 {
+            assert!(cand.contains(row), "appended row {row} must be covered");
+        }
+        // Probing the old domain still works.
+        assert!(imp.probe_f64(10.0, 20.0).contains(15));
+        // Wrong physical type is an error, not a silent corruption.
+        let wrong: Column = (0..300i64).collect();
+        assert!(imp.append_column(&wrong).is_err());
+        assert_eq!(imp.len(), 250, "failed append leaves the index unchanged");
     }
 
     #[test]

@@ -55,44 +55,113 @@ impl<T: Native> Imprints<T> {
     /// Build with an explicit bin layout (E7 ablations, tests).
     pub fn build_with_bins(data: &[T], bins: BinMap<T>) -> Self {
         let values_per_line = T::PHYS.values_per_cacheline();
-        let mut dict: Vec<DictEntry> = Vec::new();
-        let mut vectors: Vec<u64> = Vec::new();
+        let mut imp = Imprints {
+            bins,
+            dict: Vec::new(),
+            vectors: Vec::new(),
+            values_per_line,
+            len: 0,
+        };
         for line in data.chunks(values_per_line) {
             let mut d = 0u64;
             for &v in line {
-                d |= bins.bit_of(v);
+                d |= imp.bins.bit_of(v);
             }
-            match (vectors.last(), dict.last_mut()) {
-                (Some(&prev), Some(last)) if prev == d && last.count() < COUNT_MAX => {
-                    if last.repeat() {
-                        *last = DictEntry::new(last.count() + 1, true);
-                    } else if last.count() == 1 {
-                        *last = DictEntry::new(2, true);
-                    } else {
-                        // Split the trailing vector of the non-repeat run
-                        // into a fresh repeat entry of length 2.
-                        *last = DictEntry::new(last.count() - 1, false);
-                        dict.push(DictEntry::new(2, true));
-                    }
+            imp.push_line(d);
+        }
+        imp.len = data.len();
+        imp
+    }
+
+    /// Feed one line vector through the cacheline-dictionary state machine
+    /// (shared by [`Self::build_with_bins`] and [`Self::append`]).
+    fn push_line(&mut self, d: u64) {
+        match (self.vectors.last().copied(), self.dict.last_mut()) {
+            (Some(prev), Some(last)) if prev == d && last.count() < COUNT_MAX => {
+                if last.repeat() {
+                    *last = DictEntry::new(last.count() + 1, true);
+                } else if last.count() == 1 {
+                    *last = DictEntry::new(2, true);
+                } else {
+                    // Split the trailing vector of the non-repeat run
+                    // into a fresh repeat entry of length 2.
+                    *last = DictEntry::new(last.count() - 1, false);
+                    self.dict.push(DictEntry::new(2, true));
                 }
-                _ => {
-                    vectors.push(d);
-                    match dict.last_mut() {
-                        Some(last) if !last.repeat() && last.count() < COUNT_MAX => {
-                            *last = DictEntry::new(last.count() + 1, false);
-                        }
-                        _ => dict.push(DictEntry::new(1, false)),
+            }
+            _ => {
+                self.vectors.push(d);
+                match self.dict.last_mut() {
+                    Some(last) if !last.repeat() && last.count() < COUNT_MAX => {
+                        *last = DictEntry::new(last.count() + 1, false);
                     }
+                    _ => self.dict.push(DictEntry::new(1, false)),
                 }
             }
         }
-        Imprints {
-            bins,
-            dict,
-            vectors,
-            values_per_line,
-            len: data.len(),
+    }
+
+    /// Remove the trailing line from the dictionary/vector tail and return
+    /// its vector, so [`Self::append`] can extend a partial last cacheline.
+    fn pop_last_line(&mut self) -> u64 {
+        let last = self.dict.last_mut().expect("pop_last_line on empty index");
+        if last.repeat() {
+            // A repeat run stores a single vector for all its lines; the
+            // vector stays because the shortened run still uses it.
+            let d = *self.vectors.last().expect("repeat entry has a vector");
+            if last.count() > 2 {
+                *last = DictEntry::new(last.count() - 1, true);
+            } else {
+                *last = DictEntry::new(1, false);
+            }
+            d
+        } else if last.count() > 1 {
+            *last = DictEntry::new(last.count() - 1, false);
+            self.vectors.pop().expect("non-repeat entry has vectors")
+        } else {
+            self.dict.pop();
+            self.vectors.pop().expect("non-repeat entry has vectors")
         }
+    }
+
+    /// Extend the index with `added` values appended after the indexed
+    /// prefix, without rebuilding: the trailing (possibly partial)
+    /// cacheline vector is popped, OR-extended with the new values that
+    /// land in it, and re-fed through the dictionary state machine, then
+    /// whole new lines follow.
+    ///
+    /// The bin borders stay fixed. That is sound — the edge bins are
+    /// open-ended, so appended values outside the sampled domain still map
+    /// to a bin and probes keep producing supersets — but selectivity can
+    /// degrade if the appended distribution drifts far from the sample;
+    /// callers may rebuild when that matters.
+    pub fn append(&mut self, added: &[T]) {
+        if added.is_empty() {
+            return;
+        }
+        let vpl = self.values_per_line;
+        let fill = self.len % vpl;
+        let mut rest = added;
+        if fill != 0 {
+            // New values falling into the trailing partial cacheline OR
+            // their bin bits into its existing vector (OR is monotonic, so
+            // the old tail values need not be re-read).
+            let take = (vpl - fill).min(added.len());
+            let mut d = self.pop_last_line();
+            for &v in &added[..take] {
+                d |= self.bins.bit_of(v);
+            }
+            self.push_line(d);
+            rest = &added[take..];
+        }
+        for line in rest.chunks(vpl) {
+            let mut d = 0u64;
+            for &v in line {
+                d |= self.bins.bit_of(v);
+            }
+            self.push_line(d);
+        }
+        self.len += added.len();
     }
 
     /// The bin layout.
@@ -346,6 +415,76 @@ mod tests {
         assert_sound(&data, &imp, 3000, 3000);
         let cand = imp.probe(3000, 3000);
         assert_eq!(cand.num_rows(), 6 * 8); // line 3 + the 5 repeats
+    }
+
+    #[test]
+    fn append_matches_full_rebuild_line_for_line() {
+        // Appending in arbitrary batch sizes must yield exactly the
+        // expanded vectors a full build over the concatenation (with the
+        // same bins) would produce — including partial-cacheline tails and
+        // repeat-run surgery.
+        let bins = BinMap::from_borders(vec![100i64, 200, 300, 400]);
+        let full: Vec<i64> = (0..1000).map(|i| (i * 37) % 500).collect();
+        for split in [0usize, 1, 7, 8, 13, 64, 999, 1000] {
+            let mut imp = Imprints::build_with_bins(&full[..split], bins.clone());
+            // Drip the rest in uneven batches.
+            let mut at = split;
+            for step in [1usize, 3, 8, 11, 90].iter().cycle() {
+                if at >= full.len() {
+                    break;
+                }
+                let end = (at + step).min(full.len());
+                imp.append(&full[at..end]);
+                at = end;
+            }
+            let rebuilt = Imprints::build_with_bins(&full, bins.clone());
+            assert_eq!(imp.len(), rebuilt.len(), "split={split}");
+            assert_eq!(
+                imp.expand_vectors(),
+                rebuilt.expand_vectors(),
+                "split={split}"
+            );
+            assert_sound(&full, &imp, 150, 350);
+        }
+    }
+
+    #[test]
+    fn append_extends_repeat_runs() {
+        // Sorted data compresses to repeat runs; appending more identical
+        // lines must extend the run, not explode the dictionary.
+        let data: Vec<i64> = vec![5; 8 * 100];
+        let mut imp = Imprints::build(&data);
+        let before = imp.num_vectors();
+        imp.append(&vec![5i64; 8 * 100]);
+        assert_eq!(imp.len(), 1600);
+        assert_eq!(imp.num_vectors(), before, "repeat run extended in place");
+        let cand = imp.probe(5, 5);
+        assert_eq!(cand.num_rows(), 1600);
+    }
+
+    #[test]
+    fn append_out_of_domain_values_stays_sound() {
+        // Bins were sampled from 0..100; appended values far outside land
+        // in the open-ended edge bins and must still be findable.
+        let data: Vec<i64> = (0..100).collect();
+        let mut imp = Imprints::build(&data);
+        let tail: Vec<i64> = (0..40).map(|i| 1_000_000 + i).collect();
+        imp.append(&tail);
+        let all: Vec<i64> = data.iter().chain(tail.iter()).copied().collect();
+        assert_eq!(imp.len(), all.len());
+        assert_sound(&all, &imp, 1_000_010, 1_000_020);
+        assert_sound(&all, &imp, -50, 5);
+    }
+
+    #[test]
+    fn append_to_empty_equals_build() {
+        let data: Vec<i64> = (0..500).map(|i| i % 60).collect();
+        let bins = BinMap::from_borders(vec![10i64, 20, 30, 40, 50]);
+        let mut imp = Imprints::build_with_bins(&[], bins.clone());
+        imp.append(&data);
+        let rebuilt = Imprints::build_with_bins(&data, bins);
+        assert_eq!(imp.expand_vectors(), rebuilt.expand_vectors());
+        assert_eq!(imp.len(), rebuilt.len());
     }
 
     #[test]

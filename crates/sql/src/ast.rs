@@ -21,6 +21,26 @@ pub enum Statement {
     ShowQueries,
     /// `SHOW SLOW QUERIES` — the K worst traced queries by wall time.
     ShowSlowQueries,
+    /// `SHOW RECOVERY` — last crash-recovery report and WAL state of every
+    /// streaming point-cloud table.
+    ShowRecovery,
+    /// `INSERT INTO t (cols) VALUES (...), ...` — streaming append into an
+    /// ingesting point-cloud table (WAL-logged, snapshot-visible on
+    /// commit).
+    Insert(Box<InsertStmt>),
+}
+
+/// An INSERT statement. Only point-cloud tables opened for streaming
+/// ingest accept inserts; unnamed columns take their LAS default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table name in the catalog.
+    pub table: String,
+    /// Explicit column list (required — the flat table has 26 columns).
+    pub columns: Vec<String>,
+    /// One expression list per `VALUES` tuple; each must be a numeric
+    /// constant.
+    pub rows: Vec<Vec<Expr>>,
 }
 
 /// A SELECT statement.

@@ -1,7 +1,8 @@
 //! The table catalog: point-cloud tables and in-memory vector tables.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use lidardb_core::{Parallelism, PointCloud};
 use lidardb_geom::Geometry;
@@ -110,8 +111,33 @@ impl VectorTable {
 pub enum Table {
     /// The flat point-cloud table served by the two-step engine.
     Points(Arc<PointCloud>),
+    /// A point-cloud table open for streaming ingest: INSERTs take the
+    /// write lock, scans take the read lock and see the cloud's committed
+    /// snapshot (`visible_rows`).
+    Stream(Arc<RwLock<PointCloud>>),
     /// An in-memory vector table.
     Vector(Arc<VectorTable>),
+}
+
+/// A read view of a point-cloud table — either a plain shared cloud or
+/// the read-locked side of a streaming one. Derefs to [`PointCloud`] so
+/// scan code is agnostic to which it got.
+pub enum PcRead<'a> {
+    /// A plain immutable cloud.
+    Plain(&'a PointCloud),
+    /// A streaming cloud, read-locked for the duration of the scan.
+    Stream(RwLockReadGuard<'a, PointCloud>),
+}
+
+impl Deref for PcRead<'_> {
+    type Target = PointCloud;
+
+    fn deref(&self) -> &PointCloud {
+        match self {
+            PcRead::Plain(pc) => pc,
+            PcRead::Stream(guard) => guard,
+        }
+    }
 }
 
 /// The catalog of queryable tables.
@@ -202,6 +228,46 @@ impl Catalog {
         self.tables.insert(name.into(), Table::Vector(Arc::new(t)));
     }
 
+    /// Register a streaming (ingest-enabled) point cloud under `name`.
+    /// The cloud accepts `INSERT` and shows up in `SHOW RECOVERY`.
+    pub fn register_stream(&mut self, name: impl Into<String>, pc: Arc<RwLock<PointCloud>>) {
+        self.tables.insert(name.into(), Table::Stream(pc));
+    }
+
+    /// A read view of the point-cloud table `name` (plain or streaming).
+    pub fn read_points(&self, name: &str) -> Result<PcRead<'_>, SqlError> {
+        match self.table(name)? {
+            Table::Points(pc) => Ok(PcRead::Plain(pc)),
+            Table::Stream(pc) => Ok(PcRead::Stream(
+                pc.read().unwrap_or_else(std::sync::PoisonError::into_inner),
+            )),
+            Table::Vector(_) => Err(SqlError::Plan(format!("{name} is not a point cloud"))),
+        }
+    }
+
+    /// Exclusive access to the streaming table `name` (INSERT, flush,
+    /// seal). Plain point clouds are read-only through SQL.
+    pub fn write_stream(&self, name: &str) -> Result<RwLockWriteGuard<'_, PointCloud>, SqlError> {
+        match self.table(name)? {
+            Table::Stream(pc) => {
+                Ok(pc.write().unwrap_or_else(std::sync::PoisonError::into_inner))
+            }
+            Table::Points(_) => Err(SqlError::Exec(format!(
+                "table {name} is read-only (register it as a stream to INSERT)"
+            ))),
+            Table::Vector(_) => Err(SqlError::Exec(format!("{name} is not a point cloud"))),
+        }
+    }
+
+    /// Names of the streaming tables, for `SHOW RECOVERY`.
+    pub fn stream_names(&self) -> Vec<&str> {
+        self.tables
+            .iter()
+            .filter(|(_, t)| matches!(t, Table::Stream(_)))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
         self.tables
@@ -217,7 +283,7 @@ impl Catalog {
     /// Column names of a table (for `SELECT *` expansion).
     pub fn columns_of(&self, name: &str) -> Result<Vec<String>, SqlError> {
         match self.table(name)? {
-            Table::Points(_) => Ok(lidardb_las::COLUMN_NAMES
+            Table::Points(_) | Table::Stream(_) => Ok(lidardb_las::COLUMN_NAMES
                 .iter()
                 .map(|s| s.to_string())
                 .collect()),

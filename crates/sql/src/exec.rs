@@ -442,6 +442,160 @@ fn show_queries() -> ResultSet {
     }
 }
 
+/// Evaluate an INSERT value: a numeric constant, optionally negated.
+fn const_num(e: &Expr) -> Result<f64, SqlError> {
+    match e {
+        Expr::Number(v) => Ok(*v),
+        Expr::Neg(inner) => Ok(-const_num(inner)?),
+        other => Err(SqlError::Exec(format!(
+            "INSERT values must be numeric constants, got {}",
+            other.render()
+        ))),
+    }
+}
+
+/// Assign `v` to the named LAS column of `rec`, casting to the column's
+/// physical type (the same narrowing the binary loader applies).
+fn set_field(rec: &mut lidardb_las::PointRecord, name: &str, v: f64) -> Result<(), SqlError> {
+    match name {
+        "x" => rec.x = v,
+        "y" => rec.y = v,
+        "z" => rec.z = v,
+        "intensity" => rec.intensity = v as u16,
+        "return_number" => rec.return_number = v as u8,
+        "number_of_returns" => rec.number_of_returns = v as u8,
+        "scan_direction" => rec.scan_direction = v as u8,
+        "edge_of_flight_line" => rec.edge_of_flight_line = v as u8,
+        "classification" => rec.classification = v as u8,
+        "synthetic" => rec.synthetic = v as u8,
+        "key_point" => rec.key_point = v as u8,
+        "withheld" => rec.withheld = v as u8,
+        "scan_angle_rank" => rec.scan_angle_rank = v as i8,
+        "user_data" => rec.user_data = v as u8,
+        "point_source_id" => rec.point_source_id = v as u16,
+        "gps_time" => rec.gps_time = v,
+        "red" => rec.red = v as u16,
+        "green" => rec.green = v as u16,
+        "blue" => rec.blue = v as u16,
+        "wave_packet_index" => rec.wave_packet_index = v as u8,
+        "wave_offset" => rec.wave_offset = v as u64,
+        "wave_size" => rec.wave_size = v as u32,
+        "wave_return_loc" => rec.wave_return_loc = v as f32,
+        "wave_xt" => rec.wave_xt = v as f32,
+        "wave_yt" => rec.wave_yt = v as f32,
+        "wave_zt" => rec.wave_zt = v as f32,
+        other => {
+            return Err(SqlError::Exec(format!(
+                "unknown point column {other} in INSERT"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `INSERT INTO t (cols) VALUES ...` against a streaming point-cloud
+/// table. The batch is WAL-logged before it is applied; `durable = 1`
+/// means the WAL acknowledged it (fsynced under the table's policy),
+/// `durable = 0` means it rides in an open group commit.
+fn exec_insert(catalog: &Catalog, ins: &crate::ast::InsertStmt) -> Result<ResultSet, SqlError> {
+    for (i, c) in ins.columns.iter().enumerate() {
+        if ins.columns[..i].contains(c) {
+            return Err(SqlError::Exec(format!("duplicate INSERT column {c}")));
+        }
+    }
+    let mut recs = Vec::with_capacity(ins.rows.len());
+    for row in &ins.rows {
+        let mut rec = lidardb_las::PointRecord::default();
+        for (c, e) in ins.columns.iter().zip(row) {
+            set_field(&mut rec, c, const_num(e)?)?;
+        }
+        recs.push(rec);
+    }
+    let t0 = Instant::now();
+    let mut pc = catalog.write_stream(&ins.table)?;
+    let durable = pc
+        .ingest_records(&recs)
+        .map_err(|e| SqlError::Exec(format!("ingest into {}: {e}", ins.table)))?;
+    drop(pc);
+    Ok(ResultSet {
+        columns: ["inserted", "durable"].map(String::from).to_vec(),
+        rows: vec![vec![
+            SqlValue::Int(recs.len() as i64),
+            SqlValue::Int(i64::from(durable)),
+        ]],
+        trace: vec![TraceEntry {
+            operator: format!("insert {}", ins.table),
+            rows: recs.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        }],
+    })
+}
+
+/// `SHOW RECOVERY`: for every streaming table, the crash-recovery report
+/// from its last open plus the live WAL/visibility state.
+fn show_recovery(catalog: &Catalog) -> ResultSet {
+    fn kv(table: &str, stat: &str, v: SqlValue) -> Vec<SqlValue> {
+        vec![
+            SqlValue::Str(table.to_string()),
+            SqlValue::Str(stat.to_string()),
+            v,
+        ]
+    }
+    let mut rows = Vec::new();
+    for name in catalog.stream_names() {
+        let Ok(pc) = catalog.read_points(name) else {
+            continue;
+        };
+        if let Some(rep) = pc.recovery_report() {
+            rows.push(kv(name, "base_rows", SqlValue::Int(rep.base_rows as i64)));
+            rows.push(kv(name, "wal_frames", SqlValue::Int(rep.wal_frames as i64)));
+            rows.push(kv(
+                name,
+                "replayed_frames",
+                SqlValue::Int(rep.replayed_frames as i64),
+            ));
+            rows.push(kv(
+                name,
+                "skipped_frames",
+                SqlValue::Int(rep.skipped_frames as i64),
+            ));
+            rows.push(kv(
+                name,
+                "replayed_rows",
+                SqlValue::Int(rep.replayed_rows as i64),
+            ));
+            rows.push(kv(
+                name,
+                "truncated_bytes",
+                SqlValue::Int(rep.truncated_bytes as i64),
+            ));
+            rows.push(kv(name, "torn_tail", SqlValue::Int(i64::from(rep.torn_tail))));
+            rows.push(kv(name, "recovery_seconds", SqlValue::Float(rep.seconds)));
+        }
+        if let Some(d) = pc.ingest_durability() {
+            rows.push(kv(name, "durability", SqlValue::Str(d.name().to_string())));
+        }
+        if let Some(durable) = pc.durable_rows() {
+            rows.push(kv(name, "durable_rows", SqlValue::Int(durable as i64)));
+        }
+        rows.push(kv(
+            name,
+            "visible_rows",
+            SqlValue::Int(pc.visible_rows() as i64),
+        ));
+        rows.push(kv(
+            name,
+            "total_rows",
+            SqlValue::Int(pc.num_points() as i64),
+        ));
+    }
+    ResultSet {
+        columns: ["table", "stat", "value"].map(String::from).to_vec(),
+        rows,
+        trace: Vec::new(),
+    }
+}
+
 /// One-row acknowledgement result (session knobs, KILL).
 fn ack(column: &str, value: SqlValue) -> ResultSet {
     ResultSet {
@@ -482,6 +636,8 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
         }
         Statement::ShowQueries => return Ok(show_queries()),
         Statement::ShowSlowQueries => return Ok(show_slow_queries()),
+        Statement::ShowRecovery => return Ok(show_recovery(catalog)),
+        Statement::Insert(ins) => return exec_insert(catalog, ins),
     };
     // While session tracing is on, everything this statement runs — point
     // scans, join probes, aggregates — records spans (the guard drops
@@ -508,16 +664,16 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
     // Materialise input rows.
     let result = match &plan {
         Plan::PcScan(scan) => {
-            let Table::Points(pc) = catalog.table(&scan.table.name)? else {
-                unreachable!("bound as points");
-            };
-            let pc = Arc::clone(pc);
-            let rows = pc_scan_rows(&pc, scan, catalog, &mut trace)?;
+            // Read view: a streaming table is read-locked for the scan and
+            // queried at its committed snapshot (`visible_rows`).
+            let pc = catalog.read_points(&scan.table.name)?;
+            let pc: &PointCloud = &pc;
+            let rows = pc_scan_rows(pc, scan, catalog, &mut trace)?;
             let envs: Vec<RowEnv> = rows
                 .into_iter()
                 .map(|row| {
                     RowEnv::Pc(PcCtx {
-                        pc: &pc,
+                        pc,
                         alias: &scan.table.alias,
                         row,
                     })
@@ -558,13 +714,12 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
             join,
             pair_residual,
         } => {
-            let Table::Points(pc) = catalog.table(&pc_scan.table.name)? else {
-                unreachable!("bound as points");
-            };
+            let pc = catalog.read_points(&pc_scan.table.name)?;
+            let pc: &PointCloud = &pc;
             let Table::Vector(vt) = catalog.table(&vec_scan.table.name)? else {
                 unreachable!("bound as vector");
             };
-            let (pc, vt) = (Arc::clone(pc), Arc::clone(vt));
+            let vt = Arc::clone(vt);
 
             // Feature-side filter.
             let t0 = Instant::now();
@@ -609,7 +764,7 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
                     JoinPred::DWithin { dist, .. } => SpatialPredicate::DWithin(g, *dist),
                     JoinPred::ContainsPoint { .. } => SpatialPredicate::Within(g),
                 };
-                let sel_rows = governed_select(&pc, catalog, Some(&pred), &pc_scan.attr_ranges)?;
+                let sel_rows = governed_select(pc, catalog, Some(&pred), &pc_scan.attr_ranges)?;
                 pairs.extend(sel_rows.rows.into_iter().map(|prow| (prow, frow)));
             }
             trace.push(TraceEntry {
@@ -624,7 +779,7 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
             'pairs: for (prow, frow) in pairs {
                 let ctx = PairCtx {
                     pc: PcCtx {
-                        pc: &pc,
+                        pc,
                         alias: &pc_scan.table.alias,
                         row: prow,
                     },
@@ -754,7 +909,9 @@ fn pc_scan_rows(
     } else {
         {
             let t0 = Instant::now();
-            let rows: Vec<usize> = (0..pc.num_points()).collect();
+            // Scan only the committed snapshot — on a streaming table rows
+            // past the visibility watermark are applied but unacknowledged.
+            let rows: Vec<usize> = (0..pc.visible_rows()).collect();
             trace.push(TraceEntry {
                 operator: "full scan".to_string(),
                 rows: rows.len(),

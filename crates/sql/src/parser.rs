@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the SELECT subset.
 
-use crate::ast::{BinOp, Expr, SelectItem, SelectStmt, Statement, TableRef};
+use crate::ast::{BinOp, Expr, InsertStmt, SelectItem, SelectStmt, Statement, TableRef};
 use crate::error::SqlError;
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -128,9 +128,15 @@ impl Parser {
             if self.eat_kw("QUERIES") {
                 return Ok(Statement::ShowQueries);
             }
+            if self.eat_kw("RECOVERY") {
+                return Ok(Statement::ShowRecovery);
+            }
             self.expect_kw("SLOW")?;
             self.expect_kw("QUERIES")?;
             return Ok(Statement::ShowSlowQueries);
+        }
+        if self.eat_kw("INSERT") {
+            return self.parse_insert();
         }
         let explain = self.eat_kw("EXPLAIN");
         let analyze = explain && self.eat_kw("ANALYZE");
@@ -197,6 +203,55 @@ impl Parser {
             having,
             order_by,
             limit,
+        })))
+    }
+
+    /// `INSERT INTO t (c, ...) VALUES (e, ...), ...` — the column list is
+    /// mandatory (nobody remembers the order of 26 LAS columns) and every
+    /// tuple must match its arity.
+    fn parse_insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if *self.peek() != TokenKind::Comma {
+                break;
+            }
+            self.bump();
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(TokenKind::LParen)?;
+            let mut vals = Vec::new();
+            loop {
+                vals.push(self.parse_expr()?);
+                if *self.peek() != TokenKind::Comma {
+                    break;
+                }
+                self.bump();
+            }
+            self.expect(TokenKind::RParen)?;
+            if vals.len() != columns.len() {
+                return Err(self.err(format!(
+                    "VALUES tuple has {} expressions for {} columns",
+                    vals.len(),
+                    columns.len()
+                )));
+            }
+            rows.push(vals);
+            if *self.peek() != TokenKind::Comma {
+                break;
+            }
+            self.bump();
+        }
+        Ok(Statement::Insert(Box::new(InsertStmt {
+            table,
+            columns,
+            rows,
         })))
     }
 
@@ -545,8 +600,35 @@ mod tests {
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("SELECT * FROM t LIMIT 2.5").is_err());
         assert!(parse("SELECT * FROM t extra garbage tokens").is_err());
+        // INSERT requires an explicit column list.
         assert!(parse("INSERT INTO t VALUES (1)").is_err());
         assert!(parse("SELECT (1 FROM t").is_err());
+    }
+
+    #[test]
+    fn insert_statements() {
+        let s = parse("INSERT INTO pts (x, y, z) VALUES (1, 2, 3), (4, -5, 6.5)").unwrap();
+        let Statement::Insert(ins) = s else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(ins.table, "pts");
+        assert_eq!(ins.columns, vec!["x", "y", "z"]);
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[0][2], Expr::Number(3.0));
+        assert_eq!(ins.rows[1][1].render(), "(-5)");
+        // Arity mismatches and malformed forms are parse errors.
+        assert!(parse("INSERT INTO pts (x, y) VALUES (1)").is_err());
+        assert!(parse("INSERT INTO pts () VALUES (1)").is_err());
+        assert!(parse("INSERT pts (x) VALUES (1)").is_err());
+        assert!(parse("INSERT INTO pts (x) VALUES (1),").is_err());
+        assert!(parse("insert into pts (x) values (7)").is_ok(), "case-insensitive");
+    }
+
+    #[test]
+    fn show_recovery_statement() {
+        assert_eq!(parse("SHOW RECOVERY").unwrap(), Statement::ShowRecovery);
+        assert_eq!(parse("show recovery").unwrap(), Statement::ShowRecovery);
+        assert!(parse("SHOW RECOVERY now").is_err(), "trailing input rejected");
     }
 
     #[test]

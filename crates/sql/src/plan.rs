@@ -393,7 +393,10 @@ pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<Plan, SqlErro
     // Bind tables.
     let mut tables = Vec::new();
     for t in &stmt.from {
-        let is_points = matches!(catalog.table(&t.name)?, Table::Points(_));
+        let is_points = matches!(
+            catalog.table(&t.name)?,
+            Table::Points(_) | Table::Stream(_)
+        );
         tables.push(BoundTable {
             alias: t.alias.clone(),
             name: t.name.clone(),

@@ -624,3 +624,122 @@ fn cancelled_queries_render_in_show_slow_queries() {
     query(&c, "SET TRACE = OFF").unwrap();
     lidardb_core::SlowQueryLog::global().clear();
 }
+
+// ---------------------------------------------------- streaming ingestion
+
+/// A streaming catalog: table `pts` is an ingest-enabled cloud with a WAL
+/// beside `dir`, registered via `register_stream`.
+fn streaming_catalog(
+    name: &str,
+    durability: lidardb_core::Durability,
+) -> (Catalog, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("lidardb_sql_stream_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(lidardb_core::wal::wal_path_for(&dir));
+    let pc = PointCloud::open_ingest(&dir, durability).unwrap();
+    let mut c = Catalog::new();
+    c.register_stream("pts", Arc::new(std::sync::RwLock::new(pc)));
+    (c, dir)
+}
+
+fn cleanup_stream(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_file(lidardb_core::wal::wal_path_for(dir));
+}
+
+#[test]
+fn insert_is_wal_logged_and_queryable() {
+    let (c, dir) = streaming_catalog("insert", lidardb_core::Durability::Always);
+    let rs = query(
+        &c,
+        "INSERT INTO pts (x, y, z, classification) \
+         VALUES (1, 2, 10, 6), (3, 4, 20, 2), (5, 6, 30, 6)",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(3), "inserted count");
+    assert_eq!(rs.rows[0][1], SqlValue::Int(1), "Always fsyncs: durable ack");
+
+    let rs = query(&c, "SELECT COUNT(*) FROM pts WHERE classification = 6").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2), "inserted rows are queryable");
+
+    // The batch survives a crash: reopen the directory cold.
+    drop(c);
+    let pc = PointCloud::open_ingest(&dir, lidardb_core::Durability::Always).unwrap();
+    assert_eq!(pc.num_points(), 3, "WAL replay restores the insert");
+    assert_eq!(pc.record(2).unwrap().z, 30.0);
+    cleanup_stream(&dir);
+}
+
+#[test]
+fn group_commit_inserts_stay_invisible_until_flushed() {
+    let (c, dir) = streaming_catalog(
+        "groupvis",
+        lidardb_core::Durability::GroupCommit {
+            max_batches: 1_000,
+            max_delay: std::time::Duration::from_secs(3_600),
+        },
+    );
+    let rs = query(&c, "INSERT INTO pts (x, y, z) VALUES (1, 1, 5)").unwrap();
+    assert_eq!(rs.rows[0][1], SqlValue::Int(0), "group commit: not yet durable");
+    let rs = query(&c, "SELECT COUNT(*) FROM pts").unwrap();
+    assert_eq!(
+        rs.rows[0][0],
+        SqlValue::Int(0),
+        "snapshot isolation: unacked insert is invisible to readers"
+    );
+    // Flushing the WAL advances the snapshot.
+    {
+        let mut pc = c.write_stream("pts").unwrap();
+        pc.flush_wal().unwrap();
+    }
+    let rs = query(&c, "SELECT COUNT(*) FROM pts").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(1), "flushed insert is visible");
+    cleanup_stream(&dir);
+}
+
+#[test]
+fn show_recovery_reports_the_stream_state() {
+    let (c, dir) = streaming_catalog("showrec", lidardb_core::Durability::Always);
+    query(&c, "INSERT INTO pts (x, y) VALUES (1, 2), (3, 4)").unwrap();
+    drop(c);
+    // Reopen: recovery replays the WAL and SHOW RECOVERY narrates it.
+    let pc = PointCloud::open_ingest(&dir, lidardb_core::Durability::Always).unwrap();
+    let mut c = Catalog::new();
+    c.register_stream("pts", Arc::new(std::sync::RwLock::new(pc)));
+    let rs = query(&c, "SHOW RECOVERY").unwrap();
+    assert_eq!(rs.columns, vec!["table", "stat", "value"]);
+    let stat = |name: &str| -> SqlValue {
+        rs.rows
+            .iter()
+            .find(|r| r[0] == SqlValue::Str("pts".into()) && r[1] == SqlValue::Str(name.into()))
+            .unwrap_or_else(|| panic!("missing stat {name}: {rs:?}"))[2]
+            .clone()
+    };
+    assert_eq!(stat("replayed_rows"), SqlValue::Int(2));
+    assert_eq!(stat("total_rows"), SqlValue::Int(2));
+    assert_eq!(stat("visible_rows"), SqlValue::Int(2));
+    assert_eq!(stat("durable_rows"), SqlValue::Int(2));
+    assert_eq!(stat("durability"), SqlValue::Str("always".into()));
+    assert_eq!(stat("torn_tail"), SqlValue::Int(0));
+    cleanup_stream(&dir);
+}
+
+#[test]
+fn insert_errors_are_reported() {
+    let (c, dir) = streaming_catalog("inserr", lidardb_core::Durability::Always);
+    // Unknown column.
+    assert!(query(&c, "INSERT INTO pts (bogus) VALUES (1)").is_err());
+    // Duplicate column.
+    assert!(query(&c, "INSERT INTO pts (x, x) VALUES (1, 2)").is_err());
+    // Non-constant value.
+    assert!(query(&c, "INSERT INTO pts (x) VALUES (y + 1)").is_err());
+    // Failed inserts leave nothing behind.
+    let rs = query(&c, "SELECT COUNT(*) FROM pts").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(0));
+    cleanup_stream(&dir);
+
+    // Plain (non-streaming) tables are read-only.
+    let c = setup();
+    let err = query(&c, "INSERT INTO points (x) VALUES (1)").unwrap_err();
+    assert!(err.to_string().contains("read-only"), "{err}");
+}

@@ -1,30 +1,39 @@
 #!/usr/bin/env bash
-# Perf-regression gate: diff a fresh E9 harness run against the committed
-# BENCH_query.json baseline; non-zero exit on >25% regression in any
-# stage's p50 (see crates/bench/src/gate.rs).
+# Perf-regression gate: diff a fresh harness run against the committed
+# baseline; non-zero exit on >25% regression (see crates/bench/src/gate.rs).
+#
+#   BENCH_GATE_KIND=query  (default) gates E9 query p50s vs BENCH_query.json
+#   BENCH_GATE_KIND=ingest gates E12 ingest throughput + recovery time vs
+#                          BENCH_ingest.json
 #
 # Usage:
-#   scripts/bench_gate.sh                  # full run: rebuild, run E9, diff
+#   scripts/bench_gate.sh                  # full run: rebuild, run harness, diff
 #   BENCH_GATE_FRESH=path scripts/bench_gate.sh
 #                                          # diff an existing results file
 #                                          # (CI uses this to avoid the
-#                                          # multi-minute 12M-point run)
+#                                          # multi-minute full-scale run)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 REPO="$PWD"
-BASE="${BENCH_GATE_BASE:-$REPO/BENCH_query.json}"
+KIND="${BENCH_GATE_KIND:-query}"
+case "$KIND" in
+    query)  EXPERIMENT=e9;  ARTIFACT=BENCH_query.json ;;
+    ingest) EXPERIMENT=e12; ARTIFACT=BENCH_ingest.json ;;
+    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query or ingest" >&2; exit 2 ;;
+esac
+BASE="${BENCH_GATE_BASE:-$REPO/$ARTIFACT}"
 
 FRESH="${BENCH_GATE_FRESH:-}"
 if [ -z "$FRESH" ]; then
-    # Run harness E9 in a scratch cwd so its BENCH_*.json / BENCH_trace.json
-    # artifacts don't clobber the committed baselines.
+    # Run the harness in a scratch cwd so its BENCH_*.json artifacts don't
+    # clobber the committed baselines.
     SCRATCH="$(mktemp -d)"
     trap 'rm -rf "$SCRATCH"' EXIT
-    echo "bench_gate.sh: running fresh E9 harness (this takes a few minutes)..."
+    echo "bench_gate.sh: running fresh $EXPERIMENT harness (this may take a few minutes)..."
     (cd "$SCRATCH" && cargo run --release --quiet \
-        --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e9)
-    FRESH="$SCRATCH/BENCH_query.json"
+        --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- "$EXPERIMENT")
+    FRESH="$SCRATCH/$ARTIFACT"
 fi
 
 exec cargo run --release --quiet --manifest-path "$REPO/Cargo.toml" \
-    -p lidardb-bench --bin bench_gate -- --base "$BASE" --fresh "$FRESH"
+    -p lidardb-bench --bin bench_gate -- --kind "$KIND" --base "$BASE" --fresh "$FRESH"

@@ -2,6 +2,7 @@
 # The full local CI gate: release build, workspace tests, strict lints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+REPO="$PWD"
 
 echo "==> cargo build --release"
 cargo build --release
@@ -44,6 +45,41 @@ echo "==> governance regression tests (typed cancellation, SQL session knobs)"
 cargo test -q -p lidardb-core --lib review_regressions
 cargo test -q -p lidardb-sql session_governance_statements
 cargo test -q -p lidardb-sql cancelled_queries_render_in_show_slow_queries
+
+echo "==> WAL crash-recovery torture suite (fault-injected, debug + release)"
+cargo test -q -p lidardb-core --test recovery_torture -- --test-threads=1
+cargo test -q --release -p lidardb-core --test recovery_torture -- --test-threads=1
+
+echo "==> WAL property tests (arbitrary tail truncation, single-bit corruption)"
+cargo test -q -p lidardb-core --test wal_properties -- --test-threads=1
+
+echo "==> streaming-ingest regression tests (mid-ingest snapshot, SQL INSERT/SHOW RECOVERY)"
+cargo test -q -p lidardb-core --test differential differential_mid_ingest_snapshot
+cargo test -q -p lidardb-sql insert_is_wal_logged_and_queryable
+cargo test -q -p lidardb-sql group_commit_inserts_stay_invisible_until_flushed
+cargo test -q -p lidardb-sql show_recovery_reports_the_stream_state
+
+echo "==> E12 ingest smoke (reduced scale; asserts snapshot isolation + recovery)"
+E12_SCRATCH="$(mktemp -d)"
+(cd "$E12_SCRATCH" && LIDARDB_E12_POINTS=30000 cargo run --release --quiet \
+    --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e12)
+rm -rf "$E12_SCRATCH"
+
+echo "==> ingest gate (identity: committed baseline vs itself must pass)"
+BENCH_GATE_KIND=ingest BENCH_GATE_FRESH=BENCH_ingest.json scripts/bench_gate.sh
+
+echo "==> ingest gate (negative: a 2x degradation must fail)"
+SLOWED_INGEST="$(mktemp)"
+cargo run --release --quiet -p lidardb-bench --bin bench_gate -- \
+    --kind ingest --base BENCH_ingest.json --scale 2.0 --out "$SLOWED_INGEST"
+if BENCH_GATE_KIND=ingest BENCH_GATE_FRESH="$SLOWED_INGEST" scripts/bench_gate.sh; then
+    echo "ci FAIL: ingest gate accepted a 2x degradation" >&2
+    rm -f "$SLOWED_INGEST"
+    exit 1
+else
+    echo "gate correctly rejected the degraded ingest run"
+fi
+rm -f "$SLOWED_INGEST"
 
 echo "==> perf-regression gate (identity: committed baseline vs itself must pass)"
 BENCH_GATE_FRESH=BENCH_query.json scripts/bench_gate.sh
