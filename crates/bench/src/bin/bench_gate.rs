@@ -18,8 +18,8 @@ use lidardb_bench::gate::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate [--kind query|ingest] --base <baseline.json> --fresh <fresh.json> \
-         [--threshold <frac>]\n       bench_gate [--kind query|ingest] --base <baseline.json> \
+        "usage: bench_gate [--kind query|ingest|tiles] --base <baseline.json> --fresh <fresh.json> \
+         [--threshold <frac>]\n       bench_gate [--kind query|ingest|tiles] --base <baseline.json> \
          --scale <factor> --out <path>"
     );
     std::process::exit(2);
@@ -71,7 +71,9 @@ fn main() {
             _ => usage(),
         }
     }
-    if kind != "query" && kind != "ingest" {
+    // `tiles` documents (BENCH_tiles.json, experiment E13) share the E9
+    // queries/runs shape, so the query extractor and comparator gate them.
+    if kind != "query" && kind != "ingest" && kind != "tiles" {
         usage();
     }
     let Some(base) = base else { usage() };

@@ -58,6 +58,9 @@ fn main() {
     if want("e12") {
         e12_ingest();
     }
+    if want("e13") {
+        e13_tiles();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1421,4 +1424,260 @@ fn e12_ingest() {
     out.push_str("  ]\n}\n");
     std::fs::write("BENCH_ingest.json", &out).expect("write BENCH_ingest.json");
     println!("\nwrote BENCH_ingest.json\n");
+}
+
+// ---------------------------------------------------------------------------
+// E13 — tiled out-of-core storage
+// ---------------------------------------------------------------------------
+
+/// Flat-vs-tiled comparison over an SFC-tiled directory whose resident
+/// budget is a quarter of the dataset: zone-map prune ratios, LRU
+/// residency (peak must stay under the budget), and identical rows at
+/// every worker count. Emits the E9 `queries[].runs[]` JSON shape so
+/// `bench_gate --kind tiles` gates it with the query comparator.
+fn e13_tiles() {
+    use lidardb_core::{TileOptions, TiledCloud};
+
+    header(
+        "E13 (tiled out-of-core storage)",
+        "SFC-tiled segments: zone-map pruning + LRU residency, identical rows to the flat scan",
+    );
+    let total: usize = std::env::var("LIDARDB_E13_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    const CHUNK: usize = 500_000;
+    println!("building {total} synthetic points in {CHUNK}-record chunks ...");
+    let mut pc = PointCloud::new();
+    let mut state = 0xD1CE_BA5E_0F_C0FFEEu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut unit = move || (next() % (1u64 << 53)) as f64 / (1u64 << 53) as f64;
+    let mut chunk = Vec::with_capacity(CHUNK);
+    for i in 0..total {
+        chunk.push(lidardb_las::PointRecord {
+            x: unit() * 10_000.0,
+            y: unit() * 10_000.0,
+            z: unit() * 120.0,
+            classification: (i % 12) as u8,
+            intensity: (i % 5000) as u16,
+            gps_time: i as f64 * 1e-4,
+            ..Default::default()
+        });
+        if chunk.len() == CHUNK {
+            pc.append_records(&chunk).expect("append");
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        pc.append_records(&chunk).expect("append");
+    }
+
+    let dir = std::env::temp_dir().join(format!("lidardb_e13_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (n_tiles, secs) = timed(|| {
+        pc.save_tiled(&dir, &TileOptions::default()).expect("save_tiled")
+    });
+    let flat_bytes = pc.data_bytes() as u64;
+    let budget = flat_bytes / 4;
+    let tc = TiledCloud::open(&dir).expect("open tiled");
+    tc.set_resident_budget(budget);
+    assert!(
+        flat_bytes > budget,
+        "the dataset must exceed the resident budget for an out-of-core run"
+    );
+    println!(
+        "dataset: {} points, {n_tiles} tiles, {:.1} MB columns (sealed in {secs:.1} s)",
+        pc.num_points(),
+        flat_bytes as f64 / 1e6
+    );
+    println!(
+        "resident budget: {:.1} MB ({:.0}% of the dataset)\n",
+        budget as f64 / 1e6,
+        100.0 * budget as f64 / flat_bytes as f64
+    );
+
+    // `save_tiled` SFC-sorts the flat cloud in place, so flat row ids and
+    // tiled global row ids agree — equality below is byte-for-byte.
+    let bbox = SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::rectangle(
+            &lidardb_geom::Envelope::new(1500.0, 1500.0, 7500.0, 7500.0).expect("env"),
+        ),
+    ));
+    let diamond = SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::from_exterior(vec![
+            Point::new(5000.0, 1000.0),
+            Point::new(9000.0, 5000.0),
+            Point::new(5000.0, 9000.0),
+            Point::new(1000.0, 5000.0),
+        ])
+        .expect("diamond"),
+    ));
+    let queries: [(&str, &SpatialPredicate); 2] =
+        [("bbox_36pct", &bbox), ("diamond_32pct", &diamond)];
+
+    // Warm the flat imprints so flat runs are probe-only; the tiled side
+    // pays its per-tile lazy builds in the first run, which median-of-3
+    // with warmups below smooths out.
+    for (_, pred) in &queries {
+        pc.select_with(pred, RefineStrategy::default()).expect("warmup");
+    }
+
+    let modes: [(&'static str, usize); 4] =
+        [("flat", 1), ("flat", 4), ("tiled", 1), ("tiled", 4)];
+
+    let mut json_queries = Vec::new();
+    for (name, pred) in &queries {
+        let flat_rows = pc
+            .select_query_with(
+                Some(pred),
+                &[],
+                RefineStrategy::default(),
+                Parallelism::Threads(1),
+            )
+            .expect("flat baseline")
+            .rows;
+        // One instrumented tiled pass for the prune-ratio evidence.
+        let probe = tc
+            .select_query_with(
+                Some(pred),
+                &[],
+                RefineStrategy::default(),
+                Parallelism::Threads(1),
+            )
+            .expect("tiled probe");
+        assert_eq!(probe.rows, flat_rows, "tiled rows must match flat rows");
+        let e = &probe.explain;
+        println!(
+            "query {name}: {} rows; zone maps pruned {}/{} tiles (probed {})",
+            flat_rows.len(),
+            e.tiles_pruned,
+            e.tiles_total,
+            e.tiles_probed
+        );
+        let prune_ratio = e.tiles_pruned as f64 / e.tiles_total.max(1) as f64;
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10} {:>14}",
+            "mode", "filter ms", "bbox ms", "refine ms", "total ms", "bbox speedup"
+        );
+        let mut runs = Vec::new();
+        let mut flat1_bbox = 0.0f64;
+        for (mode, workers) in &modes {
+            let mut tries: Vec<E9Run> = (0..3)
+                .map(|_| {
+                    let sel = if *mode == "flat" {
+                        pc.select_query_with(
+                            Some(pred),
+                            &[],
+                            RefineStrategy::default(),
+                            Parallelism::Threads(*workers),
+                        )
+                        .expect("flat select")
+                    } else {
+                        tc.select_query_with(
+                            Some(pred),
+                            &[],
+                            RefineStrategy::default(),
+                            Parallelism::Threads(*workers),
+                        )
+                        .expect("tiled select")
+                    };
+                    assert_eq!(sel.rows, flat_rows, "{mode} rows diverged");
+                    let e = &sel.explain;
+                    E9Run {
+                        mode,
+                        workers: *workers,
+                        t_imprints: e.t_imprints,
+                        t_bbox: e.t_bbox,
+                        t_refine: e.t_refine,
+                        t_total: e.total_seconds(),
+                    }
+                })
+                .collect();
+            tries.sort_by(|a, b| a.t_bbox.total_cmp(&b.t_bbox));
+            let run = tries.remove(1);
+            if *mode == "flat" && *workers == 1 {
+                flat1_bbox = run.t_bbox;
+            }
+            println!(
+                "{:<14} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>13.2}x",
+                format!("{mode}({workers})"),
+                run.t_imprints * 1e3,
+                run.t_bbox * 1e3,
+                run.t_refine * 1e3,
+                run.t_total * 1e3,
+                flat1_bbox / run.t_bbox.max(1e-12)
+            );
+            runs.push(run);
+        }
+        json_queries.push((name.to_string(), flat_rows.len(), prune_ratio, flat1_bbox, runs));
+    }
+
+    assert!(
+        tc.peak_resident_bytes() <= budget,
+        "peak resident {} exceeded the budget {}",
+        tc.peak_resident_bytes(),
+        budget
+    );
+    println!(
+        "\nresidency: peak {:.1} MB of {:.1} MB budget; {} tile loads, {} evictions",
+        tc.peak_resident_bytes() as f64 / 1e6,
+        budget as f64 / 1e6,
+        tc.tile_loads(),
+        tc.tile_evictions()
+    );
+
+    // Same hand-rolled queries[].runs[] shape as E9, so the query gate
+    // extractor reads this document unchanged (`bench_gate --kind tiles`).
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e13_tiled_query\",\n");
+    out.push_str(&format!("  \"points\": {},\n", pc.num_points()));
+    out.push_str(&format!("  \"tiles\": {n_tiles},\n"));
+    out.push_str(&format!("  \"dataset_bytes\": {flat_bytes},\n"));
+    out.push_str(&format!("  \"resident_budget_bytes\": {budget},\n"));
+    out.push_str(&format!(
+        "  \"peak_resident_bytes\": {},\n",
+        tc.peak_resident_bytes()
+    ));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (qi, (name, rows, prune_ratio, flat1_bbox, runs)) in json_queries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{name}\",\n"));
+        out.push_str(&format!("      \"rows\": {rows},\n"));
+        out.push_str(&format!("      \"tile_prune_ratio\": {prune_ratio:.3},\n"));
+        out.push_str("      \"runs\": [\n");
+        for (ri, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"mode\": \"{}\", \"workers\": {}, \"t_imprints\": {:.6}, \
+                 \"t_bbox\": {:.6}, \"t_refine\": {:.6}, \"t_total\": {:.6}, \
+                 \"bbox_speedup_vs_serial\": {:.3}}}{}\n",
+                r.mode,
+                r.workers,
+                r.t_imprints,
+                r.t_bbox,
+                r.t_refine,
+                r.t_total,
+                flat1_bbox / r.t_bbox.max(1e-12),
+                if ri + 1 < runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if qi + 1 < json_queries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_tiles.json", &out).expect("write BENCH_tiles.json");
+    println!("wrote BENCH_tiles.json\n");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -25,6 +25,59 @@ pub const TIME_FLOOR_SECONDS: f64 = 1e-3;
 /// The timed stages of one benchmark run, in report order.
 pub const STAGES: [&str; 4] = ["t_imprints", "t_bbox", "t_refine", "t_total"];
 
+/// A structural problem with a benchmark document. The gate treats these
+/// as "the gate itself is broken" (exit code 2), never as a pass: a
+/// baseline with a NaN or negative p50 would otherwise defeat every
+/// `fresh > base * (1 + threshold)` comparison silently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// A document is missing required structure (arrays, names, stages).
+    Shape(String),
+    /// A timing or throughput cell holds a non-finite or negative value.
+    InvalidMeasurement {
+        /// `query/mode/workers` (or `ingest/<policy>`) of the bad cell.
+        cell: String,
+        /// The offending field.
+        field: String,
+        /// The value as parsed.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Shape(msg) => write!(f, "{msg}"),
+            GateError::InvalidMeasurement { cell, field, value } => write!(
+                f,
+                "{cell}: {field} = {value} is not a valid measurement \
+                 (finite and non-negative required)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+impl From<String> for GateError {
+    fn from(msg: String) -> Self {
+        GateError::Shape(msg)
+    }
+}
+
+/// Reject NaN/∞/negative measurements before they reach a comparison.
+fn check_measurement(cell: &str, field: &str, value: f64) -> Result<f64, GateError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(GateError::InvalidMeasurement {
+            cell: cell.to_string(),
+            field: field.to_string(),
+            value,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Minimal JSON value parser
 // ---------------------------------------------------------------------------
@@ -232,32 +285,35 @@ impl BenchRun {
     }
 }
 
-/// Pull every run out of a parsed `BENCH_query.json`.
-pub fn extract_runs(doc: &Json) -> Result<Vec<BenchRun>, String> {
+/// Pull every run out of a parsed `BENCH_query.json`. Every captured
+/// stage timing is validated: NaN, infinite, or negative p50s are a
+/// [`GateError::InvalidMeasurement`], not data.
+pub fn extract_runs(doc: &Json) -> Result<Vec<BenchRun>, GateError> {
     let queries = doc
         .get("queries")
         .and_then(Json::as_arr)
-        .ok_or("document has no \"queries\" array")?;
+        .ok_or_else(|| GateError::Shape("document has no \"queries\" array".into()))?;
     let mut out = Vec::new();
     for q in queries {
         let qname = q
             .get("name")
             .and_then(Json::as_str)
-            .ok_or("query entry has no \"name\"")?;
+            .ok_or_else(|| GateError::Shape("query entry has no \"name\"".into()))?;
         for run in q.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
             let mode = run
                 .get("mode")
                 .and_then(Json::as_str)
-                .ok_or("run has no \"mode\"")?;
+                .ok_or_else(|| GateError::Shape("run has no \"mode\"".into()))?;
             let workers = run.get("workers").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+            let cell = format!("{qname}/{mode}/{workers}");
             let mut stages = Vec::with_capacity(STAGES.len());
             for s in STAGES {
                 if let Some(v) = run.get(s).and_then(Json::as_f64) {
-                    stages.push((s.to_string(), v));
+                    stages.push((s.to_string(), check_measurement(&cell, s, v)?));
                 }
             }
             if stages.is_empty() {
-                return Err(format!("run {qname}/{mode}/{workers} has no stage timings"));
+                return Err(GateError::Shape(format!("run {cell} has no stage timings")));
             }
             out.push(BenchRun {
                 query: qname.to_string(),
@@ -268,7 +324,7 @@ pub fn extract_runs(doc: &Json) -> Result<Vec<BenchRun>, String> {
         }
     }
     if out.is_empty() {
-        return Err("document contains no runs".into());
+        return Err(GateError::Shape("document contains no runs".into()));
     }
     Ok(out)
 }
@@ -278,7 +334,8 @@ pub fn extract_runs(doc: &Json) -> Result<Vec<BenchRun>, String> {
 pub struct Regression {
     /// `query/mode/workers` of the offending cell.
     pub cell: String,
-    /// Stage that regressed (or `"<missing>"` for a vanished cell).
+    /// Stage that regressed, `"<missing>"` for a vanished cell, or
+    /// `"<unexpected>"` for a fresh cell the baseline never measured.
     pub stage: String,
     /// Baseline p50 seconds.
     pub base: f64,
@@ -291,6 +348,12 @@ impl Regression {
     pub fn describe(&self) -> String {
         if self.stage == "<missing>" {
             format!("{}: cell missing from fresh run", self.cell)
+        } else if self.stage == "<unexpected>" {
+            format!(
+                "{}: fresh cell has no baseline (re-run the harness and \
+                 commit an updated baseline to gate it)",
+                self.cell
+            )
         } else {
             format!(
                 "{} {}: {:.6} -> {:.6} ({:+.0}%)",
@@ -305,10 +368,23 @@ impl Regression {
 }
 
 /// Compare a fresh run set against the baseline: every baseline cell must
-/// be present, and no gated stage may slow down by more than `threshold`.
+/// be present, no gated stage may slow down by more than `threshold`, and
+/// a fresh cell the baseline never measured is flagged too — ungated
+/// coverage silently creeping in is how a gate rots.
 pub fn compare(base: &[BenchRun], fresh: &[BenchRun], threshold: f64) -> Vec<Regression> {
     let fresh_by_key: BTreeMap<_, _> = fresh.iter().map(|r| (r.key(), r)).collect();
+    let base_keys: std::collections::BTreeSet<_> = base.iter().map(BenchRun::key).collect();
     let mut out = Vec::new();
+    for f in fresh {
+        if !base_keys.contains(&f.key()) {
+            out.push(Regression {
+                cell: format!("{}/{}/{}", f.query, f.mode, f.workers),
+                stage: "<unexpected>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+        }
+    }
     for b in base {
         let cell = format!("{}/{}/{}", b.query, b.mode, b.workers);
         let Some(f) = fresh_by_key.get(&b.key()) else {
@@ -395,34 +471,40 @@ pub struct IngestRun {
     pub recovery_seconds: f64,
 }
 
-/// Pull every policy row out of a parsed `BENCH_ingest.json`.
-pub fn extract_ingest_runs(doc: &Json) -> Result<Vec<IngestRun>, String> {
+/// Pull every policy row out of a parsed `BENCH_ingest.json`, rejecting
+/// NaN/infinite/negative measurements like [`extract_runs`] does.
+pub fn extract_ingest_runs(doc: &Json) -> Result<Vec<IngestRun>, GateError> {
     let policies = doc
         .get("policies")
         .and_then(Json::as_arr)
-        .ok_or("document has no \"policies\" array")?;
+        .ok_or_else(|| GateError::Shape("document has no \"policies\" array".into()))?;
     let mut out = Vec::new();
     for p in policies {
         let policy = p
             .get("durability")
             .and_then(Json::as_str)
-            .ok_or("policy entry has no \"durability\"")?;
+            .ok_or_else(|| GateError::Shape("policy entry has no \"durability\"".into()))?;
+        let cell = format!("ingest/{policy}");
         let pps = p
             .get("points_per_sec")
             .and_then(Json::as_f64)
-            .ok_or_else(|| format!("policy {policy} has no \"points_per_sec\""))?;
+            .ok_or_else(|| {
+                GateError::Shape(format!("policy {policy} has no \"points_per_sec\""))
+            })?;
         let rec = p
             .get("recovery_seconds")
             .and_then(Json::as_f64)
-            .ok_or_else(|| format!("policy {policy} has no \"recovery_seconds\""))?;
+            .ok_or_else(|| {
+                GateError::Shape(format!("policy {policy} has no \"recovery_seconds\""))
+            })?;
         out.push(IngestRun {
             policy: policy.to_string(),
-            points_per_sec: pps,
-            recovery_seconds: rec,
+            points_per_sec: check_measurement(&cell, "points_per_sec", pps)?,
+            recovery_seconds: check_measurement(&cell, "recovery_seconds", rec)?,
         });
     }
     if out.is_empty() {
-        return Err("document contains no policies".into());
+        return Err(GateError::Shape("document contains no policies".into()));
     }
     Ok(out)
 }
@@ -439,6 +521,16 @@ pub fn compare_ingest(
     let fresh_by_policy: BTreeMap<&str, &IngestRun> =
         fresh.iter().map(|r| (r.policy.as_str(), r)).collect();
     let mut out = Vec::new();
+    for f in fresh {
+        if !base.iter().any(|b| b.policy == f.policy) {
+            out.push(Regression {
+                cell: format!("ingest/{}", f.policy),
+                stage: "<unexpected>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+        }
+    }
     for b in base {
         let cell = format!("ingest/{}", b.policy);
         let Some(f) = fresh_by_policy.get(b.policy.as_str()) else {
@@ -584,6 +676,95 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].stage, "<missing>");
         assert!(regs[0].describe().contains("missing"));
+    }
+
+    #[test]
+    fn negative_p50_in_baseline_is_a_typed_error() {
+        let doc = Json::parse(&SAMPLE.replace("0.126", "-0.126")).unwrap();
+        let err = extract_runs(&doc).unwrap_err();
+        assert_eq!(
+            err,
+            GateError::InvalidMeasurement {
+                cell: "q1/serial/1".into(),
+                field: "t_bbox".into(),
+                value: -0.126,
+            }
+        );
+        assert!(err.to_string().contains("not a valid measurement"));
+    }
+
+    #[test]
+    fn nan_and_infinite_p50s_are_typed_errors() {
+        // A harness bug writing `{:.6}` of NaN produces a bare `NaN`
+        // token, which the JSON parser already rejects outright.
+        assert!(Json::parse(&SAMPLE.replace("0.126", "NaN")).is_err());
+        // Overflowed exponents *do* parse (to +inf) and must be caught.
+        let doc = Json::parse(&SAMPLE.replace("0.126", "1e999")).unwrap();
+        match extract_runs(&doc).unwrap_err() {
+            GateError::InvalidMeasurement { cell, field, value } => {
+                assert_eq!((cell.as_str(), field.as_str()), ("q1/serial/1", "t_bbox"));
+                assert!(value.is_infinite());
+            }
+            other => panic!("expected InvalidMeasurement, got {other:?}"),
+        }
+        // A hand-built document carrying a literal NaN is also rejected.
+        let doc = Json::Obj(vec![(
+            "queries".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str("q1".into())),
+                (
+                    "runs".into(),
+                    Json::Arr(vec![Json::Obj(vec![
+                        ("mode".into(), Json::Str("serial".into())),
+                        ("workers".into(), Json::Num(1.0)),
+                        ("t_total".into(), Json::Num(f64::NAN)),
+                    ])]),
+                ),
+            ])]),
+        )]);
+        assert!(matches!(
+            extract_runs(&doc).unwrap_err(),
+            GateError::InvalidMeasurement { .. }
+        ));
+    }
+
+    #[test]
+    fn fresh_extra_cell_is_a_regression() {
+        let runs = extract_runs(&Json::parse(SAMPLE).unwrap()).unwrap();
+        let base = vec![runs[0].clone()];
+        let regs = compare(&base, &runs, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].stage, "<unexpected>");
+        assert_eq!(regs[0].cell, "q1/threads/4");
+        assert!(regs[0].describe().contains("no baseline"));
+    }
+
+    #[test]
+    fn ingest_invalid_measurements_are_typed_errors() {
+        let doc = Json::parse(&INGEST_SAMPLE.replace("1500000", "-1")).unwrap();
+        assert_eq!(
+            extract_ingest_runs(&doc).unwrap_err(),
+            GateError::InvalidMeasurement {
+                cell: "ingest/none".into(),
+                field: "points_per_sec".into(),
+                value: -1.0,
+            }
+        );
+        let doc = Json::parse(&INGEST_SAMPLE.replace("0.095", "1e999")).unwrap();
+        assert!(matches!(
+            extract_ingest_runs(&doc).unwrap_err(),
+            GateError::InvalidMeasurement { field, .. } if field == "recovery_seconds"
+        ));
+    }
+
+    #[test]
+    fn ingest_fresh_extra_policy_is_a_regression() {
+        let runs = extract_ingest_runs(&Json::parse(INGEST_SAMPLE).unwrap()).unwrap();
+        let base = runs[..2].to_vec();
+        let regs = compare_ingest(&base, &runs, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].stage, "<unexpected>");
+        assert_eq!(regs[0].cell, "ingest/always");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod persist;
 pub mod pointcloud;
 pub mod query;
+pub mod segment;
 pub mod soa;
 pub mod trace;
 pub mod wal;
@@ -64,5 +65,6 @@ pub use loader::{
 };
 pub use pointcloud::PointCloud;
 pub use query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};
+pub use segment::{TileOptions, TiledCloud};
 pub use trace::{SlowQuery, SlowQueryLog, SpanKind, SpanRecord, TraceSink, Tracer};
 pub use wal::{Durability, RecoveryReport};

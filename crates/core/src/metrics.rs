@@ -267,10 +267,21 @@ pub struct MetricsRegistry {
     pub wal_syncs: Counter,
     /// WAL recoveries performed by `open_ingest` (incl. empty-log opens).
     pub wal_recoveries: Counter,
+    /// Tiles zone-map-pruned before any imprint probe (tiled storage).
+    pub tiles_pruned: Counter,
+    /// Tiles that survived pruning and were probed/scanned.
+    pub tiles_probed: Counter,
+    /// Tile segments loaded from disk into the resident cache.
+    pub tiles_loaded: Counter,
+    /// Tile segments evicted by the resident-budget LRU.
+    pub tiles_evicted: Counter,
     /// Rows in the most recently appended-to table.
     pub table_rows: Gauge,
     /// Imprint indexes currently cached on the most recently probed table.
     pub indexed_columns: Gauge,
+    /// Bytes of tile segments currently resident in the most recently
+    /// touched tiled cloud's cache.
+    pub resident_tile_bytes: Gauge,
 }
 
 /// The singleton behind [`MetricsRegistry::global`].
@@ -320,8 +331,13 @@ impl MetricsRegistry {
         self.wal_batches.reset();
         self.wal_syncs.reset();
         self.wal_recoveries.reset();
+        self.tiles_pruned.reset();
+        self.tiles_probed.reset();
+        self.tiles_loaded.reset();
+        self.tiles_evicted.reset();
         self.table_rows.reset();
         self.indexed_columns.reset();
+        self.resident_tile_bytes.reset();
         lidardb_imprints::reset_probe_count();
         lidardb_storage::scan::reset_scan_counters();
     }
@@ -333,7 +349,7 @@ impl MetricsRegistry {
     pub fn snapshot_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n  \"counters\": {\n");
-        let counters: [(&str, u64); 18] = [
+        let counters: [(&str, u64); 22] = [
             ("queries", self.queries.get()),
             ("imprint_cache_hits", self.imprint_cache_hits.get()),
             ("imprint_cache_misses", self.imprint_cache_misses.get()),
@@ -349,6 +365,10 @@ impl MetricsRegistry {
             ("wal_batches", self.wal_batches.get()),
             ("wal_syncs", self.wal_syncs.get()),
             ("wal_recoveries", self.wal_recoveries.get()),
+            ("tiles_pruned", self.tiles_pruned.get()),
+            ("tiles_probed", self.tiles_probed.get()),
+            ("tiles_loaded", self.tiles_loaded.get()),
+            ("tiles_evicted", self.tiles_evicted.get()),
             ("imprint_probes", lidardb_imprints::probe_count()),
             ("imprint_candidate_rows", lidardb_imprints::probe_rows()),
             ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
@@ -359,9 +379,11 @@ impl MetricsRegistry {
         }
         out.push_str("  },\n  \"gauges\": {\n");
         out.push_str(&format!(
-            "    \"table_rows\": {},\n    \"indexed_columns\": {},\n    \"scan_calls\": {}\n",
+            "    \"table_rows\": {},\n    \"indexed_columns\": {},\n    \
+             \"resident_tile_bytes\": {},\n    \"scan_calls\": {}\n",
             self.table_rows.get(),
             self.indexed_columns.get(),
+            self.resident_tile_bytes.get(),
             lidardb_storage::scan::scan_calls(),
         ));
         out.push_str("  },\n  \"stages\": [\n");
@@ -580,6 +602,18 @@ mod tests {
         assert!(json.contains("\"queries_killed\": 1"));
         assert!(json.contains("\"budget_trips\": 1"));
         assert!(json.contains("\"name\": \"governor\""));
+        // The tiled-storage counters and cache gauge are part of the shape.
+        r.tiles_pruned.add(4);
+        r.tiles_probed.add(2);
+        r.tiles_loaded.inc();
+        r.tiles_evicted.inc();
+        r.resident_tile_bytes.set(4096);
+        let json = r.snapshot_json();
+        assert!(json.contains("\"tiles_pruned\": 4"));
+        assert!(json.contains("\"tiles_probed\": 2"));
+        assert!(json.contains("\"tiles_loaded\": 1"));
+        assert!(json.contains("\"tiles_evicted\": 1"));
+        assert!(json.contains("\"resident_tile_bytes\": 4096"));
         // Every stage appears exactly once, in declaration order.
         let mut last = 0;
         for s in Stage::ALL {

@@ -29,6 +29,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use lidardb_las::{point_schema, COLUMN_NAMES};
+use lidardb_storage::{TileMeta, TileSet, ZoneEntry};
 
 use crate::crc::crc32;
 use crate::error::CoreError;
@@ -41,6 +42,19 @@ const MANIFEST: &str = "MANIFEST.lidardb";
 
 /// Current manifest format version (v2 = per-column checksums).
 const VERSION: u32 = 2;
+
+/// Header line of a tiled (v3) root manifest. A tiled directory holds this
+/// root manifest plus one `tile_NNNNN/` subdirectory per tile, each of
+/// which is a complete, self-validating v2 flat-table dump.
+pub(crate) const TILED_HEADER: &str = "lidardb tiled table";
+
+/// Tiled root-manifest format version.
+const TILED_VERSION: u32 = 3;
+
+/// Directory name of tile `id` inside a tiled dump.
+pub(crate) fn tile_dir_name(id: usize) -> String {
+    format!("tile_{id:05}")
+}
 
 fn io_err(e: std::io::Error) -> CoreError {
     CoreError::Las(lidardb_las::LasError::Io(e))
@@ -150,8 +164,174 @@ impl Manifest {
     }
 }
 
-/// Read and parse the manifest of a saved-table directory.
-fn read_manifest(dir: &Path, fi: Option<&FaultInjector>) -> Result<Manifest, CoreError> {
+/// Parsed tiled (v3) root manifest: the tile layout of a sealed segment.
+/// The per-tile column data lives in `tile_NNNNN/` subdirectories, each a
+/// self-validating v2 dump, so tiles load independently and lazily.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TiledManifest {
+    /// Total rows across every tile.
+    pub(crate) rows: usize,
+    /// Space-filling curve the rows are clustered by (`hilbert`/`morton`).
+    pub(crate) curve: String,
+    /// Quantizer resolution (bits per axis) used for the SFC keys.
+    pub(crate) bits: u32,
+    /// Tile layout: row ranges, key ranges and zone maps, in row order.
+    pub(crate) tiles: TileSet,
+}
+
+impl TiledManifest {
+    /// Render the v3 root-manifest text, including its trailing self-CRC.
+    /// Zone bounds are `f64` shortest-round-trip decimals (`Display`), so
+    /// parsing restores bit-identical pruning behaviour.
+    fn render(&self) -> String {
+        let mut text = format!(
+            "{TILED_HEADER}\nversion {TILED_VERSION}\nrows {}\ncolumns {}\ncurve {}\nbits {}\ntiles {}\n",
+            self.rows,
+            COLUMN_NAMES.join(","),
+            self.curve,
+            self.bits,
+            self.tiles.len(),
+        );
+        for t in &self.tiles.tiles {
+            text.push_str(&format!(
+                "tile {} {} {} {} {}\n",
+                t.id, t.row_start, t.row_end, t.key_lo, t.key_hi
+            ));
+        }
+        for t in &self.tiles.tiles {
+            for z in &t.zones {
+                text.push_str(&format!("zone {} {} {} {}\n", t.id, z.column, z.min, z.max));
+            }
+        }
+        text.push_str(&format!("manifest_crc {}\n", crc32(text.as_bytes())));
+        text
+    }
+
+    /// Parse and validate v3 root-manifest text: header, version, self-CRC,
+    /// column list, and the tile layout (contiguous row ranges starting at
+    /// 0 and ending at `rows`, ids in order, ordered key ranges).
+    pub(crate) fn parse(text: &str) -> Result<TiledManifest, CoreError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(TILED_HEADER) {
+            return Err(corrupt("tiled manifest: bad header line"));
+        }
+        let mut version: Option<u32> = None;
+        let mut rows: Option<usize> = None;
+        let mut columns: Option<String> = None;
+        let mut curve: Option<String> = None;
+        let mut bits: Option<u32> = None;
+        let mut tile_count: Option<usize> = None;
+        let mut tiles: Vec<TileMeta> = Vec::new();
+        let mut manifest_crc: Option<u32> = None;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("version ") {
+                version = v.trim().parse().ok();
+            } else if let Some(v) = line.strip_prefix("rows ") {
+                rows = v.trim().parse().ok();
+            } else if let Some(v) = line.strip_prefix("columns ") {
+                columns = Some(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("curve ") {
+                curve = Some(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("bits ") {
+                bits = v.trim().parse().ok();
+            } else if let Some(v) = line.strip_prefix("tiles ") {
+                tile_count = v.trim().parse().ok();
+            } else if let Some(v) = line.strip_prefix("tile ") {
+                let f: Vec<&str> = v.split_whitespace().collect();
+                let parsed = (|| {
+                    let [id, rs, re, klo, khi] = f.as_slice() else {
+                        return None;
+                    };
+                    Some(TileMeta {
+                        id: id.parse().ok()?,
+                        row_start: rs.parse().ok()?,
+                        row_end: re.parse().ok()?,
+                        key_lo: klo.parse().ok()?,
+                        key_hi: khi.parse().ok()?,
+                        zones: Vec::new(),
+                    })
+                })();
+                match parsed {
+                    Some(t) => tiles.push(t),
+                    None => return Err(corrupt(format!("tiled manifest: bad tile line {line:?}"))),
+                }
+            } else if let Some(v) = line.strip_prefix("zone ") {
+                let f: Vec<&str> = v.split_whitespace().collect();
+                let parsed = (|| {
+                    let [tid, col, lo, hi] = f.as_slice() else {
+                        return None;
+                    };
+                    let tid: usize = tid.parse().ok()?;
+                    let entry = ZoneEntry {
+                        column: col.to_string(),
+                        min: lo.parse().ok()?,
+                        max: hi.parse().ok()?,
+                    };
+                    Some((tid, entry))
+                })();
+                match parsed {
+                    Some((tid, entry)) if tid < tiles.len() => tiles[tid].zones.push(entry),
+                    _ => return Err(corrupt(format!("tiled manifest: bad zone line {line:?}"))),
+                }
+            } else if let Some(v) = line.strip_prefix("manifest_crc ") {
+                manifest_crc = v.trim().parse().ok();
+            }
+        }
+        match version {
+            Some(v) if v == TILED_VERSION => {}
+            Some(v) => return Err(corrupt(format!("tiled manifest: unsupported version {v}"))),
+            None => return Err(corrupt("tiled manifest: missing version")),
+        }
+        let rows = rows.ok_or_else(|| corrupt("tiled manifest: missing row count"))?;
+        if columns.as_deref() != Some(&COLUMN_NAMES.join(",")) {
+            return Err(corrupt("tiled manifest: column list mismatch"));
+        }
+        let curve = curve.ok_or_else(|| corrupt("tiled manifest: missing curve"))?;
+        let bits = bits.ok_or_else(|| corrupt("tiled manifest: missing bits"))?;
+        let declared =
+            manifest_crc.ok_or_else(|| corrupt("tiled manifest: missing manifest_crc"))?;
+        let body_end = text
+            .find("manifest_crc ")
+            .expect("manifest_crc line parsed above");
+        if crc32(&text.as_bytes()[..body_end]) != declared {
+            return Err(corrupt("tiled manifest: self-checksum mismatch"));
+        }
+        if tile_count != Some(tiles.len()) {
+            return Err(corrupt("tiled manifest: tile count mismatch"));
+        }
+        if tiles.is_empty() {
+            return Err(corrupt("tiled manifest: no tiles"));
+        }
+        let mut next_row = 0usize;
+        for (i, t) in tiles.iter().enumerate() {
+            if t.id != i {
+                return Err(corrupt(format!("tiled manifest: tile id {} out of order", t.id)));
+            }
+            if t.row_start != next_row || t.row_end < t.row_start {
+                return Err(corrupt(format!("tiled manifest: tile {} rows not contiguous", i)));
+            }
+            if t.key_lo > t.key_hi {
+                return Err(corrupt(format!("tiled manifest: tile {} key range inverted", i)));
+            }
+            next_row = t.row_end;
+        }
+        if next_row != rows {
+            return Err(corrupt(format!(
+                "tiled manifest: tiles cover {next_row} rows, manifest declares {rows}"
+            )));
+        }
+        Ok(TiledManifest {
+            rows,
+            curve,
+            bits,
+            tiles: TileSet { tiles },
+        })
+    }
+}
+
+/// Read the raw manifest text of a saved-table directory (flat or tiled),
+/// applying any armed read faults.
+fn read_manifest_text(dir: &Path, fi: Option<&FaultInjector>) -> Result<String, CoreError> {
     let mut bytes = std::fs::read(dir.join(MANIFEST)).map_err(io_err)?;
     if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::ReadManifest, MANIFEST)) {
         if kind == FaultKind::IoError {
@@ -159,8 +339,23 @@ fn read_manifest(dir: &Path, fi: Option<&FaultInjector>) -> Result<Manifest, Cor
         }
         kind.corrupt(&mut bytes);
     }
-    let text = String::from_utf8(bytes).map_err(|_| corrupt("manifest: not UTF-8"))?;
-    Manifest::parse(&text)
+    String::from_utf8(bytes).map_err(|_| corrupt("manifest: not UTF-8"))
+}
+
+/// Read and parse the (flat v1/v2) manifest of a saved-table directory.
+fn read_manifest(dir: &Path, fi: Option<&FaultInjector>) -> Result<Manifest, CoreError> {
+    Manifest::parse(&read_manifest_text(dir, fi)?)
+}
+
+/// Whether `dir` holds *some* valid manifest — flat or tiled. Used by
+/// stale-dir recovery to decide if a `.replaced` copy is worth rolling
+/// back.
+fn manifest_ok(dir: &Path) -> bool {
+    match read_manifest_text(dir, None) {
+        Ok(text) if text.starts_with(TILED_HEADER) => TiledManifest::parse(&text).is_ok(),
+        Ok(text) => Manifest::parse(&text).is_ok(),
+        Err(_) => false,
+    }
 }
 
 /// Read one column dump and verify its size (and CRC, for v2 manifests).
@@ -445,7 +640,23 @@ impl PointCloud {
         let t0 = std::time::Instant::now();
         let dir = dir.as_ref();
         recover_stale_dirs(dir)?;
-        let manifest = read_manifest(dir, fi)?;
+        let text = read_manifest_text(dir, fi)?;
+        if text.starts_with(TILED_HEADER) {
+            // v3 tiled dump: eager-load every tile into one flat table, so
+            // existing flat-table consumers (including `open_ingest`) keep
+            // working on a sealed-tiled directory. The lazy out-of-core
+            // path is [`crate::segment::TiledCloud::open`].
+            let tm = TiledManifest::parse(&text)?;
+            let pc = open_tiled_eager(dir, &tm, fi)?;
+            crate::metrics::MetricsRegistry::global().record_stage(
+                crate::metrics::Stage::PersistLoad,
+                pc.num_points(),
+                t0.elapsed(),
+            );
+            pspan.set_rows(pc.num_points() as u64, pc.num_points() as u64);
+            return Ok(pc);
+        }
+        let manifest = Manifest::parse(&text)?;
         let mut pc = PointCloud::new();
         let schema = point_schema();
         let mut dumps = Vec::with_capacity(schema.width());
@@ -468,6 +679,142 @@ impl PointCloud {
         pspan.set_rows(pc.num_points() as u64, pc.num_points() as u64);
         Ok(pc)
     }
+}
+
+/// Write a tiled (v3) dump of an **SFC-sorted** point cloud: one
+/// `tile_NNNNN/` v2 flat dump per tile plus the v3 root manifest, staged
+/// and committed atomically exactly like [`PointCloud::save_dir`]. The
+/// cloud's rows must already be in tile order — each tile is a contiguous
+/// byte slice of every column dump.
+pub(crate) fn save_tiled_inner(
+    pc: &PointCloud,
+    dir: &Path,
+    tm: &TiledManifest,
+    durability: Durability,
+) -> Result<(), CoreError> {
+    let mut pspan = crate::trace::span(crate::trace::SpanKind::Stage(
+        crate::metrics::Stage::PersistSave,
+    ));
+    pspan.set_rows(pc.num_points() as u64, pc.num_points() as u64);
+    let t0 = std::time::Instant::now();
+    if tm.rows != pc.num_points() || tm.tiles.total_rows() != pc.num_points() {
+        return Err(corrupt("tiled save: tile layout does not cover the table"));
+    }
+    if let Some(parent) = dir.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+    }
+    let staging = Staging::for_target(dir)?;
+    let schema = point_schema();
+    for t in &tm.tiles.tiles {
+        std::fs::create_dir_all(staging.path.join(tile_dir_name(t.id))).map_err(io_err)?;
+    }
+    // Column-outer loop: one column's full dump is materialised at a time
+    // (bounded transient memory), then sliced into per-tile files.
+    let mut tile_sums: Vec<Vec<(String, u32)>> = vec![Vec::new(); tm.tiles.len()];
+    for field in schema.fields() {
+        let bytes = pc.column(&field.name)?.to_le_bytes();
+        let sz = field.ptype.size();
+        for t in &tm.tiles.tiles {
+            let slice = &bytes[t.row_start * sz..t.row_end * sz];
+            tile_sums[t.id].push((field.name.clone(), crc32(slice)));
+            let path = staging
+                .path
+                .join(tile_dir_name(t.id))
+                .join(format!("{}.bin", field.name));
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).map_err(io_err)?);
+            f.write_all(slice).and_then(|()| f.flush()).map_err(io_err)?;
+            sync_file(f.get_ref(), durability)?;
+        }
+    }
+    for t in &tm.tiles.tiles {
+        let tdir = staging.path.join(tile_dir_name(t.id));
+        let manifest = Manifest::render_v2(t.rows(), &tile_sums[t.id]);
+        let mut f = std::fs::File::create(tdir.join(MANIFEST)).map_err(io_err)?;
+        f.write_all(manifest.as_bytes()).map_err(io_err)?;
+        sync_file(&f, durability)?;
+        sync_dir(&tdir, durability)?;
+    }
+    {
+        let mut f = std::fs::File::create(staging.path.join(MANIFEST)).map_err(io_err)?;
+        f.write_all(tm.render().as_bytes()).map_err(io_err)?;
+        sync_file(&f, durability)?;
+    }
+    sync_dir(&staging.path, durability)?;
+    staging.commit(dir, None)?;
+    if let Some(parent) = dir.parent() {
+        if !parent.as_os_str().is_empty() {
+            sync_dir(parent, durability)?;
+        }
+    }
+    crate::metrics::MetricsRegistry::global().record_stage(
+        crate::metrics::Stage::PersistSave,
+        pc.num_points(),
+        t0.elapsed(),
+    );
+    Ok(())
+}
+
+/// Load one tile of a tiled dump as its own flat-table cloud (standard v2
+/// open of the tile subdirectory, full checksum verification).
+pub(crate) fn open_tile(dir: &Path, tile: &TileMeta) -> Result<PointCloud, CoreError> {
+    let pc = PointCloud::open_dir(dir.join(tile_dir_name(tile.id)))?;
+    if pc.num_points() != tile.rows() {
+        return Err(corrupt(format!(
+            "tile {} loaded {} rows, root manifest declares {}",
+            tile.id,
+            pc.num_points(),
+            tile.rows()
+        )));
+    }
+    Ok(pc)
+}
+
+/// Eager-load every tile of a tiled dump into one flat table (row order =
+/// tile order = SFC order). The backwards-compatibility path behind
+/// [`PointCloud::open_dir`] on a v3 directory.
+fn open_tiled_eager(
+    dir: &Path,
+    tm: &TiledManifest,
+    fi: Option<&FaultInjector>,
+) -> Result<PointCloud, CoreError> {
+    let mut pc = PointCloud::new();
+    let schema = point_schema();
+    for t in &tm.tiles.tiles {
+        let tdir = dir.join(tile_dir_name(t.id));
+        let manifest = read_manifest(&tdir, fi)?;
+        let mut dumps = Vec::with_capacity(schema.width());
+        for field in schema.fields() {
+            dumps.push(read_column(&tdir, &manifest, field, fi)?);
+        }
+        pc.append_dumps(&dumps)?;
+    }
+    if pc.num_points() != tm.rows {
+        return Err(corrupt(format!(
+            "tiled table reassembled to {} rows, root manifest declares {}",
+            pc.num_points(),
+            tm.rows
+        )));
+    }
+    Ok(pc)
+}
+
+/// Read the tiled root manifest of `dir`, if it holds a v3 dump:
+/// `Ok(None)` means the directory is a flat (v1/v2) dump.
+pub(crate) fn read_tiled_manifest(dir: &Path) -> Result<Option<TiledManifest>, CoreError> {
+    recover_stale_dirs(dir)?;
+    let text = read_manifest_text(dir, None)?;
+    if text.starts_with(TILED_HEADER) {
+        Ok(Some(TiledManifest::parse(&text)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Row count declared by a flat (v1/v2) manifest, without loading columns.
+pub(crate) fn flat_manifest_rows(dir: &Path) -> Result<usize, CoreError> {
+    Ok(read_manifest(dir, None)?.rows)
 }
 
 /// Clean up the debris a crash inside [`Staging::commit`] can leave next
@@ -509,7 +856,7 @@ pub fn recover_stale_dirs(target: impl AsRef<Path>) -> Result<Vec<String>, CoreE
         }
         let path = entry.path();
         if fname.ends_with(".replaced") {
-            if !target.exists() && read_manifest(&path, None).is_ok() {
+            if !target.exists() && manifest_ok(&path) {
                 std::fs::rename(&path, target).map_err(io_err)?;
                 sync_dir(parent, Durability::Always)?;
                 actions.push(format!("rolled back {fname}"));
@@ -531,7 +878,29 @@ pub fn recover_stale_dirs(target: impl AsRef<Path>) -> Result<Vec<String>, CoreE
 /// list, per-column sizes, and (for v2) every checksum.
 pub fn validate_dir(dir: impl AsRef<Path>) -> Result<usize, CoreError> {
     let dir = dir.as_ref();
-    let manifest = read_manifest(dir, None)?;
+    let text = read_manifest_text(dir, None)?;
+    if text.starts_with(TILED_HEADER) {
+        // Tiled dump: validate the root layout plus every tile's own v2
+        // manifest, sizes and checksums.
+        let tm = TiledManifest::parse(&text)?;
+        for t in &tm.tiles.tiles {
+            let tdir = dir.join(tile_dir_name(t.id));
+            let manifest = read_manifest(&tdir, None)?;
+            if manifest.rows != t.rows() {
+                return Err(corrupt(format!(
+                    "tile {} declares {} rows, root manifest expects {}",
+                    t.id,
+                    manifest.rows,
+                    t.rows()
+                )));
+            }
+            for field in point_schema().fields() {
+                read_column(&tdir, &manifest, field, None)?;
+            }
+        }
+        return Ok(tm.rows);
+    }
+    let manifest = Manifest::parse(&text)?;
     for field in point_schema().fields() {
         read_column(dir, &manifest, field, None)?;
     }

@@ -221,6 +221,18 @@ impl PointCloud {
         &self.table
     }
 
+    /// Mutable table access for the in-place SFC reorder at seal time
+    /// (`&mut self` guarantees no concurrent query holds a snapshot).
+    pub(crate) fn table_mut(&mut self) -> &mut FlatTable {
+        &mut self.table
+    }
+
+    /// Drop every cached imprint index. Required after a row reorder —
+    /// the cached bit-vectors describe the old row order.
+    pub(crate) fn clear_imprint_cache(&mut self) {
+        self.imprints.get_mut().clear();
+    }
+
     /// Append a batch of decoded records (transposes, then bulk-appends).
     ///
     /// On an ingesting cloud ([`Self::open_ingest`]) the batch is WAL-
@@ -592,6 +604,53 @@ impl PointCloud {
             .wal
             .reset(n)?;
         Ok(())
+    }
+
+    /// [`Self::seal`], but folding the table into a **tiled** (v3) dump:
+    /// rows are SFC-sorted in place, cut into tiles with per-column zone
+    /// maps, and written as one v2 dump per tile under the ingest
+    /// directory. Returns the tile count. The directory then opens either
+    /// eagerly ([`Self::open_dir`] / [`Self::open_ingest`], which keep
+    /// working) or lazily and out-of-core
+    /// ([`crate::segment::TiledCloud::open`]).
+    pub fn seal_to_tiles(
+        &mut self,
+        opts: &crate::segment::TileOptions,
+    ) -> Result<usize, CoreError> {
+        let Some((dir, durability)) = self
+            .ingest
+            .as_ref()
+            .map(|i| (i.dir.clone(), i.wal.durability()))
+        else {
+            return Err(CoreError::InvalidQuery(
+                "seal_to_tiles: cloud was not opened for ingest".into(),
+            ));
+        };
+        self.flush_wal()?;
+        let tm = crate::segment::sort_and_plan(self, opts)?;
+        let tiles = tm.tiles.len();
+        crate::persist::save_tiled_inner(self, &dir, &tm, durability)?;
+        let n = self.table.num_rows() as u64;
+        self.ingest
+            .as_mut()
+            .expect("ingest state checked above")
+            .wal
+            .reset(n)?;
+        Ok(tiles)
+    }
+
+    /// Write the table as a tiled (v3) dump at `dir`, SFC-sorting the rows
+    /// in place first. For plain (non-ingest) clouds — ingesting clouds
+    /// should use [`Self::seal_to_tiles`], which also checkpoints the WAL.
+    /// Returns the tile count.
+    pub fn save_tiled(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+        opts: &crate::segment::TileOptions,
+    ) -> Result<usize, CoreError> {
+        let tm = crate::segment::sort_and_plan(self, opts)?;
+        crate::persist::save_tiled_inner(self, dir.as_ref(), &tm, Durability::Always)?;
+        Ok(tm.tiles.len())
     }
 }
 

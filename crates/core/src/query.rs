@@ -175,6 +175,16 @@ pub struct Explain {
     /// Per-morsel breakdown of the parallel filter step (empty on the
     /// serial path).
     pub morsel_times: Vec<MorselTiming>,
+    /// Tiles in the tiled cloud the query planned over (0 = flat table).
+    pub tiles_total: usize,
+    /// Tiles eliminated by zone-map pruning before any imprint probe.
+    pub tiles_pruned: usize,
+    /// Tiles that survived pruning and were imprint-probed/scanned.
+    pub tiles_probed: usize,
+    /// Tile segments this query faulted in from disk (0 = all cache hits).
+    pub tiles_loaded: usize,
+    /// Tile segments the resident-budget LRU evicted while this query ran.
+    pub tiles_evicted: usize,
 }
 
 impl Explain {
@@ -196,7 +206,8 @@ impl Explain {
              (exact pt tests)    {}\n\
              (attr probes)       {}\n\
              (degraded probes)   {}\n\
-             (workers/morsels)   {}/{}",
+             (workers/morsels)   {}/{}\n\
+             (tiles t/p/s/l/e)   {}/{}/{}/{}/{}",
             self.t_imprint_build,
             self.after_imprints,
             self.t_imprints,
@@ -213,6 +224,11 @@ impl Explain {
             self.degraded_probes,
             self.workers,
             self.morsel_times.len(),
+            self.tiles_total,
+            self.tiles_pruned,
+            self.tiles_probed,
+            self.tiles_loaded,
+            self.tiles_evicted,
         )
     }
 }
@@ -1316,11 +1332,17 @@ mod tests {
                 };
                 1201
             ],
+            tiles_total: 1301,
+            tiles_pruned: 1409,
+            tiles_probed: 1511,
+            tiles_loaded: 1601,
+            tiles_evicted: 1709,
         };
         let table = e.to_table();
         for sentinel in [
             "101", "211", "307", "401", "503", "601", "701", "809", "907", "1009", "0.111213",
-            "0.141516", "0.171819", "0.212223", "1103", "1201",
+            "0.141516", "0.171819", "0.212223", "1103", "1201", "1301", "1409", "1511", "1601",
+            "1709",
         ] {
             assert!(
                 table.contains(sentinel),

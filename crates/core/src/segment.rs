@@ -1,0 +1,655 @@
+//! Tiled, out-of-core segment storage: SFC-clustered immutable tiles that
+//! load lazily under a resident-memory budget.
+//!
+//! The flat table of [`crate::pointcloud::PointCloud`] is the paper's
+//! in-memory design; this module is the out-of-core evolution. At seal
+//! time ([`PointCloud::seal_to_tiles`]) the table is sorted along a
+//! Hilbert/Morton curve over quantised `(x, y)`, cut into tiles of roughly
+//! `target_rows` rows at SFC-key boundaries (rows with equal keys never
+//! straddle a tile), and dumped as one self-validating v2 column dump per
+//! tile plus a v3 root manifest carrying each tile's key range and
+//! per-column min/max zone maps.
+//!
+//! [`TiledCloud`] opens that layout *lazily*: queries prune tiles by zone
+//! map first (no I/O), then probe each surviving tile with the ordinary
+//! imprint → bbox → refine pipeline of the flat engine, loading tile
+//! segments on demand into an LRU cache bounded by
+//! [`TiledCloud::set_resident_budget`]. Datasets larger than RAM stay
+//! queryable: only the working set of tiles is resident, and because rows
+//! are SFC-clustered the zone maps are tight — the unclustered-data
+//! failure mode of classic zone maps (E7) does not apply.
+//!
+//! Every per-tile sub-query inherits the caller's [`GovernCtx`], so
+//! deadlines, cancellation and memory budgets cover the whole tile loop;
+//! loaded tile bytes are charged to the query's memory budget.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lidardb_las::point_schema;
+use lidardb_sfc::{Curve, Quantizer, TileBinning};
+use lidardb_storage::{TileMeta, TileSet, ZoneEntry};
+use parking_lot::Mutex;
+
+use crate::error::CoreError;
+use crate::exec::Parallelism;
+use crate::governor::{CancelToken, GovernCtx, QueryRegistry};
+use crate::metrics::MetricsRegistry;
+use crate::persist::{self, TiledManifest};
+use crate::pointcloud::PointCloud;
+use crate::query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};
+
+/// How a table is cut into tiles at seal time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileOptions {
+    /// Target rows per tile. Tiles may run longer so that rows with equal
+    /// SFC keys never straddle a tile boundary.
+    pub target_rows: usize,
+    /// Space-filling curve used for clustering.
+    pub curve: Curve,
+    /// Quantiser resolution in bits per axis (`1..=32`).
+    pub bits: u32,
+}
+
+impl Default for TileOptions {
+    fn default() -> Self {
+        TileOptions {
+            target_rows: 65_536,
+            curve: Curve::Hilbert,
+            bits: 16,
+        }
+    }
+}
+
+/// Manifest name of a [`Curve`].
+fn curve_name(c: Curve) -> &'static str {
+    match c {
+        Curve::Hilbert => "hilbert",
+        Curve::Morton => "morton",
+    }
+}
+
+/// SFC-sort the cloud's rows in place and plan the tile layout: key
+/// ranges from the sorted keys, row ranges from [`TileBinning`], zone maps
+/// from a single pass over every column. Cached imprints are dropped (they
+/// describe the old row order).
+pub(crate) fn sort_and_plan(
+    pc: &mut PointCloud,
+    opts: &TileOptions,
+) -> Result<TiledManifest, CoreError> {
+    if opts.target_rows == 0 {
+        return Err(CoreError::InvalidQuery(
+            "tile options: target_rows must be at least 1".into(),
+        ));
+    }
+    if !(1..=32).contains(&opts.bits) {
+        return Err(CoreError::InvalidQuery(
+            "tile options: bits must be in 1..=32".into(),
+        ));
+    }
+    let n = pc.num_points();
+    // Quantisation window: the finite bbox of the data, widened when
+    // degenerate (empty table, all-NaN column, single distinct value) so
+    // the quantiser always has a non-empty window. `f64::min`/`max`
+    // ignore NaN, so NaN coordinates never poison the window; they
+    // quantise to cell 0 like any out-of-window point.
+    let (keys_sorted, perm) = {
+        let xs = pc.f64_column("x")?;
+        let ys = pc.f64_column("y")?;
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for i in 0..n {
+            min_x = min_x.min(xs[i]);
+            max_x = max_x.max(xs[i]);
+            min_y = min_y.min(ys[i]);
+            max_y = max_y.max(ys[i]);
+        }
+        if !min_x.is_finite() {
+            min_x = 0.0;
+        }
+        if !(max_x.is_finite() && max_x > min_x) {
+            max_x = min_x + 1.0;
+        }
+        if !min_y.is_finite() {
+            min_y = 0.0;
+        }
+        if !(max_y.is_finite() && max_y > min_y) {
+            max_y = min_y + 1.0;
+        }
+        let q = Quantizer::new(min_x, min_y, max_x, max_y, opts.bits);
+        let keys: Vec<u64> = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| {
+                let (cx, cy) = q.cell(x, y);
+                opts.curve.encode(cx, cy)
+            })
+            .collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Stable: equal keys keep their ingest order, so the reorder is
+        // deterministic across runs.
+        perm.sort_by_key(|&i| keys[i]);
+        let keys_sorted: Vec<u64> = perm.iter().map(|&i| keys[i]).collect();
+        (keys_sorted, perm)
+    };
+    let schema = point_schema();
+    {
+        let table = pc.table_mut();
+        for field in schema.fields() {
+            let gathered = table.column_by_name(&field.name)?.gather(&perm);
+            *table.column_by_name_mut(&field.name)? = gathered;
+        }
+    }
+    pc.clear_imprint_cache();
+
+    let binning = TileBinning::from_sorted_keys(&keys_sorted, opts.target_rows);
+    let mut tiles: Vec<TileMeta> = Vec::with_capacity(binning.len());
+    let mut row = 0usize;
+    for t in 0..binning.len() {
+        let end = if t + 1 < binning.len() {
+            keys_sorted.partition_point(|&k| k < binning.start(t + 1))
+        } else {
+            n
+        };
+        let (key_lo, key_hi) = if end > row {
+            (keys_sorted[row], keys_sorted[end - 1])
+        } else {
+            (binning.start(t), binning.start(t))
+        };
+        tiles.push(TileMeta {
+            id: t,
+            row_start: row,
+            row_end: end,
+            key_lo,
+            key_hi,
+            zones: Vec::new(),
+        });
+        row = end;
+    }
+    // Zone maps on the f64 domain — the same domain imprint probes and
+    // scan predicates use, so pruning is exactly conservative. NaN values
+    // are skipped (range predicates reject them anyway); a tile whose
+    // column is all-NaN gets no zone entry and can only be pruned by
+    // other columns.
+    for field in schema.fields() {
+        let col = pc.column(&field.name)?;
+        let mut mins = vec![f64::INFINITY; tiles.len()];
+        let mut maxs = vec![f64::NEG_INFINITY; tiles.len()];
+        let mut t = 0usize;
+        for (i, v) in col.iter_f64().enumerate() {
+            while i >= tiles[t].row_end {
+                t += 1;
+            }
+            mins[t] = mins[t].min(v);
+            maxs[t] = maxs[t].max(v);
+        }
+        for (ti, tile) in tiles.iter_mut().enumerate() {
+            if mins[ti] <= maxs[ti] {
+                tile.zones.push(ZoneEntry {
+                    column: field.name.clone(),
+                    min: mins[ti],
+                    max: maxs[ti],
+                });
+            }
+        }
+    }
+    Ok(TiledManifest {
+        rows: n,
+        curve: curve_name(opts.curve).to_string(),
+        bits: opts.bits,
+        tiles: TileSet { tiles },
+    })
+}
+
+/// One resident tile segment.
+struct CachedTile {
+    pc: Arc<PointCloud>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The resident-segment cache: loaded tiles, LRU clock, resident bytes.
+#[derive(Default)]
+struct TileCache {
+    map: HashMap<usize, CachedTile>,
+    tick: u64,
+    resident: u64,
+}
+
+/// A sealed, tiled point cloud opened for **lazy, out-of-core** querying.
+///
+/// Tiles load on first touch and stay resident until the LRU evicts them
+/// to honour [`Self::set_resident_budget`]; the most recently touched tile
+/// is never evicted, so a budget smaller than one tile still makes
+/// progress (one tile resident at a time). All query entry points mirror
+/// the flat [`PointCloud`] API and return bit-identical rows (global row
+/// ids in the sealed SFC order).
+pub struct TiledCloud {
+    dir: PathBuf,
+    tiles: TileSet,
+    curve: String,
+    bits: u32,
+    rows: usize,
+    /// `true` when the directory was a flat v1/v2 dump opened as a single
+    /// pseudo-tile (no zones, never pruned).
+    flat: bool,
+    parallelism: Parallelism,
+    /// Resident-cache byte budget; 0 = unlimited.
+    budget_bytes: AtomicU64,
+    cache: Mutex<TileCache>,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    peak_resident: AtomicU64,
+}
+
+impl std::fmt::Debug for TiledCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TiledCloud")
+            .field("dir", &self.dir)
+            .field("rows", &self.rows)
+            .field("tiles", &self.tiles.len())
+            .field("curve", &self.curve)
+            .field("bits", &self.bits)
+            .field("budget_bytes", &self.budget_bytes.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TiledCloud {
+    /// Open a tiled (v3) directory lazily. A flat (v1/v2) directory also
+    /// opens, as a single pseudo-tile with no zone maps — pruning never
+    /// fires, but the out-of-core cache and the API shape still apply.
+    pub fn open(dir: impl AsRef<Path>) -> Result<TiledCloud, CoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let (tiles, curve, bits, rows, flat) = match persist::read_tiled_manifest(&dir)? {
+            Some(tm) => (tm.tiles, tm.curve, tm.bits, tm.rows, false),
+            None => {
+                let rows = persist::flat_manifest_rows(&dir)?;
+                let tiles = TileSet {
+                    tiles: vec![TileMeta {
+                        id: 0,
+                        row_start: 0,
+                        row_end: rows,
+                        key_lo: 0,
+                        key_hi: u64::MAX,
+                        zones: Vec::new(),
+                    }],
+                };
+                (tiles, "none".to_string(), 0, rows, true)
+            }
+        };
+        Ok(TiledCloud {
+            dir,
+            tiles,
+            curve,
+            bits,
+            rows,
+            flat,
+            parallelism: Parallelism::default(),
+            budget_bytes: AtomicU64::new(0),
+            cache: Mutex::new(TileCache::default()),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
+        })
+    }
+
+    /// Total rows across every tile.
+    pub fn num_points(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The tile layout (row ranges, key ranges, zone maps).
+    pub fn tiles(&self) -> &TileSet {
+        &self.tiles
+    }
+
+    /// The curve the rows are clustered by (`hilbert`, `morton`, or
+    /// `none` for a flat directory).
+    pub fn curve(&self) -> &str {
+        &self.curve
+    }
+
+    /// Quantiser bits per axis (0 for a flat directory).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The directory the cloud was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cap the resident tile cache at `bytes` of column data (0 =
+    /// unlimited). Takes effect on the next load; the most recently
+    /// touched tile is always kept, so queries make progress even when a
+    /// single tile exceeds the budget.
+    pub fn set_resident_budget(&self, bytes: u64) {
+        self.budget_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The configured resident budget (0 = unlimited).
+    pub fn resident_budget(&self) -> u64 {
+        self.budget_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of tile segments currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.cache.lock().resident
+    }
+
+    /// Tile segments currently resident.
+    pub fn resident_tiles(&self) -> usize {
+        self.cache.lock().map.len()
+    }
+
+    /// High-water mark of resident bytes over the cloud's lifetime.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident.load(Ordering::Relaxed)
+    }
+
+    /// Tile loads performed (cache misses).
+    pub fn tile_loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Tiles evicted by the resident-budget LRU.
+    pub fn tile_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Default worker policy for query entry points without an explicit
+    /// [`Parallelism`].
+    pub fn set_parallelism(&mut self, p: Parallelism) {
+        self.parallelism = p;
+    }
+
+    /// The default worker policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Load (or re-touch) a tile, charging faulted-in bytes to the
+    /// query's memory budget and evicting LRU tiles past the resident
+    /// budget. Held-lock loading keeps accounting exact; tile I/O under
+    /// contention serialises, which is the trade this cache makes for
+    /// never double-loading a tile.
+    fn load_tile(&self, id: usize, ctx: &GovernCtx) -> Result<Arc<PointCloud>, CoreError> {
+        let metrics = MetricsRegistry::global();
+        let mut cache = self.cache.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(c) = cache.map.get_mut(&id) {
+            c.last_used = tick;
+            return Ok(Arc::clone(&c.pc));
+        }
+        let pc = if self.flat {
+            PointCloud::open_dir(&self.dir)?
+        } else {
+            persist::open_tile(&self.dir, &self.tiles.tiles[id])?
+        };
+        let bytes = pc.data_bytes() as u64;
+        ctx.charge(bytes)?;
+        let pc = Arc::new(pc);
+        cache.map.insert(
+            id,
+            CachedTile {
+                pc: Arc::clone(&pc),
+                bytes,
+                last_used: tick,
+            },
+        );
+        cache.resident += bytes;
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        metrics.tiles_loaded.inc();
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        if budget > 0 {
+            while cache.resident > budget && cache.map.len() > 1 {
+                let victim = cache
+                    .map
+                    .iter()
+                    .filter(|(k, _)| **k != id)
+                    .min_by_key(|(_, c)| c.last_used)
+                    .map(|(k, _)| *k);
+                let Some(v) = victim else { break };
+                let evicted = cache.map.remove(&v).expect("victim key from iteration");
+                cache.resident -= evicted.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                metrics.tiles_evicted.inc();
+            }
+        }
+        self.peak_resident.fetch_max(cache.resident, Ordering::Relaxed);
+        metrics.resident_tile_bytes.set(cache.resident);
+        Ok(pc)
+    }
+
+    /// Two-step spatial query with the default strategy and worker policy.
+    pub fn select(&self, pred: &SpatialPredicate) -> Result<Selection, CoreError> {
+        self.select_query(Some(pred), &[], RefineStrategy::default())
+    }
+
+    /// Spatial + attribute query with the default worker policy.
+    pub fn select_query(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+    ) -> Result<Selection, CoreError> {
+        self.select_query_with(pred, attrs, strategy, self.parallelism)
+    }
+
+    /// [`Self::select_query`] with an explicit worker policy, ungoverned.
+    pub fn select_query_with(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+    ) -> Result<Selection, CoreError> {
+        self.select_query_ctx(pred, attrs, strategy, parallelism, &GovernCtx::ungoverned())
+    }
+
+    /// Governed tiled query: one deadline/budget token covers zone-map
+    /// pruning, every tile load (bytes charged as they fault in) and every
+    /// per-tile sub-query; the query is visible in the global registry.
+    pub fn select_query_governed(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+        deadline: Option<Duration>,
+        budget: Option<u64>,
+    ) -> Result<Selection, CoreError> {
+        let token = CancelToken::with(deadline, budget);
+        let ctx = GovernCtx::new(token.clone(), None);
+        let _ticket = QueryRegistry::global().register(
+            format!("tiled select ({} attr filters)", attrs.len()),
+            &token,
+        );
+        self.select_query_ctx(pred, attrs, strategy, parallelism, &ctx)
+    }
+
+    /// The tiled query pipeline under an explicit governance context:
+    /// zone-map prune → per-tile imprint probe/scan → row-offset merge.
+    /// Tiles are visited in row order, so the merged rows are ascending
+    /// and identical for any worker count (morsels never straddle a tile).
+    pub fn select_query_ctx(
+        &self,
+        pred: Option<&SpatialPredicate>,
+        attrs: &[AttrRange],
+        strategy: RefineStrategy,
+        parallelism: Parallelism,
+        ctx: &GovernCtx,
+    ) -> Result<Selection, CoreError> {
+        let metrics = MetricsRegistry::global();
+        let mut preds: Vec<(&str, f64, f64)> = Vec::new();
+        let env = pred.and_then(|p| p.filter_envelope());
+        if let Some(env) = &env {
+            preds.push(("x", env.min_x, env.max_x));
+            preds.push(("y", env.min_y, env.max_y));
+        }
+        for a in attrs {
+            preds.push((a.column.as_str(), a.lo, a.hi));
+        }
+        let survivors = self.tiles.prune(&preds);
+        let loads0 = self.loads.load(Ordering::Relaxed);
+        let evictions0 = self.evictions.load(Ordering::Relaxed);
+        let mut sel = Selection::default();
+        for &t in &survivors {
+            ctx.checkpoint("tile")?;
+            let pc = self.load_tile(t, ctx)?;
+            let sub = pc.select_query_ctx(pred, attrs, strategy, parallelism, ctx)?;
+            let base = self.tiles.tiles[t].row_start;
+            sel.rows.extend(sub.rows.iter().map(|&r| r + base));
+            merge_explain(&mut sel.profile.explain, &sub.profile.explain);
+            sel.profile.stages.extend(sub.profile.stages.iter().copied());
+        }
+        let e = &mut sel.profile.explain;
+        e.result_rows = sel.rows.len();
+        e.tiles_total = self.tiles.len();
+        e.tiles_pruned = self.tiles.len() - survivors.len();
+        e.tiles_probed = survivors.len();
+        // Cache-delta attribution is exact for single-threaded use and
+        // approximate when queries run concurrently (the counters are
+        // shared); the process-wide metrics stay exact either way.
+        e.tiles_loaded = (self.loads.load(Ordering::Relaxed) - loads0) as usize;
+        e.tiles_evicted = (self.evictions.load(Ordering::Relaxed) - evictions0) as usize;
+        metrics.tiles_pruned.add(e.tiles_pruned as u64);
+        metrics.tiles_probed.add(e.tiles_probed as u64);
+        Ok(sel)
+    }
+
+    /// Aggregate a selection's rows (global ids) over one column with the
+    /// default worker policy.
+    pub fn aggregate(
+        &self,
+        rows: &[usize],
+        column: &str,
+        agg: Aggregate,
+    ) -> Result<Option<f64>, CoreError> {
+        self.aggregate_with(rows, column, agg, self.parallelism)
+    }
+
+    /// [`Self::aggregate`] with an explicit worker policy. Rows are
+    /// partitioned by tile and merged with the algebraic decomposition of
+    /// each aggregate (`AVG` = total `SUM` / total count), so the result
+    /// matches a flat-table aggregate over the same rows bit-for-bit on
+    /// `COUNT`/`MIN`/`MAX` and to f64-summation order on `SUM`/`AVG`.
+    pub fn aggregate_with(
+        &self,
+        rows: &[usize],
+        column: &str,
+        agg: Aggregate,
+        parallelism: Parallelism,
+    ) -> Result<Option<f64>, CoreError> {
+        if agg == Aggregate::Count {
+            return Ok(Some(rows.len() as f64));
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        // The tile walk needs ascending rows; selections are ascending
+        // already, arbitrary caller input gets sorted.
+        let sorted_buf;
+        let rows = if rows.windows(2).all(|w| w[0] <= w[1]) {
+            rows
+        } else {
+            let mut s = rows.to_vec();
+            s.sort_unstable();
+            sorted_buf = s;
+            &sorted_buf
+        };
+        if *rows.last().expect("non-empty") >= self.rows {
+            return Err(CoreError::InvalidQuery(format!(
+                "aggregate: row {} out of range ({} rows)",
+                rows.last().expect("non-empty"),
+                self.rows
+            )));
+        }
+        let ctx = GovernCtx::ungoverned();
+        let sub_agg = match agg {
+            Aggregate::Avg => Aggregate::Sum,
+            a => a,
+        };
+        let mut acc: Option<f64> = None;
+        let mut i = 0usize;
+        while i < rows.len() {
+            let t = self
+                .tiles
+                .tile_for_row(rows[i])
+                .expect("row bound checked above");
+            let tile = &self.tiles.tiles[t];
+            let j = i + rows[i..].partition_point(|&r| r < tile.row_end);
+            let local: Vec<usize> = rows[i..j].iter().map(|&r| r - tile.row_start).collect();
+            let pc = self.load_tile(t, &ctx)?;
+            if let Some(v) = pc.aggregate_with(&local, column, sub_agg, parallelism)? {
+                acc = Some(match (acc, agg) {
+                    (None, _) => v,
+                    (Some(a), Aggregate::Sum | Aggregate::Avg) => a + v,
+                    (Some(a), Aggregate::Min) => a.min(v),
+                    (Some(a), Aggregate::Max) => a.max(v),
+                    (Some(a), Aggregate::Count) => a, // handled above
+                });
+            }
+            i = j;
+        }
+        Ok(match agg {
+            Aggregate::Avg => acc.map(|s| s / rows.len() as f64),
+            _ => acc,
+        })
+    }
+
+    /// Load tile `tile` (by id) and return its backing [`PointCloud`].
+    /// The returned `Arc` pins the segment resident for as long as the
+    /// caller holds it, even across LRU evictions — projection layers use
+    /// this to read column values after the scan picked the rows.
+    pub fn tile_cloud(&self, tile: usize) -> Result<Arc<PointCloud>, CoreError> {
+        if tile >= self.tiles.len() {
+            return Err(CoreError::InvalidQuery(format!(
+                "tile {tile} out of range ({} tiles)",
+                self.tiles.len()
+            )));
+        }
+        self.load_tile(tile, &GovernCtx::ungoverned())
+    }
+
+    /// Materialise one point by global row id (`None` past the end).
+    pub fn record(&self, row: usize) -> Result<Option<lidardb_las::PointRecord>, CoreError> {
+        let Some(t) = self.tiles.tile_for_row(row) else {
+            return Ok(None);
+        };
+        let pc = self.load_tile(t, &GovernCtx::ungoverned())?;
+        Ok(pc.record(row - self.tiles.tiles[t].row_start))
+    }
+}
+
+/// Fold one tile's `Explain` into the merged tiled-query view: counts
+/// sum, timings sum, workers take the max, morsel breakdowns concatenate.
+fn merge_explain(into: &mut Explain, sub: &Explain) {
+    into.after_imprints += sub.after_imprints;
+    into.sure_rows += sub.sure_rows;
+    into.after_bbox += sub.after_bbox;
+    into.cells_inside += sub.cells_inside;
+    into.cells_outside += sub.cells_outside;
+    into.cells_boundary += sub.cells_boundary;
+    into.exact_tests += sub.exact_tests;
+    into.attr_probes += sub.attr_probes;
+    into.degraded_probes += sub.degraded_probes;
+    into.t_imprint_build += sub.t_imprint_build;
+    into.t_imprints += sub.t_imprints;
+    into.t_bbox += sub.t_bbox;
+    into.t_refine += sub.t_refine;
+    into.workers = into.workers.max(sub.workers);
+    into.morsel_times.extend(sub.morsel_times.iter().copied());
+}

@@ -201,6 +201,44 @@ fn differential_polygon_all_strategies() {
     }
 }
 
+/// Degenerate morsel shapes end to end: candidate sets with fewer rows
+/// than workers, a sliver window cutting one run, and an empty window.
+/// The parallel executor must merge byte-identical rows at 2/4/8 workers
+/// with no empty morsels inflating the explain counters.
+#[test]
+fn differential_degenerate_candidate_sets() {
+    let pc = shared_cloud();
+    // A few-row window: far fewer candidates than workers * MORSEL_MIN_ROWS.
+    assert_differential(
+        pc,
+        Some(&rect(0.0, 0.0, 4.0, 4.0)),
+        &[],
+        RefineStrategy::default(),
+    );
+    // A sliver that slices through the dense band (single clustered run).
+    assert_differential(
+        pc,
+        Some(&rect(499.0, 399.0, 501.0, 421.0)),
+        &[],
+        RefineStrategy::default(),
+    );
+    // An empty window: zero candidates, every worker count.
+    let rows = assert_differential(
+        pc,
+        Some(&rect(2000.0, 2000.0, 2001.0, 2001.0)),
+        &[],
+        RefineStrategy::default(),
+    );
+    assert!(rows.is_empty());
+    // Attr range matching almost nothing, combined with a huge window.
+    assert_differential(
+        pc,
+        Some(&rect(0.0, 0.0, 1000.0, 1000.0)),
+        &[AttrRange::new("intensity", 0.0, 0.0)],
+        RefineStrategy::default(),
+    );
+}
+
 #[test]
 fn differential_dwithin_line() {
     let pc = shared_cloud();

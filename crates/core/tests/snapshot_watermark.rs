@@ -1,0 +1,248 @@
+//! Snapshot-watermark regression suite: every candidate-producing path
+//! must ignore rows applied past `visible_rows`, even after the lazy
+//! imprints have been incrementally refreshed to cover them.
+//!
+//! Scenario: an ingesting cloud under `GroupCommit{huge, huge}` commits a
+//! first batch (flushed → visible), queries warm the imprints, then a
+//! second batch lands **unflushed** — applied to the columns, indexed by
+//! the refreshed imprints, but invisible. Each test pins one query path:
+//! full scan, bbox-only, exhaustive refine, the parallel two-pass grid
+//! refine, attribute-only probes, and aggregates.
+
+use std::time::Duration;
+
+use lidardb_core::{
+    Aggregate, Durability, Parallelism, PointCloud, RefineStrategy, SpatialPredicate,
+};
+use lidardb_geom::{Geometry, Point, Polygon};
+use lidardb_las::PointRecord;
+
+const VISIBLE: usize = 30_000;
+const GHOST: usize = 30_000;
+
+fn tdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lidardb_watermark_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The ingest WAL lives beside the directory (`<dir>.wal`); recycled
+    // pids must not replay a previous run's log into a fresh cloud.
+    let _ = std::fs::remove_file(dir.with_extension("wal"));
+    dir
+}
+
+/// Deterministic records, all inside [0,100)². `tag` goes to gps_time so
+/// sums distinguish the committed batch from the ghost batch.
+fn records(n: usize, seed: u64, tag: f64) -> Vec<PointRecord> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| PointRecord {
+            x: next() * 100.0,
+            y: next() * 100.0,
+            z: next() * 50.0,
+            classification: (i % 12) as u8,
+            intensity: (i % 4096) as u16,
+            gps_time: tag,
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// Batch A committed and visible, imprints warmed over it, batch B
+/// applied but unflushed: `num_points = 60k`, `visible_rows = 30k`, and
+/// the cached x/y/classification/gps_time imprints cover all 60k rows.
+fn cloud_with_ghost_rows(name: &str) -> PointCloud {
+    let dir = tdir(name);
+    let mut pc = PointCloud::open_ingest(
+        &dir,
+        Durability::GroupCommit {
+            max_batches: usize::MAX,
+            max_delay: Duration::from_secs(3600),
+        },
+    )
+    .unwrap();
+    pc.ingest_records(&records(VISIBLE, 1, 1.0)).unwrap();
+    pc.flush_wal().unwrap();
+    assert_eq!(pc.visible_rows(), VISIBLE);
+    // Warm every imprint the tests probe, so the ghost batch refreshes a
+    // *cached* index instead of forcing a post-append rebuild.
+    for col in ["x", "y", "classification", "gps_time"] {
+        pc.imprints_for(col).unwrap();
+    }
+    assert!(!pc.ingest_records(&records(GHOST, 2, 1.0)).unwrap());
+    assert_eq!(pc.num_points(), VISIBLE + GHOST, "ghost batch applied");
+    assert_eq!(pc.visible_rows(), VISIBLE, "ghost batch invisible");
+    pc
+}
+
+fn wide_rect() -> SpatialPredicate {
+    // Covers every point: each path must still stop at the watermark.
+    SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::from_exterior(vec![
+            Point::new(-1.0, -1.0),
+            Point::new(101.0, -1.0),
+            Point::new(101.0, 101.0),
+            Point::new(-1.0, 101.0),
+        ])
+        .unwrap(),
+    ))
+}
+
+fn triangle() -> SpatialPredicate {
+    // Non-rectangular, so refinement actually runs exact tests.
+    SpatialPredicate::Within(Geometry::Polygon(
+        Polygon::from_exterior(vec![
+            Point::new(-1.0, -1.0),
+            Point::new(220.0, -1.0),
+            Point::new(-1.0, 220.0),
+        ])
+        .unwrap(),
+    ))
+}
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_clamped(rows: &[usize], path: &str, workers: usize) {
+    assert!(
+        rows.iter().all(|&r| r < VISIBLE),
+        "{path} at {workers} workers leaked rows past the watermark: max {:?}",
+        rows.iter().max()
+    );
+}
+
+#[test]
+fn full_scan_sees_only_the_snapshot() {
+    let pc = cloud_with_ghost_rows("full_scan");
+    for w in WORKER_COUNTS {
+        let sel = pc
+            .select_query_with(None, &[], RefineStrategy::default(), Parallelism::Threads(w))
+            .unwrap();
+        assert_eq!(sel.rows.len(), VISIBLE, "full scan at {w} workers");
+        assert_clamped(&sel.rows, "full scan", w);
+    }
+}
+
+#[test]
+fn bbox_only_scan_never_reads_past_the_watermark() {
+    let pc = cloud_with_ghost_rows("bbox_only");
+    for w in WORKER_COUNTS {
+        let sel = pc
+            .select_query_with(
+                Some(&wide_rect()),
+                &[],
+                RefineStrategy::BboxOnly,
+                Parallelism::Threads(w),
+            )
+            .unwrap();
+        assert_eq!(sel.rows.len(), VISIBLE, "bbox-only at {w} workers");
+        assert_clamped(&sel.rows, "bbox-only", w);
+    }
+}
+
+#[test]
+fn exhaustive_refine_never_reads_past_the_watermark() {
+    let pc = cloud_with_ghost_rows("exhaustive");
+    let mut expected = None;
+    for w in WORKER_COUNTS {
+        let sel = pc
+            .select_query_with(
+                Some(&triangle()),
+                &[],
+                RefineStrategy::Exhaustive,
+                Parallelism::Threads(w),
+            )
+            .unwrap();
+        assert_clamped(&sel.rows, "exhaustive refine", w);
+        let rows = sel.rows.clone();
+        match &expected {
+            None => expected = Some(rows),
+            Some(e) => assert_eq!(e, &rows, "exhaustive refine diverged at {w} workers"),
+        }
+    }
+    assert!(
+        expected.unwrap().len() > 2 * lidardb_core::MORSEL_MIN_ROWS,
+        "the triangle must keep enough rows to exercise parallel refinement"
+    );
+}
+
+#[test]
+fn parallel_two_pass_grid_refine_never_reads_past_the_watermark() {
+    let pc = cloud_with_ghost_rows("grid");
+    let mut expected = None;
+    for w in WORKER_COUNTS {
+        let sel = pc
+            .select_query_with(
+                Some(&triangle()),
+                &[],
+                RefineStrategy::Grid { cells: 32 },
+                Parallelism::Threads(w),
+            )
+            .unwrap();
+        assert!(
+            sel.explain.after_imprints >= 2 * lidardb_core::MORSEL_MIN_ROWS,
+            "candidate set too small to trigger the two-pass parallel path"
+        );
+        assert_clamped(&sel.rows, "grid refine", w);
+        let rows = sel.rows.clone();
+        match &expected {
+            None => expected = Some(rows),
+            Some(e) => assert_eq!(e, &rows, "grid refine diverged at {w} workers"),
+        }
+    }
+}
+
+#[test]
+fn attr_only_probe_never_reads_past_the_watermark() {
+    let pc = cloud_with_ghost_rows("attrs");
+    for w in WORKER_COUNTS {
+        let sel = pc
+            .select_query_with(
+                None,
+                &[lidardb_core::AttrRange {
+                    column: "classification".into(),
+                    lo: 0.0,
+                    hi: 11.0,
+                }],
+                RefineStrategy::default(),
+                Parallelism::Threads(w),
+            )
+            .unwrap();
+        assert_eq!(sel.rows.len(), VISIBLE, "attr-only at {w} workers");
+        assert_clamped(&sel.rows, "attr-only", w);
+    }
+}
+
+#[test]
+fn aggregates_cover_only_visible_rows() {
+    let pc = cloud_with_ghost_rows("aggregates");
+    for w in WORKER_COUNTS {
+        let sel = pc
+            .select_query_with(
+                Some(&wide_rect()),
+                &[],
+                RefineStrategy::default(),
+                Parallelism::Threads(w),
+            )
+            .unwrap();
+        assert_clamped(&sel.rows, "aggregate input", w);
+        // Every row carries gps_time = 1.0, so SUM equals the row count:
+        // ghost rows leaking in would show up directly in the total.
+        let sum = pc
+            .aggregate_with(&sel.rows, "gps_time", Aggregate::Sum, Parallelism::Threads(w))
+            .unwrap()
+            .unwrap();
+        assert_eq!(sum, VISIBLE as f64, "SUM leaked ghost rows at {w} workers");
+        let cnt = pc
+            .aggregate_with(&sel.rows, "gps_time", Aggregate::Count, Parallelism::Threads(w))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cnt, VISIBLE as f64);
+    }
+}

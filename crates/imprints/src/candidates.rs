@@ -305,6 +305,73 @@ mod tests {
         assert!(CandidateList::empty().split_rows(8).is_empty());
     }
 
+    /// Replays the executor's split math on the degenerate shapes the
+    /// morsel planner can hand it: fewer candidate rows than workers,
+    /// zero-width runs interleaved with real ones, a single run larger
+    /// than every budget, and long strings of 1-row runs. Every morsel
+    /// must be non-empty and the concatenation byte-identical.
+    #[test]
+    fn split_rows_degenerate_inputs_yield_no_empty_morsels() {
+        let fewer_than_workers = {
+            let mut c = CandidateList::empty();
+            c.push(10, 13, false); // 3 rows, split for up to 8 workers
+            c
+        };
+        let zero_width_runs = {
+            let mut c = CandidateList::empty();
+            c.push(0, 0, true); // dropped by push
+            c.push(5, 8, false);
+            c.push(8, 8, true); // dropped by push
+            c.push(9, 9, false); // dropped by push
+            c.push(12, 20, true);
+            c
+        };
+        let one_huge_run = {
+            let mut c = CandidateList::empty();
+            c.push(0, 100_000, false);
+            c
+        };
+        let many_one_row_runs = {
+            let mut c = CandidateList::empty();
+            for i in 0..500 {
+                c.push(i * 2, i * 2 + 1, i % 3 == 0);
+            }
+            c
+        };
+        for (label, c) in [
+            ("fewer_than_workers", fewer_than_workers),
+            ("zero_width_runs", zero_width_runs),
+            ("one_huge_run", one_huge_run),
+            ("many_one_row_runs", many_one_row_runs),
+        ] {
+            let orig: Vec<(usize, bool)> = c
+                .ranges()
+                .iter()
+                .flat_map(|r| (r.start..r.end).map(|row| (row, r.all_qualify)))
+                .collect();
+            for workers in [2usize, 4, 8] {
+                // The executor's per-worker budget, floored at 1 like
+                // `split_rows` itself does.
+                let max = (c.num_rows() / (workers * 4)).max(1);
+                let morsels = c.split_rows(max);
+                assert!(
+                    morsels.iter().all(|m| !m.is_empty() && m.num_rows() > 0),
+                    "{label} at {workers} workers produced an empty morsel"
+                );
+                assert!(
+                    morsels.iter().all(|m| m.num_rows() <= max),
+                    "{label} at {workers} workers overflowed the budget"
+                );
+                let flat: Vec<(usize, bool)> = morsels
+                    .iter()
+                    .flat_map(|m| m.ranges())
+                    .flat_map(|r| (r.start..r.end).map(|row| (row, r.all_qualify)))
+                    .collect();
+                assert_eq!(flat, orig, "{label} at {workers} workers lost or reordered rows");
+            }
+        }
+    }
+
     #[test]
     fn clamp_cuts_ranges_at_the_watermark() {
         let mut c = CandidateList::empty();

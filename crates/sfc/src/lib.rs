@@ -7,11 +7,13 @@
 //! both curves on 2-D unsigned lattices plus the quantisation and sorting
 //! helpers the baselines use, and the locality statistics of experiment E8.
 
+pub mod binning;
 pub mod hilbert;
 pub mod locality;
 pub mod morton;
 pub mod quantize;
 
+pub use binning::TileBinning;
 pub use hilbert::{hilbert_decode, hilbert_encode};
 pub use locality::{curve_locality, LocalityStats};
 pub use morton::{morton_decode, morton_encode};

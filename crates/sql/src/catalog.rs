@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::ops::Deref;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use lidardb_core::{Parallelism, PointCloud};
+use lidardb_core::{Parallelism, PointCloud, TiledCloud};
 use lidardb_geom::Geometry;
 
 use crate::error::SqlError;
@@ -117,6 +117,10 @@ pub enum Table {
     Stream(Arc<RwLock<PointCloud>>),
     /// An in-memory vector table.
     Vector(Arc<VectorTable>),
+    /// A sealed, tiled point-cloud table: SFC-clustered immutable
+    /// segments that load lazily and are pruned by per-tile zone maps.
+    /// Read-only through SQL.
+    Tiled(Arc<TiledCloud>),
 }
 
 /// A read view of a point-cloud table — either a plain shared cloud or
@@ -234,6 +238,21 @@ impl Catalog {
         self.tables.insert(name.into(), Table::Stream(pc));
     }
 
+    /// Register a sealed tiled point cloud under `name`. Scans plan
+    /// through the same two-step pushdown as flat tables, with zone-map
+    /// tile pruning in front; the table is read-only.
+    pub fn register_tiled(&mut self, name: impl Into<String>, tc: Arc<TiledCloud>) {
+        self.tables.insert(name.into(), Table::Tiled(tc));
+    }
+
+    /// The tiled point-cloud table `name`, if it is one.
+    pub fn tiled(&self, name: &str) -> Result<Option<&Arc<TiledCloud>>, SqlError> {
+        match self.table(name)? {
+            Table::Tiled(tc) => Ok(Some(tc)),
+            _ => Ok(None),
+        }
+    }
+
     /// A read view of the point-cloud table `name` (plain or streaming).
     pub fn read_points(&self, name: &str) -> Result<PcRead<'_>, SqlError> {
         match self.table(name)? {
@@ -241,6 +260,9 @@ impl Catalog {
             Table::Stream(pc) => Ok(PcRead::Stream(
                 pc.read().unwrap_or_else(std::sync::PoisonError::into_inner),
             )),
+            Table::Tiled(_) => Err(SqlError::Plan(format!(
+                "{name} is a tiled table; its scan path does not expose a flat read view"
+            ))),
             Table::Vector(_) => Err(SqlError::Plan(format!("{name} is not a point cloud"))),
         }
     }
@@ -252,7 +274,7 @@ impl Catalog {
             Table::Stream(pc) => {
                 Ok(pc.write().unwrap_or_else(std::sync::PoisonError::into_inner))
             }
-            Table::Points(_) => Err(SqlError::Exec(format!(
+            Table::Points(_) | Table::Tiled(_) => Err(SqlError::Exec(format!(
                 "table {name} is read-only (register it as a stream to INSERT)"
             ))),
             Table::Vector(_) => Err(SqlError::Exec(format!("{name} is not a point cloud"))),
@@ -283,7 +305,7 @@ impl Catalog {
     /// Column names of a table (for `SELECT *` expansion).
     pub fn columns_of(&self, name: &str) -> Result<Vec<String>, SqlError> {
         match self.table(name)? {
-            Table::Points(_) | Table::Stream(_) => Ok(lidardb_las::COLUMN_NAMES
+            Table::Points(_) | Table::Stream(_) | Table::Tiled(_) => Ok(lidardb_las::COLUMN_NAMES
                 .iter()
                 .map(|s| s.to_string())
                 .collect()),

@@ -663,6 +663,53 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
 
     // Materialise input rows.
     let result = match &plan {
+        Plan::PcScan(scan) if catalog.tiled(&scan.table.name)?.is_some() => {
+            let tc = Arc::clone(catalog.tiled(&scan.table.name)?.expect("checked tiled"));
+            let rows = tiled_scan_rows(&tc, scan, catalog, &mut trace)?;
+            // Group the global row ids by tile and pin each touched tile's
+            // segment resident (the Arc keeps it alive past LRU eviction)
+            // so projection and residual evaluation can read column values.
+            let tiles = tc.tiles();
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for r in rows {
+                let t = tiles.tile_for_row(r).expect("scan rows are in range");
+                match groups.last_mut() {
+                    Some((last, v)) if *last == t => v.push(r),
+                    _ => groups.push((t, vec![r])),
+                }
+            }
+            let pinned: Vec<Arc<PointCloud>> = groups
+                .iter()
+                .map(|(t, _)| tc.tile_cloud(*t))
+                .collect::<Result<_, _>>()
+                .map_err(|e| SqlError::Exec(e.to_string()))?;
+            let t0 = Instant::now();
+            let mut envs = Vec::new();
+            for ((t, rows), pc) in groups.iter().zip(&pinned) {
+                let base = tiles.tiles[*t].row_start;
+                'rows: for &r in rows {
+                    let ctx = PcCtx {
+                        pc,
+                        alias: &scan.table.alias,
+                        row: r - base,
+                    };
+                    for term in &scan.residual {
+                        if !truthy(&eval(term, &ctx)?) {
+                            continue 'rows;
+                        }
+                    }
+                    envs.push(RowEnv::Pc(ctx));
+                }
+            }
+            if !scan.residual.is_empty() {
+                trace.push(TraceEntry {
+                    operator: "thematic filter".to_string(),
+                    rows: envs.len(),
+                    seconds: t0.elapsed().as_secs_f64(),
+                });
+            }
+            project(catalog, sel, &plan, envs, trace)
+        }
         Plan::PcScan(scan) => {
             // Read view: a streaming table is read-locked for the scan and
             // queried at its committed snapshot (`visible_rows`).
@@ -714,6 +761,13 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
             join,
             pair_residual,
         } => {
+            if catalog.tiled(&pc_scan.table.name)?.is_some() {
+                return Err(SqlError::Exec(format!(
+                    "spatial joins over tiled table {} are not supported; \
+                     open the directory eagerly (flat) to join it",
+                    pc_scan.table.name
+                )));
+            }
             let pc = catalog.read_points(&pc_scan.table.name)?;
             let pc: &PointCloud = &pc;
             let Table::Vector(vt) = catalog.table(&vec_scan.table.name)? else {
@@ -862,6 +916,77 @@ fn governed_select(
         catalog.mem_budget().or_else(|| pc.mem_budget()),
     )
     .map_err(|e| SqlError::Exec(e.to_string()))
+}
+
+/// Run a tiled point-cloud scan (pushdown only — the caller applies the
+/// residual per tile) and return global row ids. The trace gains a
+/// `tile prune` operator showing the zone-map skip/probe/load/evict
+/// counts, so `EXPLAIN ANALYZE` makes tile pruning visible.
+fn tiled_scan_rows(
+    tc: &lidardb_core::TiledCloud,
+    scan: &crate::plan::PcScan,
+    catalog: &Catalog,
+    trace: &mut Vec<TraceEntry>,
+) -> Result<Vec<usize>, SqlError> {
+    if scan.spatial.is_none() && scan.attr_ranges.is_empty() {
+        let t0 = Instant::now();
+        let rows: Vec<usize> = (0..tc.num_points()).collect();
+        trace.push(TraceEntry {
+            operator: format!("full scan ({} tiles)", tc.num_tiles()),
+            rows: rows.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        return Ok(rows);
+    }
+    let sel = tc
+        .select_query_governed(
+            scan.spatial.as_ref(),
+            &scan.attr_ranges,
+            Default::default(),
+            catalog.parallelism(),
+            catalog.statement_timeout(),
+            catalog.mem_budget(),
+        )
+        .map_err(|e| SqlError::Exec(e.to_string()))?;
+    let e = &sel.explain;
+    trace.push(TraceEntry {
+        operator: format!(
+            "tile prune (zone maps: {} pruned, {} probed of {}; {} loaded, {} evicted)",
+            e.tiles_pruned, e.tiles_probed, e.tiles_total, e.tiles_loaded, e.tiles_evicted
+        ),
+        rows: e.tiles_probed,
+        seconds: 0.0,
+    });
+    if e.t_imprint_build > 0.0 {
+        trace.push(TraceEntry {
+            operator: "imprint build (lazy)".to_string(),
+            rows: 0,
+            seconds: e.t_imprint_build,
+        });
+    }
+    trace.push(TraceEntry {
+        operator: if e.attr_probes > 0 {
+            format!("imprint filter (+{} attribute probes)", e.attr_probes)
+        } else {
+            "imprint filter".to_string()
+        },
+        rows: e.after_imprints,
+        seconds: e.t_imprints,
+    });
+    trace.push(TraceEntry {
+        operator: "exact bbox scan".to_string(),
+        rows: e.after_bbox,
+        seconds: e.t_bbox,
+    });
+    trace.push(TraceEntry {
+        operator: format!(
+            "grid refinement (cells {}/{}/{})",
+            e.cells_inside, e.cells_outside, e.cells_boundary
+        ),
+        rows: e.result_rows,
+        seconds: e.t_refine,
+    });
+    Ok(sel.rows)
 }
 
 /// Run the point-cloud scan (pushdown + residual) and return row ids.

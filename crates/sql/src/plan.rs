@@ -395,7 +395,7 @@ pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<Plan, SqlErro
     for t in &stmt.from {
         let is_points = matches!(
             catalog.table(&t.name)?,
-            Table::Points(_) | Table::Stream(_)
+            Table::Points(_) | Table::Stream(_) | Table::Tiled(_)
         );
         tables.push(BoundTable {
             alias: t.alias.clone(),

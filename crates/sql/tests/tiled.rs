@@ -1,0 +1,190 @@
+//! SQL over a sealed tiled table: same answers as the flat table, with
+//! zone-map tile pruning visible in `EXPLAIN ANALYZE`.
+
+use std::sync::Arc;
+
+use lidardb_core::{PointCloud, TileOptions, TiledCloud};
+use lidardb_las::PointRecord;
+use lidardb_sql::{query, Catalog, SqlValue};
+
+/// 100x100 integer grid; classification 6 for x > 50, else 2; z = x/10.
+fn grid_cloud() -> PointCloud {
+    let mut pc = PointCloud::new();
+    let recs: Vec<PointRecord> = (0..100)
+        .flat_map(|y| {
+            (0..100).map(move |x| PointRecord {
+                x: x as f64,
+                y: y as f64,
+                z: x as f64 / 10.0,
+                classification: if x > 50 { 6 } else { 2 },
+                intensity: 100,
+                ..Default::default()
+            })
+        })
+        .collect();
+    pc.append_records(&recs).unwrap();
+    pc
+}
+
+fn tdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lidardb_sql_tiled_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One catalog with the same data registered flat (`points`) and tiled
+/// (`tiles`), so every query can be answered both ways and compared.
+fn setup(name: &str) -> (Catalog, Arc<TiledCloud>) {
+    let dir = tdir(name);
+    let mut pc = grid_cloud();
+    let opts = TileOptions {
+        target_rows: 1024,
+        ..Default::default()
+    };
+    let n = pc.save_tiled(&dir, &opts).unwrap();
+    assert!(n > 4, "expected several tiles, got {n}");
+    let tc = Arc::new(TiledCloud::open(&dir).unwrap());
+    let mut c = Catalog::new();
+    c.register_pointcloud("points", Arc::new(grid_cloud()));
+    c.register_tiled("tiles", Arc::clone(&tc));
+    (c, tc)
+}
+
+fn one_value(c: &Catalog, sql: &str) -> SqlValue {
+    let rs = query(c, sql).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    rs.rows[0][0].clone()
+}
+
+#[test]
+fn tiled_answers_match_flat_answers() {
+    let (c, _tc) = setup("match");
+    for (flat_sql, tiled_sql) in [
+        // Spatial pushdown.
+        (
+            "SELECT COUNT(*) FROM points WHERE \
+             ST_Contains(ST_MakeEnvelope(10, 10, 20, 20), ST_Point(x, y))",
+            "SELECT COUNT(*) FROM tiles WHERE \
+             ST_Contains(ST_MakeEnvelope(10, 10, 20, 20), ST_Point(x, y))",
+        ),
+        // Attribute pushdown + residual.
+        (
+            "SELECT COUNT(*) FROM points WHERE z >= 2 AND z <= 4 AND classification = 2",
+            "SELECT COUNT(*) FROM tiles WHERE z >= 2 AND z <= 4 AND classification = 2",
+        ),
+        // Aggregate over a spatial window.
+        (
+            "SELECT AVG(z) FROM points WHERE \
+             ST_Contains(ST_MakeEnvelope(0, 0, 50, 50), ST_Point(x, y))",
+            "SELECT AVG(z) FROM tiles WHERE \
+             ST_Contains(ST_MakeEnvelope(0, 0, 50, 50), ST_Point(x, y))",
+        ),
+        // Full scan, no pushdown at all.
+        (
+            "SELECT COUNT(*) FROM points",
+            "SELECT COUNT(*) FROM tiles",
+        ),
+    ] {
+        let flat = one_value(&c, flat_sql);
+        let tiled = one_value(&c, tiled_sql);
+        match (&flat, &tiled) {
+            (SqlValue::Float(a), SqlValue::Float(b)) => {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{flat_sql}: {a} vs {b}")
+            }
+            _ => assert_eq!(flat, tiled, "{flat_sql}"),
+        }
+    }
+}
+
+#[test]
+fn projected_rows_read_the_right_tile_values() {
+    let (c, _tc) = setup("project");
+    let rs = query(
+        &c,
+        "SELECT x, y, z FROM tiles WHERE \
+         ST_Contains(ST_MakeEnvelope(7, 7, 9, 9), ST_Point(x, y))",
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 9);
+    for row in &rs.rows {
+        let (SqlValue::Float(x), SqlValue::Float(z)) = (&row[0], &row[2]) else {
+            panic!("x/z should be floats: {row:?}");
+        };
+        assert!((7.0..=9.0).contains(x));
+        assert!((z - x / 10.0).abs() < 1e-12, "z column must come from the same point as x");
+    }
+}
+
+#[test]
+fn explain_analyze_shows_tile_pruning() {
+    let (c, tc) = setup("explain");
+    let rs = query(
+        &c,
+        "EXPLAIN ANALYZE SELECT COUNT(*) FROM tiles WHERE \
+         ST_Contains(ST_MakeEnvelope(0, 0, 5, 5), ST_Point(x, y))",
+    )
+    .unwrap();
+    let text: String = rs
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            SqlValue::Str(s) => s.clone(),
+            other => other.render(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("tile prune"), "no tile prune operator in:\n{text}");
+    assert!(text.contains("pruned"), "prune counts missing in:\n{text}");
+    // The tiny window must actually skip tiles.
+    let pruned_somewhere = (1..tc.num_tiles())
+        .any(|k| text.contains(&format!("{k} pruned")));
+    assert!(pruned_somewhere, "expected a non-zero pruned count in:\n{text}");
+}
+
+#[test]
+fn tiled_tables_reject_writes_and_joins() {
+    let (mut c, _tc) = setup("reject");
+    let err = query(&c, "INSERT INTO tiles (x, y, z) VALUES (1, 2, 3)")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("read-only"), "unexpected INSERT error: {err}");
+
+    c.register_vector(
+        "roads",
+        lidardb_sql::VectorTable::new()
+            .with_column("id", lidardb_sql::catalog::VColumn::Int(vec![1]))
+            .with_column(
+                "geom",
+                lidardb_sql::catalog::VColumn::Geom(vec![lidardb_geom::Geometry::Point(
+                    lidardb_geom::Point::new(50.0, 50.0),
+                )]),
+            ),
+    );
+    let err = query(
+        &c,
+        "SELECT COUNT(*) FROM tiles p, roads r WHERE \
+         ST_DWithin(ST_Point(p.x, p.y), r.geom, 5)",
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(
+        err.contains("not supported"),
+        "unexpected join error: {err}"
+    );
+}
+
+#[test]
+fn select_star_expands_tiled_columns() {
+    let (c, _tc) = setup("star");
+    let rs = query(
+        &c,
+        "SELECT * FROM tiles WHERE \
+         ST_Contains(ST_MakeEnvelope(3, 3, 3, 3), ST_Point(x, y))",
+    )
+    .unwrap();
+    assert_eq!(rs.columns.len(), 26);
+    assert_eq!(rs.rows.len(), 1);
+}

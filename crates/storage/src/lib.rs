@@ -29,6 +29,7 @@ pub mod column;
 pub mod compress;
 pub mod error;
 pub mod scan;
+pub mod segment;
 pub mod table;
 pub mod types;
 pub mod zonemap;
@@ -36,6 +37,7 @@ pub mod zonemap;
 pub use bitmap::Bitmap;
 pub use column::Column;
 pub use error::StorageError;
+pub use segment::{TileMeta, TileSet, ZoneEntry};
 pub use table::{Field, FlatTable, Schema};
 pub use types::{Native, PhysicalType, Value};
 

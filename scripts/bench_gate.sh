@@ -5,6 +5,8 @@
 #   BENCH_GATE_KIND=query  (default) gates E9 query p50s vs BENCH_query.json
 #   BENCH_GATE_KIND=ingest gates E12 ingest throughput + recovery time vs
 #                          BENCH_ingest.json
+#   BENCH_GATE_KIND=tiles  gates E13 flat-vs-tiled query p50s vs
+#                          BENCH_tiles.json (same shape as the query gate)
 #
 # Usage:
 #   scripts/bench_gate.sh                  # full run: rebuild, run harness, diff
@@ -19,7 +21,8 @@ KIND="${BENCH_GATE_KIND:-query}"
 case "$KIND" in
     query)  EXPERIMENT=e9;  ARTIFACT=BENCH_query.json ;;
     ingest) EXPERIMENT=e12; ARTIFACT=BENCH_ingest.json ;;
-    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query or ingest" >&2; exit 2 ;;
+    tiles)  EXPERIMENT=e13; ARTIFACT=BENCH_tiles.json ;;
+    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, or tiles" >&2; exit 2 ;;
 esac
 BASE="${BENCH_GATE_BASE:-$REPO/$ARTIFACT}"
 

@@ -59,6 +59,42 @@ cargo test -q -p lidardb-sql insert_is_wal_logged_and_queryable
 cargo test -q -p lidardb-sql group_commit_inserts_stay_invisible_until_flushed
 cargo test -q -p lidardb-sql show_recovery_reports_the_stream_state
 
+echo "==> tiled out-of-core suite (zone-map prune, LRU residency, flat-v2 fallback)"
+cargo test -q -p lidardb-core --test tiles -- --test-threads=1
+cargo test -q -p lidardb-sql --test tiled
+
+echo "==> snapshot-watermark regression suite (ghost rows invisible on every query path)"
+cargo test -q -p lidardb-core --test snapshot_watermark -- --test-threads=1
+
+echo "==> morsel-split and gate-hardening regression tests"
+cargo test -q -p lidardb-imprints split_rows_degenerate_inputs_yield_no_empty_morsels
+cargo test -q -p lidardb-core --test differential differential_degenerate_candidate_sets
+cargo test -q -p lidardb-bench negative_p50_in_baseline_is_a_typed_error
+cargo test -q -p lidardb-bench nan_and_infinite_p50s_are_typed_errors
+cargo test -q -p lidardb-bench fresh_extra_cell_is_a_regression
+
+echo "==> E13 out-of-core smoke (reduced scale; asserts row parity + residency budget)"
+E13_SCRATCH="$(mktemp -d)"
+(cd "$E13_SCRATCH" && LIDARDB_E13_POINTS=500000 cargo run --release --quiet \
+    --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e13)
+rm -rf "$E13_SCRATCH"
+
+echo "==> tiles gate (identity: committed baseline vs itself must pass)"
+BENCH_GATE_KIND=tiles BENCH_GATE_FRESH=BENCH_tiles.json scripts/bench_gate.sh
+
+echo "==> tiles gate (negative: a 2x degradation must fail)"
+SLOWED_TILES="$(mktemp)"
+cargo run --release --quiet -p lidardb-bench --bin bench_gate -- \
+    --kind tiles --base BENCH_tiles.json --scale 2.0 --out "$SLOWED_TILES"
+if BENCH_GATE_KIND=tiles BENCH_GATE_FRESH="$SLOWED_TILES" scripts/bench_gate.sh; then
+    echo "ci FAIL: tiles gate accepted a 2x degradation" >&2
+    rm -f "$SLOWED_TILES"
+    exit 1
+else
+    echo "gate correctly rejected the degraded tiled run"
+fi
+rm -f "$SLOWED_TILES"
+
 echo "==> E12 ingest smoke (reduced scale; asserts snapshot isolation + recovery)"
 E12_SCRATCH="$(mktemp -d)"
 (cd "$E12_SCRATCH" && LIDARDB_E12_POINTS=30000 cargo run --release --quiet \

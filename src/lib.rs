@@ -64,9 +64,9 @@ pub use lidardb_viz as viz;
 pub mod prelude {
     pub use lidardb_baselines::{BlockStore, FileStore};
     pub use lidardb_core::{
-        Aggregate, CoreError, FaultInjector, FaultKind, FaultStage, FileOutcome, FileReport,
-        LoadMethod, LoadPolicy, LoadReport, LoadStats, Loader, PointCloud, RefineStrategy,
-        SpatialPredicate,
+        Aggregate, CoreError, Durability, FaultInjector, FaultKind, FaultStage, FileOutcome,
+        FileReport, LoadMethod, LoadPolicy, LoadReport, LoadStats, Loader, PointCloud,
+        RefineStrategy, SpatialPredicate, TileOptions, TiledCloud,
     };
     pub use lidardb_datagen::{Scene, SceneConfig, Tile, TileSet};
     pub use lidardb_geom::{Envelope, Geometry, LineString, Point, Polygon};
