@@ -12,14 +12,16 @@
 //! it back through compare and asserts the gate trips).
 
 use lidardb_bench::gate::{
-    compare, compare_ingest, extract_ingest_runs, extract_runs, render_ingest_runs, render_runs,
-    scale_ingest, scale_times, Json, REGRESSION_THRESHOLD,
+    compare, compare_ingest, compare_server, extract_ingest_runs, extract_runs,
+    extract_server_doc, render_ingest_runs, render_runs, render_server_doc, scale_ingest,
+    scale_server, scale_times, Json, REGRESSION_THRESHOLD,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate [--kind query|ingest|tiles] --base <baseline.json> --fresh <fresh.json> \
-         [--threshold <frac>]\n       bench_gate [--kind query|ingest|tiles] --base <baseline.json> \
+        "usage: bench_gate [--kind query|ingest|tiles|server] --base <baseline.json> \
+         --fresh <fresh.json> [--threshold <frac>]\n       bench_gate \
+         [--kind query|ingest|tiles|server] --base <baseline.json> \
          --scale <factor> --out <path>"
     );
     std::process::exit(2);
@@ -50,6 +52,13 @@ fn load_ingest_runs(path: &str) -> Vec<lidardb_bench::gate::IngestRun> {
     })
 }
 
+fn load_server_doc(path: &str) -> lidardb_bench::gate::ServerDoc {
+    extract_server_doc(&load_doc(path)).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut base = None;
@@ -73,7 +82,7 @@ fn main() {
     }
     // `tiles` documents (BENCH_tiles.json, experiment E13) share the E9
     // queries/runs shape, so the query extractor and comparator gate them.
-    if kind != "query" && kind != "ingest" && kind != "tiles" {
+    if kind != "query" && kind != "ingest" && kind != "tiles" && kind != "server" {
         usage();
     }
     let Some(base) = base else { usage() };
@@ -83,6 +92,8 @@ fn main() {
         let Some(out) = out else { usage() };
         let rendered = if kind == "ingest" {
             render_ingest_runs(&scale_ingest(&load_ingest_runs(&base), factor))
+        } else if kind == "server" {
+            render_server_doc(&scale_server(&load_server_doc(&base), factor))
         } else {
             render_runs(&scale_times(&load_runs(&base), factor))
         };
@@ -101,6 +112,13 @@ fn main() {
         (
             base_runs.len(),
             compare_ingest(&base_runs, &fresh_runs, threshold),
+        )
+    } else if kind == "server" {
+        let base_doc = load_server_doc(&base);
+        let fresh_doc = load_server_doc(&fresh);
+        (
+            base_doc.configs.len() + 1, // + the stream cell
+            compare_server(&base_doc, &fresh_doc, threshold),
         )
     } else {
         let base_runs = load_runs(&base);

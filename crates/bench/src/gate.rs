@@ -595,6 +595,175 @@ pub fn scale_ingest(runs: &[IngestRun], factor: f64) -> Vec<IngestRun> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Server-gate extraction and comparison (BENCH_server.json)
+// ---------------------------------------------------------------------------
+
+/// Latency cells below this (milliseconds) are not gated — the loopback
+/// round-trip itself jitters by more than 25% at sub-millisecond scale.
+pub const SERVER_LATENCY_FLOOR_MS: f64 = 1.0;
+
+/// One burst configuration of `BENCH_server.json`: a named admission /
+/// deadline setup with its latency percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerRun {
+    /// Config name (`ungoverned` / `governed`).
+    pub config: String,
+    /// Median per-query wall milliseconds (connect-to-Done).
+    pub p50_ms: f64,
+    /// 99th-percentile per-query wall milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The gateable content of one `BENCH_server.json`: burst configs plus
+/// the streamed-selection throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerDoc {
+    /// One entry per burst config.
+    pub configs: Vec<ServerRun>,
+    /// Streamed-selection delivery rate (rows/second end to end).
+    pub stream_rows_per_sec: f64,
+}
+
+/// Pull the gateable cells out of a parsed `BENCH_server.json`, rejecting
+/// NaN/infinite/negative measurements like [`extract_runs`] does.
+pub fn extract_server_doc(doc: &Json) -> Result<ServerDoc, GateError> {
+    let configs = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| GateError::Shape("document has no \"configs\" array".into()))?;
+    let mut runs = Vec::new();
+    for c in configs {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GateError::Shape("config entry has no \"name\"".into()))?;
+        let cell = format!("server/{name}");
+        let p50 = c
+            .get("p50_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| GateError::Shape(format!("config {name} has no \"p50_ms\"")))?;
+        let p99 = c
+            .get("p99_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| GateError::Shape(format!("config {name} has no \"p99_ms\"")))?;
+        runs.push(ServerRun {
+            config: name.to_string(),
+            p50_ms: check_measurement(&cell, "p50_ms", p50)?,
+            p99_ms: check_measurement(&cell, "p99_ms", p99)?,
+        });
+    }
+    if runs.is_empty() {
+        return Err(GateError::Shape("document contains no configs".into()));
+    }
+    let rps = doc
+        .get("stream")
+        .and_then(|s| s.get("rows_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| GateError::Shape("document has no \"stream\".\"rows_per_sec\"".into()))?;
+    Ok(ServerDoc {
+        configs: runs,
+        stream_rows_per_sec: check_measurement("server/stream", "rows_per_sec", rps)?,
+    })
+}
+
+/// Compare fresh server numbers against the baseline: every config must
+/// still be measured, no gated percentile may slow down by more than
+/// `threshold`, and streamed-delivery throughput may not drop by more
+/// than `threshold`.
+pub fn compare_server(base: &ServerDoc, fresh: &ServerDoc, threshold: f64) -> Vec<Regression> {
+    let fresh_by_name: BTreeMap<&str, &ServerRun> = fresh
+        .configs
+        .iter()
+        .map(|r| (r.config.as_str(), r))
+        .collect();
+    let mut out = Vec::new();
+    for f in &fresh.configs {
+        if !base.configs.iter().any(|b| b.config == f.config) {
+            out.push(Regression {
+                cell: format!("server/{}", f.config),
+                stage: "<unexpected>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+        }
+    }
+    for b in &base.configs {
+        let cell = format!("server/{}", b.config);
+        let Some(f) = fresh_by_name.get(b.config.as_str()) else {
+            out.push(Regression {
+                cell,
+                stage: "<missing>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+            continue;
+        };
+        for (stage, base_ms, fresh_ms) in
+            [("p50_ms", b.p50_ms, f.p50_ms), ("p99_ms", b.p99_ms, f.p99_ms)]
+        {
+            if base_ms < SERVER_LATENCY_FLOOR_MS {
+                continue;
+            }
+            if fresh_ms > base_ms * (1.0 + threshold) {
+                out.push(Regression {
+                    cell: cell.clone(),
+                    stage: stage.into(),
+                    base: base_ms,
+                    fresh: fresh_ms,
+                });
+            }
+        }
+    }
+    if fresh.stream_rows_per_sec < base.stream_rows_per_sec * (1.0 - threshold) {
+        out.push(Regression {
+            cell: "server/stream".into(),
+            stage: "rows_per_sec".into(),
+            base: base.stream_rows_per_sec,
+            fresh: fresh.stream_rows_per_sec,
+        });
+    }
+    out
+}
+
+/// Render a server doc back into a gate-readable document — `--scale`'s
+/// synthetically degraded copy for the negative CI test.
+pub fn render_server_doc(doc: &ServerDoc) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"server_gate_scaled\",\n  \"configs\": [\n");
+    for (i, r) in doc.configs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.config,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < doc.configs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"stream\": {{\"rows_per_sec\": {:.0}}}\n}}\n",
+        doc.stream_rows_per_sec
+    ));
+    out
+}
+
+/// Degrade a server doc by `factor`: latencies multiplied, streamed
+/// throughput divided (same knob as [`scale_times`]).
+pub fn scale_server(doc: &ServerDoc, factor: f64) -> ServerDoc {
+    ServerDoc {
+        configs: doc
+            .configs
+            .iter()
+            .map(|r| ServerRun {
+                config: r.config.clone(),
+                p50_ms: r.p50_ms * factor,
+                p99_ms: r.p99_ms * factor,
+            })
+            .collect(),
+        stream_rows_per_sec: doc.stream_rows_per_sec / factor,
+    }
+}
+
 /// Multiply every stage timing by `factor` (the synthetic-slowdown knob).
 pub fn scale_times(runs: &[BenchRun], factor: f64) -> Vec<BenchRun> {
     runs.iter()
@@ -852,6 +1021,100 @@ mod tests {
         let runs = extract_ingest_runs(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(runs.len(), 3, "three durability policies");
         assert!(runs.iter().all(|r| r.points_per_sec > 0.0));
+    }
+
+    const SERVER_SAMPLE: &str = r#"{
+      "experiment": "e11_server",
+      "points": 4000000,
+      "clients": 256,
+      "configs": [
+        {"name": "ungoverned", "ok": 512, "cancelled": 0, "overloaded": 0, "p50_ms": 120.0, "p99_ms": 400.0, "max_ms": 450.0},
+        {"name": "governed", "ok": 40, "cancelled": 300, "overloaded": 172, "p50_ms": 30.0, "p99_ms": 110.0, "max_ms": 130.0}
+      ],
+      "stream": {"rows": 4000000, "batches": 977, "seconds": 2.5, "rows_per_sec": 1600000, "rss_delta_kb": 1024}
+    }"#;
+
+    #[test]
+    fn server_doc_extracts_and_identical_passes() {
+        let doc = extract_server_doc(&Json::parse(SERVER_SAMPLE).unwrap()).unwrap();
+        assert_eq!(doc.configs.len(), 2);
+        assert_eq!(doc.configs[0].config, "ungoverned");
+        assert!((doc.configs[1].p99_ms - 110.0).abs() < 1e-9);
+        assert!((doc.stream_rows_per_sec - 1_600_000.0).abs() < 1e-6);
+        assert!(compare_server(&doc, &doc, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn server_latency_and_throughput_degradations_fail() {
+        let doc = extract_server_doc(&Json::parse(SERVER_SAMPLE).unwrap()).unwrap();
+        let degraded = scale_server(&doc, 2.0);
+        let regs = compare_server(&doc, &degraded, REGRESSION_THRESHOLD);
+        // Both configs regress on both percentiles, and the stream slows.
+        assert_eq!(
+            regs.iter().filter(|r| r.stage == "p50_ms" || r.stage == "p99_ms").count(),
+            4,
+            "{regs:?}"
+        );
+        assert!(
+            regs.iter().any(|r| r.cell == "server/stream" && r.stage == "rows_per_sec"),
+            "{regs:?}"
+        );
+        // Small jitter passes.
+        assert!(compare_server(&doc, &scale_server(&doc, 1.2), REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn server_missing_and_extra_configs_are_regressions() {
+        let doc = extract_server_doc(&Json::parse(SERVER_SAMPLE).unwrap()).unwrap();
+        let mut fresh = doc.clone();
+        fresh.configs.remove(1);
+        let regs = compare_server(&doc, &fresh, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].stage, "<missing>");
+        assert_eq!(regs[0].cell, "server/governed");
+        let regs = compare_server(&fresh, &doc, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].stage, "<unexpected>");
+    }
+
+    #[test]
+    fn server_invalid_measurements_are_typed_errors() {
+        let doc = Json::parse(&SERVER_SAMPLE.replace("110.0", "-110.0")).unwrap();
+        assert_eq!(
+            extract_server_doc(&doc).unwrap_err(),
+            GateError::InvalidMeasurement {
+                cell: "server/governed".into(),
+                field: "p99_ms".into(),
+                value: -110.0,
+            }
+        );
+        let doc = Json::parse(&SERVER_SAMPLE.replace("1600000", "1e999")).unwrap();
+        assert!(matches!(
+            extract_server_doc(&doc).unwrap_err(),
+            GateError::InvalidMeasurement { field, .. } if field == "rows_per_sec"
+        ));
+    }
+
+    #[test]
+    fn server_render_round_trips_through_the_gate() {
+        let doc = extract_server_doc(&Json::parse(SERVER_SAMPLE).unwrap()).unwrap();
+        let rendered = render_server_doc(&scale_server(&doc, 2.0));
+        let reparsed = extract_server_doc(&Json::parse(&rendered).unwrap()).unwrap();
+        assert!(!compare_server(&doc, &reparsed, REGRESSION_THRESHOLD).is_empty());
+        assert!(compare_server(&reparsed, &reparsed, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn parses_the_committed_server_baseline() {
+        // The gate must always be able to read the real artifact.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_server.json"
+        ))
+        .expect("committed server baseline exists");
+        let doc = extract_server_doc(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(doc.configs.len(), 2, "ungoverned + governed configs");
+        assert!(doc.stream_rows_per_sec > 0.0);
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum Stage {
     /// WAL recovery during `open_ingest`: replaying the committed frame
     /// prefix on top of the last dump.
     Recover,
+    /// One request frame received and decoded by the network server
+    /// (`rows` = payload bytes; `seconds` = read + decode time).
+    ServerRecv,
+    /// One result frame encoded and written by the network server
+    /// (`rows` = result rows in the batch; `seconds` includes the
+    /// backpressured socket write).
+    ServerSend,
 }
 
 impl Stage {
@@ -70,8 +77,8 @@ impl Stage {
     /// New stages are always appended so the positional span codes of the
     /// earlier stages (see `trace::SpanKind::code`) stay stable —
     /// `Governor` in PR 5, `WalAppend`/`Recover` with the streaming-ingest
-    /// WAL.
-    pub const ALL: [Stage; 11] = [
+    /// WAL, `ServerRecv`/`ServerSend` with the wire protocol.
+    pub const ALL: [Stage; 13] = [
         Stage::ImprintProbe,
         Stage::BboxScan,
         Stage::GridRefine,
@@ -83,6 +90,8 @@ impl Stage {
         Stage::Governor,
         Stage::WalAppend,
         Stage::Recover,
+        Stage::ServerRecv,
+        Stage::ServerSend,
     ];
 
     /// The stage's snapshot/display name.
@@ -99,6 +108,8 @@ impl Stage {
             Stage::Governor => "governor",
             Stage::WalAppend => "wal_append",
             Stage::Recover => "recover",
+            Stage::ServerRecv => "server_recv",
+            Stage::ServerSend => "server_send",
         }
     }
 
@@ -523,7 +534,9 @@ mod tests {
                 "morsel",
                 "governor",
                 "wal_append",
-                "recover"
+                "recover",
+                "server_recv",
+                "server_send"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {

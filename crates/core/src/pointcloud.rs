@@ -130,7 +130,10 @@ impl PointCloud {
 
     /// The admission controller queries pass through: the instance one if
     /// set, else the process-wide default (unlimited out of the box).
-    pub(crate) fn admission(&self) -> &crate::governor::AdmissionController {
+    /// Public so a session layer (the network server) can hold a permit
+    /// across the whole statement lifetime — scan *and* result streaming —
+    /// instead of only the scan.
+    pub fn admission(&self) -> &crate::governor::AdmissionController {
         match &self.admission {
             Some(a) => a,
             None => crate::governor::AdmissionController::global(),
@@ -152,8 +155,10 @@ impl PointCloud {
     }
 
     /// The cloud's fault injector, if one is attached (query-checkpoint
-    /// fault rules fire through the governance context).
-    pub(crate) fn fault_injector(&self) -> Option<Arc<crate::fault::FaultInjector>> {
+    /// fault rules fire through the governance context). Public so a
+    /// session layer running queries through [`Self::select_query_ctx`]
+    /// keeps the same fault surface as the in-process path.
+    pub fn fault_injector(&self) -> Option<Arc<crate::fault::FaultInjector>> {
         self.fault.clone()
     }
 

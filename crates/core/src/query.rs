@@ -355,12 +355,20 @@ impl PointCloud {
         deadline: Option<Duration>,
         budget: Option<u64>,
     ) -> Result<Selection, CoreError> {
-        // ---- Governance: admission, token, registry. -----------------------
-        // Admission happens before any other work: a shed query costs one
-        // mutex round-trip, never a scan. The permit is RAII — every path
-        // out of this function releases the in-flight slot.
-        let _permit = self.admission().admit(deadline)?;
+        // ---- Governance: token, admission, registry. -----------------------
+        // The token is created *before* admission so the statement-timeout
+        // clock starts at enqueue: time spent waiting in the FIFO queue
+        // counts against the deadline, and a governed client can never
+        // observe queue-wait + a full deadline of execution. Admission then
+        // happens before any other work: a shed query costs one mutex
+        // round-trip, never a scan. The permit is RAII — every path out of
+        // this function releases the in-flight slot.
         let token = CancelToken::with(deadline, budget);
+        let queue_deadline = deadline.map(|d| d.saturating_sub(token.elapsed()));
+        let _permit = self.admission().admit(queue_deadline)?;
+        // The wait may have consumed (nearly) the whole deadline; trip now
+        // rather than starting a scan that dies at its first checkpoint.
+        token.check(0)?;
         let ctx = GovernCtx::new(token.clone(), self.fault_injector());
         let detail = match pred {
             Some(SpatialPredicate::Within(_)) => "select within",

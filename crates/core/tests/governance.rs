@@ -78,7 +78,7 @@ fn full_admission_queue_sheds_with_overloaded() {
             Parallelism::Serial,
         )
         .unwrap_err();
-    assert!(matches!(err, CoreError::Overloaded { .. }), "{err}");
+    assert!(matches!(err, CoreError::Overloaded), "{err}");
     assert!(err.is_transient(), "overload is retryable: {err}");
     assert!(
         MetricsRegistry::global().queries_shed.get() > shed_before,
@@ -120,7 +120,7 @@ fn queued_query_times_out_when_permit_never_frees() {
     assert!(
         matches!(
             err,
-            CoreError::Cancelled { .. } | CoreError::Overloaded { .. }
+            CoreError::Cancelled { .. } | CoreError::Overloaded
         ),
         "queued query must resolve with a typed governance error: {err}"
     );
@@ -303,8 +303,69 @@ fn hundred_governed_queries_with_attr_filters_all_resolve() {
     for t in threads {
         match t.join().expect("no panics") {
             Ok(_) => {}
-            Err(CoreError::Cancelled { .. }) | Err(CoreError::Overloaded { .. }) => {}
+            Err(CoreError::Cancelled { .. }) | Err(CoreError::Overloaded) => {}
             Err(other) => panic!("unexpected error kind: {other}"),
         }
     }
+}
+
+#[test]
+fn queue_wait_counts_against_statement_deadline() {
+    // A query that waits in the admission queue must have its statement
+    // deadline clock running from enqueue, not from permit grant — a
+    // governed client must never observe queue-wait + a full deadline of
+    // execution stacked on top of each other.
+    let mut pc = build_cloud(20_000, 0xDEAD);
+    // One-shot stall: the first execution checkpoint sleeps 60 ms,
+    // standing in (deterministically) for one checkpoint stride of work.
+    let fi = Arc::new(FaultInjector::new());
+    fi.inject(FaultStage::QueryCheckpoint, None, FaultKind::Stall(60));
+    pc.set_fault_injector(fi);
+    let ctl = Arc::new(AdmissionController::new(1, 8));
+    pc.set_admission(Arc::clone(&ctl));
+    let held = ctl.admit(None).expect("take the only slot");
+    let pc = Arc::new(pc);
+
+    const DEADLINE_MS: u64 = 80;
+    const STALL_MS: u64 = 60;
+    let t0 = std::time::Instant::now();
+    let worker = {
+        let pc = Arc::clone(&pc);
+        std::thread::spawn(move || {
+            let r = pc.select_query_governed(
+                Some(&rect(100.0, 100.0, 900.0, 900.0)),
+                &[],
+                RefineStrategy::default(),
+                Parallelism::Serial,
+                Some(Duration::from_millis(DEADLINE_MS)),
+                None,
+            );
+            (r, t0.elapsed())
+        })
+    };
+    // Let the query sit in the queue for half its deadline, then free
+    // the slot so it gets admitted with only ~40 ms of budget left.
+    std::thread::sleep(Duration::from_millis(40));
+    drop(held);
+    let (result, wall) = worker.join().expect("governed query must not panic");
+
+    // 40 ms of queue wait leaves ~40 ms of execution budget; the 60 ms
+    // stall at the first checkpoint overruns it, so the query must come
+    // back Cancelled(Deadline). Code that restarts the clock at permit
+    // grant sees elapsed = 60 ms < 80 ms and returns Ok instead.
+    match result {
+        Err(CoreError::Cancelled {
+            reason: lidardb_core::CancelReason::Deadline,
+            ..
+        }) => {}
+        other => panic!("expected Cancelled(Deadline), got {other:?} after {wall:?}"),
+    }
+    // Total wall time is bounded by deadline + one checkpoint's worth of
+    // work (the stall) + scheduling slack — never queue-wait plus a full
+    // fresh deadline.
+    let bound = Duration::from_millis(DEADLINE_MS + STALL_MS + 250);
+    assert!(
+        wall <= bound,
+        "query took {wall:?}, deadline-plus-one-stride bound is {bound:?}"
+    );
 }

@@ -1,0 +1,90 @@
+//! `lidardb-client` — run SQL against a lidardb-server.
+//!
+//! ```text
+//! lidardb-client [--connect ADDR] "SQL"...   run each statement, print results
+//! lidardb-client [--connect ADDR]            read statements line-by-line from stdin
+//! ```
+//!
+//! Results are streamed: each batch prints as it arrives, so a huge
+//! selection starts printing immediately and the client's memory stays
+//! flat.
+
+use std::io::BufRead;
+use std::process::exit;
+
+use lidardb_server::Client;
+use lidardb_sql::SqlValue;
+
+fn die(msg: &str) -> ! {
+    eprintln!("lidardb-client: {msg}");
+    exit(2);
+}
+
+fn run(client: &mut Client, sql: &str) -> bool {
+    let mut printed_header = false;
+    let res = client.query_streamed(
+        sql,
+        |cols| {
+            println!("{}", cols.join(" | "));
+            printed_header = true;
+        },
+        |batch| {
+            for row in batch {
+                let line: Vec<String> = row.iter().map(SqlValue::render).collect();
+                println!("{}", line.join(" | "));
+            }
+        },
+    );
+    match res {
+        Ok(stats) => {
+            eprintln!(
+                "({} rows in {} batches, {:.3} ms server time)",
+                stats.rows,
+                stats.batches,
+                stats.elapsed_us as f64 / 1000.0
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("lidardb-client: {e}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:5433".to_string();
+    let mut statements: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => addr = it.next().unwrap_or_else(|| die("--connect needs ADDR")),
+            "--help" | "-h" => {
+                eprintln!("usage: lidardb-client [--connect ADDR] [SQL]...");
+                return;
+            }
+            _ => statements.push(a),
+        }
+    }
+
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| die(&e.to_string()));
+    let mut ok = true;
+    if statements.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.unwrap_or_else(|e| die(&e.to_string()));
+            let sql = line.trim().trim_end_matches(';');
+            if sql.is_empty() {
+                continue;
+            }
+            ok &= run(&mut client, sql);
+        }
+    } else {
+        for sql in &statements {
+            ok &= run(&mut client, sql);
+        }
+    }
+    if !ok {
+        exit(1);
+    }
+}

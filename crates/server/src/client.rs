@@ -1,0 +1,146 @@
+//! The blocking client: connect, send SQL, consume the framed result
+//! stream batch by batch. The client never materialises a result set
+//! unless asked to ([`Client::query_collect`]) — the streaming entry
+//! point hands each batch to a callback and drops it, so a 4M-row
+//! selection is O(batch) on this side too.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use lidardb_sql::SqlValue;
+
+use crate::protocol::{self, Message, ProtoError};
+
+/// Statement totals from the server's `Done` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Rows streamed.
+    pub rows: u64,
+    /// Batch frames streamed.
+    pub batches: u32,
+    /// Server-side wall clock, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Client-side failure: either the transport broke or the server answered
+/// with an `Error` frame (the session survives the latter).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport/decode failure; the connection is dead.
+    Proto(ProtoError),
+    /// The server rejected or aborted the statement.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A connected session. One statement at a time; `SET` state lives on the
+/// server for the lifetime of this connection.
+pub struct Client {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect and exchange the protocol hello.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let mut w = BufWriter::new(stream.try_clone().map_err(ProtoError::Io)?);
+        protocol::write_magic(&mut w)?;
+        let mut r = BufReader::new(stream);
+        protocol::read_magic(&mut r)?;
+        Ok(Client { r, w })
+    }
+
+    /// Execute `sql`, invoking `on_header` once and `on_batch` per batch,
+    /// in arrival order. Returns the server's totals.
+    pub fn query_streamed(
+        &mut self,
+        sql: &str,
+        mut on_header: impl FnMut(&[String]),
+        mut on_batch: impl FnMut(Vec<Vec<SqlValue>>),
+    ) -> Result<QueryStats, ClientError> {
+        protocol::write_frame(
+            &mut self.w,
+            &Message::Query {
+                sql: sql.to_string(),
+            },
+        )?;
+        use std::io::Write;
+        self.w.flush().map_err(ProtoError::Io)?;
+        let mut saw_header = false;
+        loop {
+            match protocol::read_frame(&mut self.r)?.msg {
+                Message::Header { columns } => {
+                    if saw_header {
+                        return Err(ClientError::Proto(ProtoError::BadTag {
+                            context: "duplicate header",
+                            tag: 2,
+                        }));
+                    }
+                    saw_header = true;
+                    on_header(&columns);
+                }
+                Message::Batch { rows } => {
+                    if !saw_header {
+                        return Err(ClientError::Proto(ProtoError::BadTag {
+                            context: "batch before header",
+                            tag: 3,
+                        }));
+                    }
+                    on_batch(rows);
+                }
+                Message::Done {
+                    rows,
+                    batches,
+                    elapsed_us,
+                } => {
+                    return Ok(QueryStats {
+                        rows,
+                        batches,
+                        elapsed_us,
+                    })
+                }
+                Message::Error { message } => return Err(ClientError::Server(message)),
+                Message::Query { .. } => {
+                    return Err(ClientError::Proto(ProtoError::BadTag {
+                        context: "query frame from server",
+                        tag: 1,
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Execute `sql` and materialise the whole result (tests, the CLI).
+    #[allow(clippy::type_complexity)]
+    pub fn query_collect(
+        &mut self,
+        sql: &str,
+    ) -> Result<(Vec<String>, Vec<Vec<SqlValue>>, QueryStats), ClientError> {
+        let mut columns = Vec::new();
+        let mut rows = Vec::new();
+        let stats = self.query_streamed(
+            sql,
+            |cols| columns = cols.to_vec(),
+            |mut batch| rows.append(&mut batch),
+        )?;
+        Ok((columns, rows, stats))
+    }
+}

@@ -1,0 +1,31 @@
+//! # lidardb-server — the network surface
+//!
+//! A thread-per-connection TCP server (and matching client) that puts
+//! lidardb's SQL layer on a socket without giving up the governor. The
+//! protocol is deliberately small and deliberately paranoid:
+//!
+//! * **Framing** ([`protocol`]): length-prefixed, CRC-checked frames with
+//!   a versioned magic hello — the same discipline as the WAL's on-disk
+//!   format, pointed at the network. Every declared length is validated
+//!   *before* allocation; hostile bytes produce typed errors, not panics
+//!   or 4 GiB `Vec`s.
+//! * **Sessions** ([`server`]): one connection = one SQL session
+//!   ([`lidardb_sql::Catalog::session`]) with private `SET` knobs over
+//!   the shared tables. Statements run through the same admission
+//!   control, statement timeouts, `KILL`, and `SHOW QUERIES` as embedded
+//!   queries — the admission permit is held across result delivery, and a
+//!   client disconnect trips the statement's `CancelToken`.
+//! * **Streaming**: results leave as bounded row batches with
+//!   write-flush backpressure; neither side ever materialises a large
+//!   selection.
+//!
+//! Server traffic shows up in `lidardb_core::metrics` under the
+//! `server_recv` / `server_send` stages.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryStats};
+pub use protocol::{Message, ProtoError, MAGIC, MAX_FRAME};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,389 @@
+//! The TCP server: one session per connection, mapped onto the governor.
+//!
+//! Each accepted connection gets a session catalog
+//! ([`Catalog::session`]) — private `SET` knobs over the shared tables —
+//! and two threads:
+//!
+//! * a **reader** that decodes request frames and forwards them over a
+//!   channel. Because it is always parked in `read()`, a client that
+//!   disconnects mid-statement is noticed immediately: the reader trips
+//!   the running statement's [`CancelToken`], and the scan dies at its
+//!   next governance checkpoint instead of streaming rows to a ghost.
+//! * the **session** thread that executes statements via
+//!   [`lidardb_sql::query_streamed`] and writes `Header`/`Batch`/`Done`
+//!   frames back. Every batch write is flushed, so a slow client
+//!   backpressures the statement through the socket buffer — and because
+//!   the admission permit is held for the statement's whole lifetime
+//!   (scan *and* delivery, see `execute_streamed`), a slow consumer
+//!   occupies an in-flight slot like any other running query.
+//!
+//! Session teardown — clean or not — force-syncs the WAL group of every
+//! streaming table, so rows a dying connection inserted under
+//! `Durability::GroupCommit` cannot sit applied-but-unsynced waiting for
+//! traffic that will never come.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use lidardb_core::{CancelToken, MetricsRegistry, Stage};
+use lidardb_sql::{Catalog, RowSink, SqlError, SqlValue};
+
+use crate::protocol::{self, Message, ProtoError};
+
+/// The accepting server. Construct with [`Server::bind`], then either
+/// [`Server::run`] the accept loop on this thread (the binary) or
+/// [`Server::spawn`] it onto a background thread (tests, benches).
+pub struct Server {
+    listener: TcpListener,
+    catalog: Catalog,
+    batch_rows: usize,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) serving `catalog`.
+    pub fn bind(addr: impl ToSocketAddrs, catalog: Catalog) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            catalog,
+            batch_rows: lidardb_sql::STREAM_BATCH_ROWS,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Override the rows-per-`Batch`-frame cap (default
+    /// [`lidardb_sql::STREAM_BATCH_ROWS`]).
+    pub fn with_batch_rows(mut self, rows: usize) -> Server {
+        self.batch_rows = rows.max(1);
+        self
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on this thread until the stop flag is set.
+    pub fn run(self) {
+        let stop = Arc::clone(&self.stop);
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let session = self.catalog.session();
+            let batch_rows = self.batch_rows;
+            thread::spawn(move || handle_conn(stream, session, batch_rows));
+        }
+    }
+
+    /// Run the accept loop on a background thread; the returned handle
+    /// stops it.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let join = thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Handle to a spawned server; [`ServerHandle::shutdown`] stops accepting.
+/// Already-open sessions run until their clients hang up.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept() the loop is parked in.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// One connection, start to finish.
+fn handle_conn(stream: TcpStream, catalog: Catalog, batch_rows: usize) {
+    let _ = stream.set_nodelay(true);
+    let result = serve_session(&stream, &catalog, batch_rows);
+    // Unblock the reader thread if it is still parked in read().
+    let _ = stream.shutdown(Shutdown::Both);
+    // Durability on teardown: force the group-commit sync so rows this
+    // session was acked for (visible, WAL-appended, not yet fsynced)
+    // survive even though no further traffic will flush them.
+    for name in catalog.stream_names() {
+        if let Ok(mut pc) = catalog.write_stream(name) {
+            let _ = pc.flush_wal();
+        }
+    }
+    if let Err(e) = result {
+        match e {
+            // Clean hangups are business as usual.
+            ProtoError::Disconnected | ProtoError::Io(_) => {}
+            other => eprintln!("lidardb-server: session ended: {other}"),
+        }
+    }
+}
+
+fn serve_session(
+    stream: &TcpStream,
+    catalog: &Catalog,
+    batch_rows: usize,
+) -> Result<(), ProtoError> {
+    let mut w = BufWriter::new(stream.try_clone()?);
+
+    // Hello: client speaks first so a server never banners to a port
+    // scanner; a magic/version mismatch is answered with a typed Error
+    // frame (best effort) and the connection drops.
+    {
+        let mut r = BufReader::new(stream.try_clone()?);
+        if let Err(e) = protocol::read_magic(&mut r) {
+            if let ProtoError::BadMagic(_) = e {
+                let _ = protocol::write_frame(
+                    &mut w,
+                    &Message::Error {
+                        message: e.to_string(),
+                    },
+                );
+                let _ = w.flush();
+            }
+            return Err(e);
+        }
+        protocol::write_magic(&mut w)?;
+
+        // The statement currently executing on this session, for the
+        // reader thread to cancel on disconnect.
+        let current: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
+        let (tx, rx) = mpsc::channel::<Result<Message, ProtoError>>();
+        let reader_current = Arc::clone(&current);
+        let reader = thread::spawn(move || loop {
+            match protocol::read_frame(&mut r) {
+                Ok(frame) => {
+                    MetricsRegistry::global().record_stage(
+                        Stage::ServerRecv,
+                        frame.wire_bytes - 8,
+                        frame.elapsed,
+                    );
+                    if tx.send(Ok(frame.msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Peer gone (or stream unusable): cancel whatever is
+                    // running, report, and stop reading.
+                    if let Some(token) = reader_current
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                    {
+                        token.kill();
+                    }
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+
+        let outcome = session_loop(&mut w, catalog, batch_rows, &rx, &current);
+        // Make sure the reader is not left parked in read() before we
+        // drop the receiver.
+        let _ = stream.shutdown(Shutdown::Read);
+        drop(rx);
+        let _ = reader.join();
+        outcome
+    }
+}
+
+/// Execute queries off the reader channel until the peer goes away.
+fn session_loop(
+    w: &mut BufWriter<TcpStream>,
+    catalog: &Catalog,
+    batch_rows: usize,
+    rx: &mpsc::Receiver<Result<Message, ProtoError>>,
+    current: &Mutex<Option<CancelToken>>,
+) -> Result<(), ProtoError> {
+    loop {
+        let msg = match rx.recv() {
+            Ok(Ok(m)) => m,
+            Ok(Err(ProtoError::Disconnected)) | Err(_) => return Ok(()),
+            Ok(Err(e)) => {
+                // Framing is out of sync (bad CRC, bad length, garbage
+                // kind): tell the client why, then drop the connection —
+                // there is no way to resynchronise a byte stream.
+                let _ = protocol::write_frame(
+                    w,
+                    &Message::Error {
+                        message: e.to_string(),
+                    },
+                );
+                let _ = w.flush();
+                return Err(e);
+            }
+        };
+        match msg {
+            Message::Query { sql } => run_statement(w, catalog, &sql, batch_rows, current)?,
+            other => {
+                // CRC-valid but role-reversed (a client sending Batch
+                // frames, say): reject the message, keep the session.
+                protocol::write_frame(
+                    w,
+                    &Message::Error {
+                        message: format!("unexpected {} frame from client", other.kind_name()),
+                    },
+                )?;
+                w.flush()?;
+            }
+        }
+    }
+}
+
+impl Message {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Query { .. } => "Query",
+            Message::Header { .. } => "Header",
+            Message::Batch { .. } => "Batch",
+            Message::Done { .. } => "Done",
+            Message::Error { .. } => "Error",
+        }
+    }
+}
+
+/// Run one SQL statement, streaming its result frames. `Err` only for
+/// socket failures (the session is over); SQL failures become `Error`
+/// frames and `Ok`.
+fn run_statement(
+    w: &mut BufWriter<TcpStream>,
+    catalog: &Catalog,
+    sql: &str,
+    batch_rows: usize,
+    current: &Mutex<Option<CancelToken>>,
+) -> Result<(), ProtoError> {
+    let t0 = Instant::now();
+    let (result, net_err) = {
+        let mut sink = NetSink {
+            w,
+            current,
+            net_err: None,
+        };
+        let result = lidardb_sql::query_streamed(catalog, sql, batch_rows, &mut sink);
+        (result, sink.net_err)
+    };
+    // The statement is over; nothing left for a disconnect to cancel.
+    current
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(e) = net_err {
+        // The sink already failed at the socket — writing more is futile.
+        return Err(e);
+    }
+    match result {
+        Ok(summary) => {
+            send_frame(
+                w,
+                &Message::Done {
+                    rows: summary.rows as u64,
+                    batches: summary.batches as u32,
+                    elapsed_us: t0.elapsed().as_micros() as u64,
+                },
+                0,
+            )?;
+            Ok(())
+        }
+        Err(e) => {
+            // Typed statement failure (parse error, unknown table,
+            // cancelled, overloaded, ...): the session survives. A client
+            // that already saw Header/Batch frames treats Error as a
+            // stream abort.
+            send_frame(
+                w,
+                &Message::Error {
+                    message: e.to_string(),
+                },
+                0,
+            )?;
+            Ok(())
+        }
+    }
+}
+
+/// Write + flush one frame, recording the `server_send` stage.
+fn send_frame(
+    w: &mut BufWriter<TcpStream>,
+    msg: &Message,
+    rows: usize,
+) -> Result<(), ProtoError> {
+    let t0 = Instant::now();
+    protocol::write_frame(w, msg)?;
+    w.flush()?;
+    MetricsRegistry::global().record_stage(Stage::ServerSend, rows, t0.elapsed());
+    Ok(())
+}
+
+/// [`RowSink`] that frames rows onto the socket. Socket failures are
+/// remembered in `net_err` (so the session loop can distinguish "client
+/// vanished" from "statement failed") and surfaced to the executor as a
+/// `SqlError`, which aborts the statement and unwinds its governance
+/// state.
+struct NetSink<'a> {
+    w: &'a mut BufWriter<TcpStream>,
+    current: &'a Mutex<Option<CancelToken>>,
+    net_err: Option<ProtoError>,
+}
+
+impl NetSink<'_> {
+    fn send(&mut self, msg: &Message, rows: usize) -> Result<(), SqlError> {
+        match send_frame(self.w, msg, rows) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.net_err = Some(e);
+                Err(SqlError::Exec("client connection lost".into()))
+            }
+        }
+    }
+}
+
+impl RowSink for NetSink<'_> {
+    fn start(&mut self, columns: &[String], token: &CancelToken) -> Result<(), SqlError> {
+        // Expose the live statement to the disconnect watcher first, so a
+        // hangup races no worse than one batch behind.
+        *self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(token.clone());
+        self.send(
+            &Message::Header {
+                columns: columns.to_vec(),
+            },
+            0,
+        )
+    }
+
+    fn batch(&mut self, rows: Vec<Vec<SqlValue>>) -> Result<(), SqlError> {
+        let n = rows.len();
+        self.send(&Message::Batch { rows }, n)
+    }
+}

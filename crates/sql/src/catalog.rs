@@ -222,6 +222,30 @@ impl Catalog {
         }
     }
 
+    /// Derive a per-session catalog: the table map (and the `Arc`s under
+    /// it) is shared with `self`, but the session knobs — `SET TRACE`,
+    /// `SET STATEMENT_TIMEOUT`, `SET MEM_BUDGET` — get fresh state seeded
+    /// from the current values. This is what gives every network
+    /// connection its own session: a `SET` on one connection never leaks
+    /// into another, while the data and its admission controller stay
+    /// process-wide. (A plain `clone()` is the opposite: it *shares* the
+    /// knobs, which is what the in-process single-session callers want.)
+    pub fn session(&self) -> Catalog {
+        Catalog {
+            tables: self.tables.clone(),
+            parallelism: self.parallelism,
+            trace: Arc::new(std::sync::atomic::AtomicBool::new(self.trace_enabled())),
+            statement_timeout_ms: Arc::new(std::sync::atomic::AtomicU64::new(
+                self.statement_timeout_ms
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            )),
+            mem_budget_bytes: Arc::new(std::sync::atomic::AtomicU64::new(
+                self.mem_budget_bytes
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            )),
+        }
+    }
+
     /// Register a point cloud under `name`.
     pub fn register_pointcloud(&mut self, name: impl Into<String>, pc: Arc<PointCloud>) {
         self.tables.insert(name.into(), Table::Points(pc));

@@ -664,7 +664,15 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
     // Materialise input rows.
     let result = match &plan {
         Plan::PcScan(scan) if catalog.tiled(&scan.table.name)?.is_some() => {
-            let tc = Arc::clone(catalog.tiled(&scan.table.name)?.expect("checked tiled"));
+            let tc = match catalog.tiled(&scan.table.name)? {
+                Some(tc) => Arc::clone(tc),
+                None => {
+                    return Err(SqlError::Exec(format!(
+                        "table '{}' is no longer tiled",
+                        scan.table.name
+                    )))
+                }
+            };
             let rows = tiled_scan_rows(&tc, scan, catalog, &mut trace)?;
             // Group the global row ids by tile and pin each touched tile's
             // segment resident (the Arc keeps it alive past LRU eviction)
@@ -672,7 +680,9 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
             let tiles = tc.tiles();
             let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
             for r in rows {
-                let t = tiles.tile_for_row(r).expect("scan rows are in range");
+                let t = tiles.tile_for_row(r).ok_or_else(|| {
+                    SqlError::Exec(format!("scan produced out-of-range row id {r}"))
+                })?;
                 match groups.last_mut() {
                     Some((last, v)) if *last == t => v.push(r),
                     _ => groups.push((t, vec![r])),
@@ -1316,6 +1326,212 @@ fn project(
         rows,
         trace,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Streamed execution
+// ---------------------------------------------------------------------------
+
+/// Default rows per streamed batch. Small enough that one batch of wide
+/// rows stays a few hundred kilobytes on the wire; large enough that the
+/// per-batch framing and cancellation checks are noise.
+pub const STREAM_BATCH_ROWS: usize = 4096;
+
+/// Where [`execute_streamed`] delivers its output: a header once, then
+/// zero or more row batches. A sink that blocks in [`RowSink::batch`]
+/// (e.g. a socket write against a slow client) backpressures the whole
+/// statement — no more rows are produced until the batch is taken.
+///
+/// Either method may fail (a network sink fails when the peer hangs up);
+/// the statement aborts and its governance state (admission permit, query
+/// registry ticket) unwinds via RAII.
+pub trait RowSink {
+    /// Called exactly once, before any batch, with the output column names
+    /// and the statement's [`CancelToken`](lidardb_core::CancelToken). A
+    /// server can clone the token and trip it from another thread (e.g. a
+    /// disconnect watcher) to cancel the statement at its next checkpoint.
+    fn start(
+        &mut self,
+        columns: &[String],
+        token: &lidardb_core::CancelToken,
+    ) -> Result<(), SqlError>;
+
+    /// Deliver one batch of rows (never empty).
+    fn batch(&mut self, rows: Vec<Vec<SqlValue>>) -> Result<(), SqlError>;
+}
+
+/// Outcome of a streamed statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total rows delivered across all batches.
+    pub rows: usize,
+    /// Number of [`RowSink::batch`] calls.
+    pub batches: usize,
+}
+
+/// Execute a parsed statement, delivering rows to `sink` in batches of at
+/// most `batch_rows` instead of materialising a [`ResultSet`].
+///
+/// A flat point-cloud scan without aggregation / ordering / `DISTINCT`
+/// streams natively: the two-step engine produces row *ids*, and residual
+/// filtering + projection run batch-by-batch, so the projected result set
+/// never exists in memory on this side. The admission permit and registry
+/// ticket are held for the whole statement — scan *and* delivery — so a
+/// slow consumer occupies an in-flight slot exactly like a slow scan, and
+/// `KILL <id>` / statement timeouts fire between batches.
+///
+/// Everything else (aggregates, ORDER BY, joins, tiled scans, SET/SHOW/
+/// INSERT) falls back to [`execute`] and re-chunks the materialised
+/// result, so the sink sees one uniform shape.
+pub fn execute_streamed(
+    catalog: &Catalog,
+    stmt: &Statement,
+    batch_rows: usize,
+    sink: &mut dyn RowSink,
+) -> Result<StreamSummary, SqlError> {
+    let batch_rows = batch_rows.max(1);
+    let sel = match stmt {
+        Statement::Select(sel)
+            if !sel.explain
+                && !sel.distinct
+                && sel.group_by.is_empty()
+                && sel.having.is_none()
+                && sel.order_by.is_empty() =>
+        {
+            sel
+        }
+        _ => return stream_materialised(catalog, stmt, batch_rows, sink),
+    };
+    let _trace_scope = catalog
+        .trace_enabled()
+        .then(lidardb_core::trace::force_thread);
+    let plan = plan_select(catalog, sel)?;
+    let scan = match &plan {
+        Plan::PcScan(scan) if catalog.tiled(&scan.table.name)?.is_none() => scan,
+        _ => return stream_materialised(catalog, stmt, batch_rows, sink),
+    };
+    let items = output_items(catalog, sel, &plan)?;
+    if items.iter().any(|(_, e)| e.has_aggregate()) {
+        return stream_materialised(catalog, stmt, batch_rows, sink);
+    }
+    let columns: Vec<String> = items.iter().map(|(n, _)| n.clone()).collect();
+
+    let pc = catalog.read_points(&scan.table.name)?;
+    let pc: &PointCloud = &pc;
+
+    // Statement-lifetime governance: token first (the deadline clock runs
+    // from enqueue, as in `select_query_governed`), then the admission
+    // permit, held until this function returns — across the scan AND the
+    // backpressured delivery. A server streaming to a slow client holds
+    // its in-flight slot the whole time, which is exactly the point.
+    let deadline = catalog
+        .statement_timeout()
+        .or_else(|| pc.default_deadline());
+    let budget = catalog.mem_budget().or_else(|| pc.mem_budget());
+    let token = lidardb_core::CancelToken::with(deadline, budget);
+    let queue_deadline = deadline.map(|d| d.saturating_sub(token.elapsed()));
+    let _permit = pc
+        .admission()
+        .admit(queue_deadline)
+        .map_err(|e| SqlError::Exec(e.to_string()))?;
+    token.check(0).map_err(|e| SqlError::Exec(e.to_string()))?;
+    let ctx = lidardb_core::GovernCtx::new(token.clone(), pc.fault_injector());
+    let _ticket = lidardb_core::QueryRegistry::global().register(
+        format!("stream select {}", scan.table.name),
+        &token,
+    );
+
+    // Row ids via the two-step engine (pushdown only); residuals and the
+    // projection are evaluated per batch below.
+    let row_ids: Vec<usize> = if scan.spatial.is_some() || !scan.attr_ranges.is_empty() {
+        pc.select_query_ctx(
+            scan.spatial.as_ref(),
+            &scan.attr_ranges,
+            Default::default(),
+            catalog.parallelism(),
+            &ctx,
+        )
+        .map_err(|e| SqlError::Exec(e.to_string()))?
+        .rows
+    } else {
+        (0..pc.visible_rows()).collect()
+    };
+
+    sink.start(&columns, &token)?;
+    let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    let mut emitted = 0usize;
+    let mut batches = 0usize;
+    let mut batch: Vec<Vec<SqlValue>> = Vec::new();
+    'rows: for row in row_ids {
+        if emitted >= limit {
+            break;
+        }
+        let rctx = PcCtx {
+            pc,
+            alias: &scan.table.alias,
+            row,
+        };
+        for term in &scan.residual {
+            if !truthy(&eval(term, &rctx)?) {
+                continue 'rows;
+            }
+        }
+        let env = RowEnv::Pc(rctx);
+        let mut out = Vec::with_capacity(items.len());
+        for (_, e) in &items {
+            out.push(eval(e, &env)?);
+        }
+        batch.push(out);
+        emitted += 1;
+        if batch.len() >= batch_rows {
+            sink.batch(std::mem::take(&mut batch))?;
+            batches += 1;
+            // Deadline / KILL / disconnect-trip land between batches, so a
+            // cancelled stream stops within one batch of the signal.
+            token
+                .check(emitted)
+                .map_err(|e| SqlError::Exec(e.to_string()))?;
+        }
+    }
+    if !batch.is_empty() {
+        sink.batch(batch)?;
+        batches += 1;
+    }
+    Ok(StreamSummary {
+        rows: emitted,
+        batches,
+    })
+}
+
+/// Fallback for statements that cannot stream natively: run [`execute`]
+/// (which applies its own per-scan governance) and re-chunk the
+/// materialised rows. The token handed to the sink is observational only —
+/// tripping it stops delivery between batches but cannot interrupt the
+/// already-finished execution.
+fn stream_materialised(
+    catalog: &Catalog,
+    stmt: &Statement,
+    batch_rows: usize,
+    sink: &mut dyn RowSink,
+) -> Result<StreamSummary, SqlError> {
+    let rs = execute(catalog, stmt)?;
+    let token = lidardb_core::CancelToken::new();
+    sink.start(&rs.columns, &token)?;
+    let rows = rs.rows.len();
+    let mut batches = 0usize;
+    let mut iter = rs.rows.into_iter();
+    loop {
+        let chunk: Vec<Vec<SqlValue>> = iter.by_ref().take(batch_rows).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        sink.batch(chunk)?;
+        batches += 1;
+        token
+            .check(batches * batch_rows)
+            .map_err(|e| SqlError::Exec(e.to_string()))?;
+    }
+    Ok(StreamSummary { rows, batches })
 }
 
 /// Find the output column an ORDER BY expression refers to: by alias, by

@@ -38,7 +38,9 @@ pub mod value;
 
 pub use catalog::{Catalog, VectorTable};
 pub use error::SqlError;
-pub use exec::{execute, ResultSet};
+pub use exec::{
+    execute, execute_streamed, ResultSet, RowSink, StreamSummary, STREAM_BATCH_ROWS,
+};
 pub use value::SqlValue;
 
 use std::sync::Arc;
@@ -47,6 +49,21 @@ use std::sync::Arc;
 pub fn query(catalog: &Catalog, sql: &str) -> Result<ResultSet, SqlError> {
     let stmt = parser::parse(sql)?;
     exec::execute(catalog, &stmt)
+}
+
+/// Parse and execute one SQL statement, streaming rows to `sink` in
+/// batches of at most `batch_rows` (see [`execute_streamed`]). This is the
+/// entry point the network server uses: the result set never materialises
+/// for natively streamable scans, and a sink that blocks backpressures the
+/// statement.
+pub fn query_streamed(
+    catalog: &Catalog,
+    sql: &str,
+    batch_rows: usize,
+    sink: &mut dyn RowSink,
+) -> Result<StreamSummary, SqlError> {
+    let stmt = parser::parse(sql)?;
+    exec::execute_streamed(catalog, &stmt, batch_rows, sink)
 }
 
 /// Convenience: build a catalog holding one point cloud as table

@@ -4,10 +4,23 @@ use crate::ast::{BinOp, Expr, InsertStmt, SelectItem, SelectStmt, Statement, Tab
 use crate::error::SqlError;
 use crate::lexer::{tokenize, Token, TokenKind};
 
+/// Maximum expression nesting depth the parser accepts. Recursive descent
+/// burns a handful of stack frames per level, so an unbounded hostile
+/// input — thousands of `(`, `NOT` or unary `-` — would overflow the
+/// stack and *abort* the process instead of returning an error. 128 is
+/// far beyond any real query and keeps worst-case stack usage in the tens
+/// of kilobytes (it also bounds every later recursion over the AST:
+/// rendering, planning, evaluation, drop).
+pub const MAX_EXPR_DEPTH: usize = 128;
+
 /// Parse one statement.
 pub fn parse(sql: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let stmt = p.parse_statement()?;
     p.expect_eof()?;
     Ok(stmt)
@@ -16,6 +29,8 @@ pub fn parse(sql: &str) -> Result<Statement, SqlError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression nesting depth (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -311,8 +326,28 @@ impl Parser {
 
     // ---- expression precedence climbing -----------------------------------
 
+    /// Run `f` one nesting level deeper, rejecting inputs that exceed
+    /// [`MAX_EXPR_DEPTH`] with a typed parse error instead of blowing the
+    /// stack. Wraps every self-recursive entry point: `parse_expr` (the
+    /// precedence chain and parenthesised primaries), `parse_not` and
+    /// `parse_unary` (prefix-operator chains that bypass `parse_expr`).
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, SqlError>,
+    ) -> Result<T, SqlError> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.err(format!(
+                "expression nesting exceeds the maximum depth of {MAX_EXPR_DEPTH}"
+            )));
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
+    }
+
     fn parse_expr(&mut self) -> Result<Expr, SqlError> {
-        self.parse_or()
+        self.descend(|p| p.parse_or())
     }
 
     fn parse_or(&mut self) -> Result<Expr, SqlError> {
@@ -343,7 +378,8 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<Expr, SqlError> {
         if self.eat_kw("NOT") {
-            Ok(Expr::Not(Box::new(self.parse_not()?)))
+            let inner = self.descend(|p| p.parse_not())?;
+            Ok(Expr::Not(Box::new(inner)))
         } else {
             self.parse_comparison()
         }
@@ -421,11 +457,12 @@ impl Parser {
         match self.peek() {
             TokenKind::Minus => {
                 self.bump();
-                Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+                let inner = self.descend(|p| p.parse_unary())?;
+                Ok(Expr::Neg(Box::new(inner)))
             }
             TokenKind::Plus => {
                 self.bump();
-                self.parse_unary()
+                self.descend(|p| p.parse_unary())
             }
             _ => self.parse_primary(),
         }

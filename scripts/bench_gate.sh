@@ -7,6 +7,8 @@
 #                          BENCH_ingest.json
 #   BENCH_GATE_KIND=tiles  gates E13 flat-vs-tiled query p50s vs
 #                          BENCH_tiles.json (same shape as the query gate)
+#   BENCH_GATE_KIND=server gates E11 wire-protocol latency percentiles +
+#                          streamed-delivery throughput vs BENCH_server.json
 #
 # Usage:
 #   scripts/bench_gate.sh                  # full run: rebuild, run harness, diff
@@ -22,7 +24,8 @@ case "$KIND" in
     query)  EXPERIMENT=e9;  ARTIFACT=BENCH_query.json ;;
     ingest) EXPERIMENT=e12; ARTIFACT=BENCH_ingest.json ;;
     tiles)  EXPERIMENT=e13; ARTIFACT=BENCH_tiles.json ;;
-    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, or tiles" >&2; exit 2 ;;
+    server) EXPERIMENT=e11; ARTIFACT=BENCH_server.json ;;
+    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, tiles, or server" >&2; exit 2 ;;
 esac
 BASE="${BENCH_GATE_BASE:-$REPO/$ARTIFACT}"
 

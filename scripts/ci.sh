@@ -66,6 +66,15 @@ cargo test -q -p lidardb-sql --test tiled
 echo "==> snapshot-watermark regression suite (ghost rows invisible on every query path)"
 cargo test -q -p lidardb-core --test snapshot_watermark -- --test-threads=1
 
+echo "==> hostile-input panic sweep (parser/executor fuzz regressions)"
+cargo test -q -p lidardb-sql --test hostile_inputs
+
+echo "==> wire-protocol suites (frame proptests, loopback integration, disconnect durability)"
+cargo test -q -p lidardb-server --lib
+cargo test -q -p lidardb-server --test frame_properties
+cargo test -q -p lidardb-server --test loopback -- --test-threads=1
+cargo test -q -p lidardb-server --test disconnect_durability -- --test-threads=1
+
 echo "==> morsel-split and gate-hardening regression tests"
 cargo test -q -p lidardb-imprints split_rows_degenerate_inputs_yield_no_empty_morsels
 cargo test -q -p lidardb-core --test differential differential_degenerate_candidate_sets
@@ -94,6 +103,29 @@ else
     echo "gate correctly rejected the degraded tiled run"
 fi
 rm -f "$SLOWED_TILES"
+
+echo "==> E11 server smoke (reduced scale; asserts typed outcomes + flat-memory streaming)"
+E11_SCRATCH="$(mktemp -d)"
+(cd "$E11_SCRATCH" && LIDARDB_E11_POINTS=200000 LIDARDB_E11_CLIENTS=16 \
+    cargo run --release --quiet \
+    --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e11)
+rm -rf "$E11_SCRATCH"
+
+echo "==> server gate (identity: committed baseline vs itself must pass)"
+BENCH_GATE_KIND=server BENCH_GATE_FRESH=BENCH_server.json scripts/bench_gate.sh
+
+echo "==> server gate (negative: a 2x degradation must fail)"
+SLOWED_SERVER="$(mktemp)"
+cargo run --release --quiet -p lidardb-bench --bin bench_gate -- \
+    --kind server --base BENCH_server.json --scale 2.0 --out "$SLOWED_SERVER"
+if BENCH_GATE_KIND=server BENCH_GATE_FRESH="$SLOWED_SERVER" scripts/bench_gate.sh; then
+    echo "ci FAIL: server gate accepted a 2x degradation" >&2
+    rm -f "$SLOWED_SERVER"
+    exit 1
+else
+    echo "gate correctly rejected the degraded server run"
+fi
+rm -f "$SLOWED_SERVER"
 
 echo "==> E12 ingest smoke (reduced scale; asserts snapshot isolation + recovery)"
 E12_SCRATCH="$(mktemp -d)"

@@ -47,7 +47,7 @@ mod integration {
             prop_assert!(!s.is_empty());
         }
 
-        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), (10u8..20)]) {
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), 10u8..20]) {
             prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
             prop_assert_ne!(v, 0);
         }
