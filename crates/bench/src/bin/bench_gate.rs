@@ -12,16 +12,17 @@
 //! it back through compare and asserts the gate trips).
 
 use lidardb_bench::gate::{
-    compare, compare_ingest, compare_server, extract_ingest_runs, extract_runs,
-    extract_server_doc, render_ingest_runs, render_runs, render_server_doc, scale_ingest,
-    scale_server, scale_times, Json, REGRESSION_THRESHOLD,
+    compare, compare_ingest, compare_obs, compare_server, extract_ingest_runs, extract_obs_doc,
+    extract_runs, extract_server_doc, render_ingest_runs, render_obs_doc, render_runs,
+    render_server_doc, scale_ingest, scale_obs, scale_server, scale_times, Json,
+    REGRESSION_THRESHOLD,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate [--kind query|ingest|tiles|server] --base <baseline.json> \
+        "usage: bench_gate [--kind query|ingest|tiles|server|obs] --base <baseline.json> \
          --fresh <fresh.json> [--threshold <frac>]\n       bench_gate \
-         [--kind query|ingest|tiles|server] --base <baseline.json> \
+         [--kind query|ingest|tiles|server|obs] --base <baseline.json> \
          --scale <factor> --out <path>"
     );
     std::process::exit(2);
@@ -59,6 +60,13 @@ fn load_server_doc(path: &str) -> lidardb_bench::gate::ServerDoc {
     })
 }
 
+fn load_obs_doc(path: &str) -> lidardb_bench::gate::ObsDoc {
+    extract_obs_doc(&load_doc(path)).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut base = None;
@@ -82,7 +90,7 @@ fn main() {
     }
     // `tiles` documents (BENCH_tiles.json, experiment E13) share the E9
     // queries/runs shape, so the query extractor and comparator gate them.
-    if kind != "query" && kind != "ingest" && kind != "tiles" && kind != "server" {
+    if !["query", "ingest", "tiles", "server", "obs"].contains(&kind.as_str()) {
         usage();
     }
     let Some(base) = base else { usage() };
@@ -94,6 +102,8 @@ fn main() {
             render_ingest_runs(&scale_ingest(&load_ingest_runs(&base), factor))
         } else if kind == "server" {
             render_server_doc(&scale_server(&load_server_doc(&base), factor))
+        } else if kind == "obs" {
+            render_obs_doc(&scale_obs(&load_obs_doc(&base), factor))
         } else {
             render_runs(&scale_times(&load_runs(&base), factor))
         };
@@ -119,6 +129,13 @@ fn main() {
         (
             base_doc.configs.len() + 1, // + the stream cell
             compare_server(&base_doc, &fresh_doc, threshold),
+        )
+    } else if kind == "obs" {
+        let base_doc = load_obs_doc(&base);
+        let fresh_doc = load_obs_doc(&fresh);
+        (
+            base_doc.configs.len() + 1, // + the overhead cell
+            compare_obs(&base_doc, &fresh_doc, threshold),
         )
     } else {
         let base_runs = load_runs(&base);

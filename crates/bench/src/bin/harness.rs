@@ -64,6 +64,9 @@ fn main() {
     if want("e13") {
         e13_tiles();
     }
+    if want("e14") {
+        e14_obs();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1591,6 +1594,255 @@ fn e11_server() {
     out.push_str("}\n");
     std::fs::write("BENCH_server.json", &out).expect("write BENCH_server.json");
     println!("wrote BENCH_server.json\n");
+}
+
+// ---------------------------------------------------------------------------
+// E14 — observability overhead (flight recorder + /metrics scrapes)
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP/1.0 GET against the metrics listener; returns the body
+/// if the status is 200.
+fn e14_scrape(addr: std::net::SocketAddr) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).ok()?;
+    write!(s, "GET /metrics HTTP/1.0\r\n\r\n").ok()?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).ok()?;
+    let (head, body) = buf.split_once("\r\n\r\n")?;
+    head.lines().next()?.contains("200").then(|| body.to_string())
+}
+
+/// The introspection plane's "observability is free" claim: the E11
+/// governed burst repeated with the flight recorder sampling and a
+/// Prometheus scraper hammering `/metrics` must land within a few
+/// percent of the same burst with the recorder dark. Emits
+/// `BENCH_obs.json` for the CI obs gate (`bench_gate --kind obs`, 5%
+/// absolute p99-overhead ceiling).
+fn e14_obs() {
+    use lidardb_server::{Client, Server};
+    use lidardb_sql::Catalog;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    header(
+        "E14 (observability)",
+        "flight recorder + /metrics scrapes under governed burst: overhead vs dark",
+    );
+    lidardb_core::MetricsRegistry::global().reset();
+
+    let n: usize = std::env::var("LIDARDB_E14_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000_000);
+    let clients: usize = std::env::var("LIDARDB_E14_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    // Unlike E11's shed-heavy burst (whose p99 is set by the random
+    // cancelled/overloaded mix and jitters by tens of percent), E14 needs
+    // a *stable* p99 to resolve a 5% overhead: the queue is deep enough
+    // for every statement, so each sample is queue-wait + scan and the
+    // p99 is the near-deterministic drain time of ~512 governed scans.
+    const PER_CLIENT: usize = 2;
+    const DEADLINE_MS: u64 = 30_000;
+    const MAX_IN_FLIGHT: usize = 4;
+    const BATCH_ROWS: usize = 4096;
+    const CHUNK: usize = 500_000;
+    const SAMPLE_MS: u64 = 50;
+    const SCRAPE_EVERY_MS: u64 = 100;
+    let queue_depth = clients * PER_CLIENT;
+
+    println!("building {n} synthetic points ...");
+    let mut pc = PointCloud::new();
+    let mut state = 0xE14_5EEDu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut unit = move || (next() % (1u64 << 53)) as f64 / (1u64 << 53) as f64;
+    let mut chunk = Vec::with_capacity(CHUNK.min(n));
+    for i in 0..n {
+        chunk.push(lidardb_las::PointRecord {
+            x: unit() * 10_000.0,
+            y: unit() * 10_000.0,
+            z: unit() * 120.0,
+            classification: (i % 12) as u8,
+            intensity: (i % 5000) as u16,
+            gps_time: i as f64 * 1e-4,
+            ..Default::default()
+        });
+        if chunk.len() == chunk.capacity() {
+            pc.append_records(&chunk).expect("append");
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        pc.append_records(&chunk).expect("append");
+    }
+
+    let sqls: Vec<String> = [
+        (4000.0, 4000.0, 5400.0, 5400.0),
+        (1000.0, 1000.0, 2000.0, 2500.0),
+        (7000.0, 2000.0, 8000.0, 4000.0),
+    ]
+    .iter()
+    .map(|(x0, y0, x1, y1)| {
+        format!(
+            "SELECT COUNT(*) FROM points WHERE \
+             ST_Contains(ST_MakeEnvelope({x0}, {y0}, {x1}, {y1}), ST_Point(x, y))"
+        )
+    })
+    .collect();
+
+    let serve = |pc: &Arc<PointCloud>, with_metrics: bool| {
+        let mut catalog = Catalog::new();
+        catalog.register_pointcloud("points", Arc::clone(pc));
+        let mut server = Server::bind("127.0.0.1:0", catalog)
+            .expect("bind")
+            .with_batch_rows(BATCH_ROWS);
+        if with_metrics {
+            server = server.with_metrics_addr("127.0.0.1:0").expect("bind metrics");
+        }
+        server.spawn().expect("spawn server")
+    };
+
+    // Warm lazy imprints through the wire, ungoverned (the builds would
+    // blow any deadline), so neither measured burst pays for them.
+    let pc_warm = Arc::new(pc);
+    let server = serve(&pc_warm, false);
+    {
+        let mut warm = Client::connect(server.addr()).expect("warmup connect");
+        for sql in &sqls {
+            warm.query_collect(sql).expect("warmup query");
+        }
+    }
+    server.shutdown();
+
+    // One governed cloud for both bursts — identical admission and
+    // deadline, so the only variable is the observability plane.
+    let mut pc = e11_reclaim(pc_warm);
+    pc.set_admission(Arc::new(lidardb_core::AdmissionController::new(
+        MAX_IN_FLIGHT,
+        queue_depth,
+    )));
+    pc.set_default_deadline(Some(Duration::from_millis(DEADLINE_MS)));
+    let pc = Arc::new(pc);
+
+    println!(
+        "\nburst: {clients} connections x {PER_CLIENT} statements, admission \
+         {MAX_IN_FLIGHT}/{queue_depth} (shed-free); recorder dark vs sampling every \
+         {SAMPLE_MS} ms + scrape every {SCRAPE_EVERY_MS} ms\n"
+    );
+    println!(
+        "{:<14} {:>5} {:>10} {:>11} {:>9} {:>9} {:>9}",
+        "config", "ok", "cancelled", "overloaded", "p50 ms", "p99 ms", "max ms"
+    );
+
+    let mut json_configs = Vec::new();
+    let mut report = |name: &'static str, samples: &[E10Sample]| -> f64 {
+        let ok = samples.iter().filter(|s| s.outcome == "ok").count();
+        let cancelled = samples.iter().filter(|s| s.outcome == "cancelled").count();
+        let overloaded = samples.iter().filter(|s| s.outcome == "overloaded").count();
+        // The queue admits every statement and the deadline never fires,
+        // so the burst is all-Ok — the percentiles measure governed
+        // drain time, not a random shed mix.
+        assert_eq!(
+            ok,
+            clients * PER_CLIENT,
+            "E14 burst must be shed-free ({cancelled} cancelled, {overloaded} overloaded)"
+        );
+        let mut ms: Vec<f64> = samples.iter().map(|s| s.secs * 1e3).collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99, max) = (
+            e10_percentile(&ms, 0.50),
+            e10_percentile(&ms, 0.99),
+            ms.last().copied().unwrap_or(0.0),
+        );
+        println!(
+            "{name:<14} {ok:>5} {cancelled:>10} {overloaded:>11} {p50:>9.1} {p99:>9.1} {max:>9.1}"
+        );
+        json_configs.push(format!(
+            "    {{\"name\": \"{name}\", \"ok\": {ok}, \"cancelled\": {cancelled}, \
+             \"overloaded\": {overloaded}, \"p50_ms\": {p50:.2}, \"p99_ms\": {p99:.2}, \
+             \"max_ms\": {max:.2}}}"
+        ));
+        p99
+    };
+
+    // Burst A: recorder dark. Must run first — the sampler is always-on
+    // by design and cannot be stopped once started.
+    assert!(
+        !lidardb_core::Recorder::global().sampler_running(),
+        "E14's dark burst needs the sampler not yet started"
+    );
+    let server = serve(&pc, false);
+    // One unmeasured governed pre-burst: the first burst otherwise pays
+    // one-time costs (thread spawns, TCP accept path, allocator growth)
+    // that would masquerade as recorder overhead — or its absence.
+    e11_burst(server.addr(), &sqls, clients, PER_CLIENT);
+    let dark = e11_burst(server.addr(), &sqls, clients, PER_CLIENT);
+    server.shutdown();
+    let off_p99 = report("recorder_off", &dark);
+
+    // Burst B: recorder sampling + a scraper thread playing Prometheus.
+    lidardb_core::Recorder::global().start_sampler(Duration::from_millis(SAMPLE_MS));
+    let server = serve(&pc, true);
+    let metrics_addr = server.metrics_addr().expect("metrics listener");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let (stop, scrapes) = (Arc::clone(&stop), Arc::clone(&scrapes));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let body = e14_scrape(metrics_addr).expect("scrape failed mid-burst");
+                assert!(
+                    body.contains("lidardb_queries_total"),
+                    "scrape body missing counters"
+                );
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(SCRAPE_EVERY_MS));
+            }
+        })
+    };
+    let lit = e11_burst(server.addr(), &sqls, clients, PER_CLIENT);
+    stop.store(true, Ordering::Release);
+    scraper.join().expect("scraper thread");
+    server.shutdown();
+    let on_p99 = report("recorder_on", &lit);
+    let scrapes = scrapes.load(Ordering::Relaxed);
+    assert!(scrapes > 0, "the scraper never completed a scrape");
+
+    let overhead_pct = if off_p99 > 0.0 {
+        (on_p99 - off_p99) / off_p99 * 100.0
+    } else {
+        0.0
+    };
+    let recorded = lidardb_core::Recorder::global().snapshot().len();
+    println!(
+        "\nrecorder on: {scrapes} scrapes served, {recorded} samples in the ring, \
+         p99 overhead {overhead_pct:+.2}% (ceiling 5%)"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e14_observability\",\n");
+    out.push_str(&format!("  \"points\": {n},\n"));
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"queries_per_client\": {PER_CLIENT},\n"));
+    out.push_str(&format!("  \"sample_ms\": {SAMPLE_MS},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"configs\": [\n");
+    out.push_str(&json_configs.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"scrapes\": {scrapes},\n"));
+    out.push_str(&format!("  \"overhead_p99_pct\": {overhead_pct:.3}\n"));
+    out.push_str("}\n");
+    std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json\n");
 }
 
 // ---------------------------------------------------------------------------

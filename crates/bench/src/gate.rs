@@ -764,6 +764,192 @@ pub fn scale_server(doc: &ServerDoc, factor: f64) -> ServerDoc {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Observability-gate extraction and comparison (BENCH_obs.json)
+// ---------------------------------------------------------------------------
+
+/// Ceiling on the flight recorder's p99 overhead, in percent: E14's
+/// recorder-on governed burst must land within this of recorder-off.
+/// This is the ISSUE's "observability is free" acceptance bound, checked
+/// absolutely — not relative to a baseline that might itself have
+/// regressed.
+pub const OBS_MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// The gateable content of one `BENCH_obs.json` (experiment E14): the
+/// governed burst with the recorder off and on (same latency cells as a
+/// [`ServerRun`]) plus the measured recorder overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsDoc {
+    /// One entry per config (`recorder_off` / `recorder_on`).
+    pub configs: Vec<ServerRun>,
+    /// Recorder-on p99 over recorder-off p99, in percent (may be
+    /// negative: the two bursts are independent samples).
+    pub overhead_p99_pct: f64,
+}
+
+/// Pull the gateable cells out of a parsed `BENCH_obs.json`. The latency
+/// cells get the usual NaN/negative screening; the overhead cell only
+/// needs to be finite (negative is legitimate noise).
+pub fn extract_obs_doc(doc: &Json) -> Result<ObsDoc, GateError> {
+    let configs = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| GateError::Shape("document has no \"configs\" array".into()))?;
+    let mut runs = Vec::new();
+    for c in configs {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GateError::Shape("config entry has no \"name\"".into()))?;
+        let cell = format!("obs/{name}");
+        let p50 = c
+            .get("p50_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| GateError::Shape(format!("config {name} has no \"p50_ms\"")))?;
+        let p99 = c
+            .get("p99_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| GateError::Shape(format!("config {name} has no \"p99_ms\"")))?;
+        runs.push(ServerRun {
+            config: name.to_string(),
+            p50_ms: check_measurement(&cell, "p50_ms", p50)?,
+            p99_ms: check_measurement(&cell, "p99_ms", p99)?,
+        });
+    }
+    if runs.is_empty() {
+        return Err(GateError::Shape("document contains no configs".into()));
+    }
+    let overhead = doc
+        .get("overhead_p99_pct")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| GateError::Shape("document has no \"overhead_p99_pct\"".into()))?;
+    if !overhead.is_finite() {
+        return Err(GateError::InvalidMeasurement {
+            cell: "obs/overhead".into(),
+            field: "overhead_p99_pct".into(),
+            value: overhead,
+        });
+    }
+    Ok(ObsDoc {
+        configs: runs,
+        overhead_p99_pct: overhead,
+    })
+}
+
+/// Compare fresh observability numbers against the baseline: both
+/// configs must still be measured, gated percentiles may not slow down
+/// past `threshold`, and the fresh recorder overhead must sit under the
+/// absolute [`OBS_MAX_OVERHEAD_PCT`] ceiling regardless of what the
+/// baseline measured.
+pub fn compare_obs(base: &ObsDoc, fresh: &ObsDoc, threshold: f64) -> Vec<Regression> {
+    let fresh_by_name: BTreeMap<&str, &ServerRun> = fresh
+        .configs
+        .iter()
+        .map(|r| (r.config.as_str(), r))
+        .collect();
+    let mut out = Vec::new();
+    for f in &fresh.configs {
+        if !base.configs.iter().any(|b| b.config == f.config) {
+            out.push(Regression {
+                cell: format!("obs/{}", f.config),
+                stage: "<unexpected>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+        }
+    }
+    for b in &base.configs {
+        let cell = format!("obs/{}", b.config);
+        let Some(f) = fresh_by_name.get(b.config.as_str()) else {
+            out.push(Regression {
+                cell,
+                stage: "<missing>".into(),
+                base: 0.0,
+                fresh: 0.0,
+            });
+            continue;
+        };
+        for (stage, base_ms, fresh_ms) in
+            [("p50_ms", b.p50_ms, f.p50_ms), ("p99_ms", b.p99_ms, f.p99_ms)]
+        {
+            if base_ms < SERVER_LATENCY_FLOOR_MS {
+                continue;
+            }
+            if fresh_ms > base_ms * (1.0 + threshold) {
+                out.push(Regression {
+                    cell: cell.clone(),
+                    stage: stage.into(),
+                    base: base_ms,
+                    fresh: fresh_ms,
+                });
+            }
+        }
+    }
+    if fresh.overhead_p99_pct > OBS_MAX_OVERHEAD_PCT {
+        out.push(Regression {
+            cell: "obs/overhead".into(),
+            stage: "overhead_p99_pct".into(),
+            base: OBS_MAX_OVERHEAD_PCT,
+            fresh: fresh.overhead_p99_pct,
+        });
+    }
+    out
+}
+
+/// Render an obs doc back into a gate-readable document (`--scale`'s
+/// synthetically degraded copy for the negative CI test).
+pub fn render_obs_doc(doc: &ObsDoc) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"obs_gate_scaled\",\n  \"configs\": [\n");
+    for (i, r) in doc.configs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.config,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < doc.configs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"overhead_p99_pct\": {:.3}\n}}\n",
+        doc.overhead_p99_pct
+    ));
+    out
+}
+
+/// Degrade an obs doc by `factor`: the recorder-on latencies are
+/// multiplied (modelling a recorder that got expensive) and the overhead
+/// recomputed from the scaled cells, so the negative test trips both the
+/// relative latency gate and the absolute overhead ceiling.
+pub fn scale_obs(doc: &ObsDoc, factor: f64) -> ObsDoc {
+    let configs: Vec<ServerRun> = doc
+        .configs
+        .iter()
+        .map(|r| {
+            if r.config == "recorder_on" {
+                ServerRun {
+                    config: r.config.clone(),
+                    p50_ms: r.p50_ms * factor,
+                    p99_ms: r.p99_ms * factor,
+                }
+            } else {
+                r.clone()
+            }
+        })
+        .collect();
+    let off = configs.iter().find(|r| r.config == "recorder_off");
+    let on = configs.iter().find(|r| r.config == "recorder_on");
+    let overhead = match (off, on) {
+        (Some(off), Some(on)) if off.p99_ms > 0.0 => {
+            (on.p99_ms - off.p99_ms) / off.p99_ms * 100.0
+        }
+        _ => doc.overhead_p99_pct * factor,
+    };
+    ObsDoc {
+        configs,
+        overhead_p99_pct: overhead,
+    }
+}
+
 /// Multiply every stage timing by `factor` (the synthetic-slowdown knob).
 pub fn scale_times(runs: &[BenchRun], factor: f64) -> Vec<BenchRun> {
     runs.iter()
@@ -1115,6 +1301,103 @@ mod tests {
         let doc = extract_server_doc(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(doc.configs.len(), 2, "ungoverned + governed configs");
         assert!(doc.stream_rows_per_sec > 0.0);
+    }
+
+    const OBS_SAMPLE: &str = r#"{
+      "experiment": "e14_observability",
+      "points": 4000000,
+      "clients": 256,
+      "configs": [
+        {"name": "recorder_off", "ok": 40, "cancelled": 300, "overloaded": 172, "p50_ms": 30.0, "p99_ms": 110.0, "max_ms": 130.0},
+        {"name": "recorder_on", "ok": 41, "cancelled": 299, "overloaded": 172, "p50_ms": 30.5, "p99_ms": 112.0, "max_ms": 131.0}
+      ],
+      "scrapes": 40,
+      "overhead_p99_pct": 1.82
+    }"#;
+
+    #[test]
+    fn obs_doc_extracts_and_identical_passes() {
+        let doc = extract_obs_doc(&Json::parse(OBS_SAMPLE).unwrap()).unwrap();
+        assert_eq!(doc.configs.len(), 2);
+        assert_eq!(doc.configs[0].config, "recorder_off");
+        assert!((doc.configs[1].p99_ms - 112.0).abs() < 1e-9);
+        assert!((doc.overhead_p99_pct - 1.82).abs() < 1e-9);
+        assert!(compare_obs(&doc, &doc, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn obs_recorder_slowdown_trips_latency_and_overhead() {
+        let doc = extract_obs_doc(&Json::parse(OBS_SAMPLE).unwrap()).unwrap();
+        let degraded = scale_obs(&doc, 2.0);
+        // recorder_off untouched, recorder_on doubled → overhead ≈ 104%.
+        assert!((degraded.configs[0].p99_ms - 110.0).abs() < 1e-9);
+        assert!(degraded.overhead_p99_pct > OBS_MAX_OVERHEAD_PCT);
+        let regs = compare_obs(&doc, &degraded, REGRESSION_THRESHOLD);
+        assert_eq!(
+            regs.iter()
+                .filter(|r| r.cell == "obs/recorder_on")
+                .count(),
+            2,
+            "{regs:?}"
+        );
+        assert!(
+            regs.iter()
+                .any(|r| r.cell == "obs/overhead" && r.stage == "overhead_p99_pct"),
+            "{regs:?}"
+        );
+        // The overhead ceiling is absolute: even against a degraded
+        // baseline, a >5% fresh overhead fails.
+        let regs = compare_obs(&degraded, &degraded, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].cell, "obs/overhead");
+    }
+
+    #[test]
+    fn obs_missing_config_and_bad_measurements_are_caught() {
+        let doc = extract_obs_doc(&Json::parse(OBS_SAMPLE).unwrap()).unwrap();
+        let mut fresh = doc.clone();
+        fresh.configs.remove(1);
+        let regs = compare_obs(&doc, &fresh, REGRESSION_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].stage, "<missing>");
+        assert_eq!(regs[0].cell, "obs/recorder_on");
+        let bad = Json::parse(&OBS_SAMPLE.replace("112.0", "-112.0")).unwrap();
+        assert_eq!(
+            extract_obs_doc(&bad).unwrap_err(),
+            GateError::InvalidMeasurement {
+                cell: "obs/recorder_on".into(),
+                field: "p99_ms".into(),
+                value: -112.0,
+            }
+        );
+        let bad = Json::parse(&OBS_SAMPLE.replace("\"overhead_p99_pct\": 1.82", "\"x\": 0")).unwrap();
+        assert!(matches!(extract_obs_doc(&bad).unwrap_err(), GateError::Shape(_)));
+    }
+
+    #[test]
+    fn obs_render_round_trips_through_the_gate() {
+        let doc = extract_obs_doc(&Json::parse(OBS_SAMPLE).unwrap()).unwrap();
+        let rendered = render_obs_doc(&scale_obs(&doc, 2.0));
+        let reparsed = extract_obs_doc(&Json::parse(&rendered).unwrap()).unwrap();
+        assert!(!compare_obs(&doc, &reparsed, REGRESSION_THRESHOLD).is_empty());
+        assert!(compare_obs(&doc, &doc, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn parses_the_committed_obs_baseline() {
+        // The gate must always be able to read the real artifact.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_obs.json"
+        ))
+        .expect("committed obs baseline exists");
+        let doc = extract_obs_doc(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(doc.configs.len(), 2, "recorder_off + recorder_on configs");
+        assert!(
+            doc.overhead_p99_pct <= OBS_MAX_OVERHEAD_PCT,
+            "committed baseline violates the overhead ceiling: {}",
+            doc.overhead_p99_pct
+        );
     }
 
     #[test]

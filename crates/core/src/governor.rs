@@ -248,6 +248,7 @@ pub struct GovernCtx {
     token: CancelToken,
     fault: Option<Arc<FaultInjector>>,
     partial: Arc<AtomicUsize>,
+    queue_wait: Duration,
 }
 
 impl GovernCtx {
@@ -257,7 +258,22 @@ impl GovernCtx {
             token,
             fault,
             partial: Arc::new(AtomicUsize::new(0)),
+            queue_wait: Duration::ZERO,
         }
+    }
+
+    /// Attach the admission queue wait this query paid before starting
+    /// (from [`AdmissionPermit::queue_wait`]), so the slow-query log and
+    /// `sys.queries` can separate "slow because queued" from "slow
+    /// because scanning".
+    pub fn with_queue_wait(mut self, wait: Duration) -> Self {
+        self.queue_wait = wait;
+        self
+    }
+
+    /// Admission queue wait paid before this query started.
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
     }
 
     /// Context with no limits and no faults — the ungoverned default.
@@ -321,6 +337,15 @@ impl GovernCtx {
 #[derive(Debug)]
 pub struct AdmissionPermit<'a> {
     controller: Option<&'a AdmissionController>,
+    queue_wait: Duration,
+}
+
+impl AdmissionPermit<'_> {
+    /// How long this query waited in the admission queue before getting
+    /// its slot ([`Duration::ZERO`] when it was admitted immediately).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
 }
 
 impl Drop for AdmissionPermit<'_> {
@@ -328,10 +353,20 @@ impl Drop for AdmissionPermit<'_> {
         if let Some(c) = self.controller {
             let mut st = c.state.lock().unwrap();
             st.in_flight = st.in_flight.saturating_sub(1);
+            publish_admission_gauges(&st);
             drop(st);
             c.cv.notify_all();
         }
     }
+}
+
+/// Mirror the admission state into the metrics gauges (last-writer-wins,
+/// same convention as `table_rows`): the recorder and `/metrics` read
+/// queue depth without taking the admission lock.
+fn publish_admission_gauges(st: &AdmState) {
+    let m = MetricsRegistry::global();
+    m.admission_in_flight.set(st.in_flight as u64);
+    m.admission_queued.set(st.queue.len() as u64);
 }
 
 #[derive(Default)]
@@ -420,6 +455,15 @@ impl AdmissionController {
         self.state.lock().unwrap().queue.len()
     }
 
+    /// The configured `(max_in_flight, max_queue)` caps. `usize::MAX`
+    /// in-flight means admission control is disabled.
+    pub fn limits(&self) -> (usize, usize) {
+        (
+            self.max_in_flight.load(Ordering::Relaxed),
+            self.max_queue.load(Ordering::Relaxed),
+        )
+    }
+
     /// Acquire an execution slot, waiting in FIFO order for at most
     /// `queue_deadline` (forever if `None`). Sheds with
     /// [`CoreError::Overloaded`] when the queue is full or the wait
@@ -427,14 +471,19 @@ impl AdmissionController {
     /// `governor` stage so queueing shows up in the latency histograms.
     pub fn admit(&self, queue_deadline: Option<Duration>) -> Result<AdmissionPermit<'_>, CoreError> {
         if self.max_in_flight.load(Ordering::Relaxed) == usize::MAX {
-            return Ok(AdmissionPermit { controller: None });
+            return Ok(AdmissionPermit {
+                controller: None,
+                queue_wait: Duration::ZERO,
+            });
         }
         let give_up_at = queue_deadline.map(|d| Instant::now() + d);
         let mut st = self.state.lock().unwrap();
         if st.queue.is_empty() && st.in_flight < self.max_in_flight.load(Ordering::Relaxed) {
             st.in_flight += 1;
+            publish_admission_gauges(&st);
             return Ok(AdmissionPermit {
                 controller: Some(self),
+                queue_wait: Duration::ZERO,
             });
         }
         if st.queue.len() >= self.max_queue.load(Ordering::Relaxed) {
@@ -444,6 +493,7 @@ impl AdmissionController {
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.queue.push_back(ticket);
+        publish_admission_gauges(&st);
         let waited_from = Instant::now();
         loop {
             if st.queue.front() == Some(&ticket)
@@ -451,11 +501,14 @@ impl AdmissionController {
             {
                 st.queue.pop_front();
                 st.in_flight += 1;
+                publish_admission_gauges(&st);
                 drop(st);
                 self.cv.notify_all();
-                MetricsRegistry::global().record_stage(Stage::Governor, 0, waited_from.elapsed());
+                let waited = waited_from.elapsed();
+                MetricsRegistry::global().record_stage(Stage::Governor, 0, waited);
                 return Ok(AdmissionPermit {
                     controller: Some(self),
+                    queue_wait: waited,
                 });
             }
             match give_up_at {
@@ -463,6 +516,7 @@ impl AdmissionController {
                     let now = Instant::now();
                     if now >= d {
                         st.queue.retain(|&t| t != ticket);
+                        publish_admission_gauges(&st);
                         drop(st);
                         self.cv.notify_all();
                         MetricsRegistry::global().queries_shed.inc();
@@ -492,9 +546,13 @@ struct QueryEntry {
     id: u64,
     token: CancelToken,
     detail: String,
+    queue_wait: Duration,
+    /// Shared partial-row counter from the query's [`GovernCtx`], when
+    /// registered via [`QueryRegistry::register_ctx`].
+    partial: Option<Arc<AtomicUsize>>,
 }
 
-/// One row of `SHOW QUERIES`.
+/// One row of `SHOW QUERIES` / `sys.queries`.
 #[derive(Debug, Clone)]
 pub struct QueryInfo {
     /// The query's id (the `KILL` handle).
@@ -505,6 +563,13 @@ pub struct QueryInfo {
     pub detail: String,
     /// Whether its token has already tripped.
     pub cancelled: bool,
+    /// Admission queue wait paid before the query started.
+    pub queue_wait: Duration,
+    /// Bytes charged against the query's memory budget so far.
+    pub mem_used: u64,
+    /// Rows materialised so far (0 when the query registered without a
+    /// governance context).
+    pub rows_so_far: usize,
 }
 
 /// Process-wide registry of in-flight queries: the backing store of
@@ -530,11 +595,11 @@ impl QueryTicket {
 
 impl Drop for QueryTicket {
     fn drop(&mut self) {
-        self.registry
-            .entries
-            .lock()
-            .unwrap()
-            .retain(|e| e.id != self.id);
+        let mut entries = self.registry.entries.lock().unwrap();
+        entries.retain(|e| e.id != self.id);
+        MetricsRegistry::global()
+            .inflight_queries
+            .set(entries.len() as u64);
     }
 }
 
@@ -548,12 +613,39 @@ impl QueryRegistry {
     /// Register an in-flight query; the returned ticket deregisters on
     /// drop and carries the fresh [`QueryId`].
     pub fn register(&'static self, detail: impl Into<String>, token: &CancelToken) -> QueryTicket {
+        self.insert(detail.into(), token.clone(), Duration::ZERO, None)
+    }
+
+    /// Register with the query's full governance context so `sys.queries`
+    /// can report queue wait and live row progress alongside the id.
+    pub fn register_ctx(&'static self, detail: impl Into<String>, ctx: &GovernCtx) -> QueryTicket {
+        self.insert(
+            detail.into(),
+            ctx.token().clone(),
+            ctx.queue_wait(),
+            Some(Arc::clone(&ctx.partial)),
+        )
+    }
+
+    fn insert(
+        &'static self,
+        detail: String,
+        token: CancelToken,
+        queue_wait: Duration,
+        partial: Option<Arc<AtomicUsize>>,
+    ) -> QueryTicket {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.entries.lock().unwrap().push(QueryEntry {
+        let mut entries = self.entries.lock().unwrap();
+        entries.push(QueryEntry {
             id,
-            token: token.clone(),
-            detail: detail.into(),
+            token,
+            detail,
+            queue_wait,
+            partial,
         });
+        MetricsRegistry::global()
+            .inflight_queries
+            .set(entries.len() as u64);
         QueryTicket { registry: self, id }
     }
 
@@ -580,6 +672,117 @@ impl QueryRegistry {
                 elapsed: e.token.elapsed(),
                 detail: e.detail.clone(),
                 cancelled: e.token.is_cancelled(),
+                queue_wait: e.queue_wait,
+                mem_used: e.token.budget().used(),
+                rows_so_far: e
+                    .partial
+                    .as_ref()
+                    .map_or(0, |p| p.load(Ordering::Relaxed)),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------- SessionRegistry
+
+struct SessionEntry {
+    id: u64,
+    peer: String,
+    started: Instant,
+    statements: Arc<AtomicU64>,
+}
+
+/// One row of `sys.sessions`.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session id (stable for the connection's lifetime).
+    pub id: u64,
+    /// The peer address (or another caller-chosen label).
+    pub peer: String,
+    /// Wall time since the session opened.
+    pub elapsed: Duration,
+    /// Statements executed on the session so far.
+    pub statements: u64,
+}
+
+/// Process-wide registry of open sessions: the backing store of
+/// `sys.sessions`. The network server registers one entry per
+/// connection; embedded callers never touch it.
+#[derive(Default)]
+pub struct SessionRegistry {
+    next_id: AtomicU64,
+    entries: Mutex<Vec<SessionEntry>>,
+}
+
+/// RAII session registration; dropping it removes the session and
+/// refreshes the `open_connections` gauge.
+pub struct SessionTicket {
+    registry: &'static SessionRegistry,
+    id: u64,
+    statements: Arc<AtomicU64>,
+}
+
+impl SessionTicket {
+    /// The registered session's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Count one executed statement against this session.
+    pub fn bump_statements(&self) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for SessionTicket {
+    fn drop(&mut self) {
+        let mut entries = self.registry.entries.lock().unwrap();
+        entries.retain(|e| e.id != self.id);
+        MetricsRegistry::global()
+            .open_connections
+            .set(entries.len() as u64);
+    }
+}
+
+impl SessionRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static SessionRegistry {
+        static GLOBAL: OnceLock<SessionRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SessionRegistry::default)
+    }
+
+    /// Register an open session; the ticket deregisters on drop.
+    pub fn register(&'static self, peer: impl Into<String>) -> SessionTicket {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let statements = Arc::new(AtomicU64::new(0));
+        let mut entries = self.entries.lock().unwrap();
+        entries.push(SessionEntry {
+            id,
+            peer: peer.into(),
+            started: Instant::now(),
+            statements: Arc::clone(&statements),
+        });
+        MetricsRegistry::global()
+            .open_connections
+            .set(entries.len() as u64);
+        SessionTicket {
+            registry: self,
+            id,
+            statements,
+        }
+    }
+
+    /// Snapshot of every open session, oldest first.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|e| SessionInfo {
+                id: e.id,
+                peer: e.peer.clone(),
+                elapsed: e.started.elapsed(),
+                statements: e.statements.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -588,6 +791,24 @@ impl QueryRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn session_registry_tracks_open_sessions() {
+        let reg = SessionRegistry::global();
+        let before = reg.list().len();
+        let t = reg.register("127.0.0.1:9999");
+        t.bump_statements();
+        t.bump_statements();
+        let me = reg
+            .list()
+            .into_iter()
+            .find(|s| s.id == t.id())
+            .expect("registered");
+        assert_eq!(me.peer, "127.0.0.1:9999");
+        assert_eq!(me.statements, 2);
+        drop(t);
+        assert_eq!(reg.list().len(), before, "deregistered on drop");
+    }
 
     #[test]
     fn token_deadline_trips_on_check() {
@@ -744,6 +965,55 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3], "FIFO admission");
+    }
+
+    #[test]
+    fn permit_reports_queue_wait() {
+        let c: &'static AdmissionController =
+            Box::leak(Box::new(AdmissionController::new(1, 4)));
+        let p1 = c.admit(None).unwrap();
+        assert_eq!(p1.queue_wait(), Duration::ZERO, "fast path never waits");
+        assert_eq!(c.limits(), (1, 4));
+        let waiter = std::thread::spawn(move || c.admit(Some(Duration::from_secs(5))).unwrap());
+        while c.queued() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        drop(p1);
+        let p2 = waiter.join().unwrap();
+        assert!(
+            p2.queue_wait() >= Duration::from_millis(5),
+            "queued permit records its wait, got {:?}",
+            p2.queue_wait()
+        );
+    }
+
+    #[test]
+    fn unlimited_permit_has_zero_wait() {
+        let c = AdmissionController::unlimited();
+        assert_eq!(c.admit(None).unwrap().queue_wait(), Duration::ZERO);
+        assert_eq!(c.limits().0, usize::MAX);
+    }
+
+    #[test]
+    fn registry_ctx_carries_wait_and_progress() {
+        let reg = QueryRegistry::global();
+        let ctx = GovernCtx::new(CancelToken::with(None, Some(1 << 20)), None)
+            .with_queue_wait(Duration::from_millis(250));
+        ctx.add_rows(17);
+        ctx.charge(4096).unwrap();
+        let ticket = reg.register_ctx("sys test", &ctx);
+        let id = ticket.id();
+        let me = reg
+            .list()
+            .into_iter()
+            .find(|q| q.id == id)
+            .expect("registered");
+        assert_eq!(me.queue_wait, Duration::from_millis(250));
+        assert_eq!(me.rows_so_far, 17);
+        assert!(me.mem_used >= 4096, "budget charges visible: {}", me.mem_used);
+        drop(ticket);
+        assert!(!reg.list().iter().any(|q| q.id == id));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod persist;
 pub mod pointcloud;
 pub mod query;
+pub mod recorder;
 pub mod segment;
 pub mod soa;
 pub mod trace;
@@ -56,7 +57,7 @@ pub use error::{CancelReason, CoreError};
 pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
 pub use governor::{
     AdmissionController, CancelToken, GovernCtx, MemBudget, QueryId, QueryInfo,
-    QueryRegistry, CHECKPOINT_STRIDE,
+    QueryRegistry, SessionInfo, SessionRegistry, SessionTicket, CHECKPOINT_STRIDE,
 };
 pub use metrics::{MetricsRegistry, QueryProfile, Stage, StageSample};
 pub use fault::{FaultInjector, FaultKind, FaultStage};
@@ -65,6 +66,7 @@ pub use loader::{
 };
 pub use pointcloud::PointCloud;
 pub use query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};
-pub use segment::{TileOptions, TiledCloud};
+pub use recorder::{Recorder, RecorderSample, DEFAULT_INTERVAL_MS, RECORDER_SLOTS};
+pub use segment::{TileOptions, TileResidency, TiledCloud};
 pub use trace::{SlowQuery, SlowQueryLog, SpanKind, SpanRecord, TraceSink, Tracer};
 pub use wal::{Durability, RecoveryReport};

@@ -32,7 +32,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Named stage scopes the engine records. The set is fixed so the registry
 /// needs no allocation or locking on the record path.
@@ -157,6 +157,22 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Increment the gauge (live-object counts: open connections).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement the gauge, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -204,6 +220,26 @@ impl Histogram {
     /// Bucket counts (index = log₂ nanoseconds).
     pub fn counts(&self) -> [u64; HIST_BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bound (exclusive, in nanoseconds) of the bucket where the
+    /// cumulative count first reaches fraction `p` of the observations —
+    /// a log₂-quantised percentile. Returns 0 when nothing was recorded.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let counts = self.counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let need = (p.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= need {
+                return 1u64 << ((b as u32 + 1).min(63));
+            }
+        }
+        1u64 << 63
     }
 
     fn reset(&self) {
@@ -293,6 +329,25 @@ pub struct MetricsRegistry {
     /// Bytes of tile segments currently resident in the most recently
     /// touched tiled cloud's cache.
     pub resident_tile_bytes: Gauge,
+    /// Network connections currently open on the server.
+    pub open_connections: Gauge,
+    /// Queries executing under the most recently active admission
+    /// controller (same last-writer convention as `table_rows`).
+    pub admission_in_flight: Gauge,
+    /// Queries waiting in that controller's FIFO queue.
+    pub admission_queued: Gauge,
+    /// Queries currently registered in the process-wide query registry.
+    pub inflight_queries: Gauge,
+    /// Rows applied but not yet WAL-durable on the most recently
+    /// appended-to streaming table (the group-commit backlog).
+    pub wal_backlog_rows: Gauge,
+    /// Monotonic snapshot sequence: bumped by every
+    /// [`snapshot_json`](Self::snapshot_json) so two scrapes of the same
+    /// registry are totally ordered even at equal wall-clock resolution.
+    snapshot_seq: AtomicU64,
+    /// Lazily pinned epoch `uptime_ns` is measured from (first observation
+    /// of this registry). `Instant` has no `Default`, hence the `OnceLock`.
+    epoch: OnceLock<Instant>,
 }
 
 /// The singleton behind [`MetricsRegistry::global`].
@@ -318,6 +373,19 @@ impl MetricsRegistry {
     /// The instrument bundle of one stage.
     pub fn stage(&self, stage: Stage) -> &StageStats {
         &self.stages[stage.index()]
+    }
+
+    /// Nanoseconds since this registry was first observed. The epoch pins
+    /// itself on first call, so deltas between two snapshots are always
+    /// measured on the same clock.
+    pub fn uptime_ns(&self) -> u64 {
+        self.epoch.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    /// Take the next snapshot sequence number (strictly monotonic across
+    /// threads; the first snapshot observes 1).
+    pub fn next_snapshot_seq(&self) -> u64 {
+        self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Zero every instrument, including the cross-crate scan/probe
@@ -349,18 +417,27 @@ impl MetricsRegistry {
         self.table_rows.reset();
         self.indexed_columns.reset();
         self.resident_tile_bytes.reset();
+        self.open_connections.reset();
+        self.admission_in_flight.reset();
+        self.admission_queued.reset();
+        self.inflight_queries.reset();
+        self.wal_backlog_rows.reset();
+        // `snapshot_seq` and the epoch survive a reset on purpose: they
+        // order *snapshots*, not workload, and rate conversion between two
+        // scrapes must stay valid across a benchmark's reset.
         lidardb_imprints::reset_probe_count();
         lidardb_storage::scan::reset_scan_counters();
     }
 
-    /// Render a stable JSON snapshot: fixed key order, counters as
-    /// integers, stage seconds with fixed six-digit precision, histogram
-    /// buckets as a dense array (index = log₂ nanoseconds). Hand-rolled —
-    /// the tree deliberately has no serde.
-    pub fn snapshot_json(&self) -> String {
-        let mut out = String::with_capacity(2048);
-        out.push_str("{\n  \"counters\": {\n");
-        let counters: [(&str, u64); 22] = [
+    /// Every process counter as `(name, value)`, in the stable order the
+    /// snapshot renders them. The single source of truth shared by
+    /// [`snapshot_json`](Self::snapshot_json), the `sys.metrics` virtual
+    /// table, the flight recorder and the Prometheus exposition — so a
+    /// counter added here is visible on every surface at once. The last
+    /// three are the cross-crate counters pulled from the imprint and
+    /// storage layers.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
             ("queries", self.queries.get()),
             ("imprint_cache_hits", self.imprint_cache_hits.get()),
             ("imprint_cache_misses", self.imprint_cache_misses.get()),
@@ -383,20 +460,49 @@ impl MetricsRegistry {
             ("imprint_probes", lidardb_imprints::probe_count()),
             ("imprint_candidate_rows", lidardb_imprints::probe_rows()),
             ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
-        ];
+        ]
+    }
+
+    /// Every process gauge as `(name, value)`, in snapshot order.
+    pub fn gauge_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("table_rows", self.table_rows.get()),
+            ("indexed_columns", self.indexed_columns.get()),
+            ("resident_tile_bytes", self.resident_tile_bytes.get()),
+            ("open_connections", self.open_connections.get()),
+            ("admission_in_flight", self.admission_in_flight.get()),
+            ("admission_queued", self.admission_queued.get()),
+            ("inflight_queries", self.inflight_queries.get()),
+            ("wal_backlog_rows", self.wal_backlog_rows.get()),
+            ("scan_calls", lidardb_storage::scan::scan_calls()),
+        ]
+    }
+
+    /// Render a stable JSON snapshot: fixed key order, counters as
+    /// integers, stage seconds with fixed six-digit precision, histogram
+    /// buckets as a dense array (index = log₂ nanoseconds). Hand-rolled —
+    /// the tree deliberately has no serde.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        // `seq` + `uptime_ns` first: every snapshot is totally ordered and
+        // rate-convertible (delta(counter) / delta(uptime_ns)) — two
+        // scrapes without them are wall-clock-ambiguous.
+        out.push_str(&format!(
+            "{{\n  \"seq\": {},\n  \"uptime_ns\": {},\n  \"counters\": {{\n",
+            self.next_snapshot_seq(),
+            self.uptime_ns(),
+        ));
+        let counters = self.counter_values();
         for (i, (name, v)) in counters.iter().enumerate() {
             let sep = if i + 1 < counters.len() { "," } else { "" };
             out.push_str(&format!("    \"{name}\": {v}{sep}\n"));
         }
         out.push_str("  },\n  \"gauges\": {\n");
-        out.push_str(&format!(
-            "    \"table_rows\": {},\n    \"indexed_columns\": {},\n    \
-             \"resident_tile_bytes\": {},\n    \"scan_calls\": {}\n",
-            self.table_rows.get(),
-            self.indexed_columns.get(),
-            self.resident_tile_bytes.get(),
-            lidardb_storage::scan::scan_calls(),
-        ));
+        let gauges = self.gauge_values();
+        for (i, (name, v)) in gauges.iter().enumerate() {
+            let sep = if i + 1 < gauges.len() { "," } else { "" };
+            out.push_str(&format!("    \"{name}\": {v}{sep}\n"));
+        }
         out.push_str("  },\n  \"stages\": [\n");
         for (i, stage) in Stage::ALL.iter().enumerate() {
             let s = self.stage(*stage);
@@ -593,6 +699,84 @@ mod tests {
         assert!((p.stage_seconds(Stage::BboxScan) - 0.25).abs() < 1e-12);
         assert_eq!(p.counters().len(), 10);
         assert!(p.counters().iter().any(|(n, _)| *n == "attr_probes"));
+    }
+
+    #[test]
+    fn snapshot_seq_is_monotonic_under_concurrent_recording() {
+        fn field(json: &str, key: &str) -> u64 {
+            let tag = format!("\"{key}\": ");
+            let at = json.find(&tag).unwrap_or_else(|| panic!("{key} missing")) + tag.len();
+            json[at..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        }
+        let r = std::sync::Arc::new(MetricsRegistry::default());
+        // Writers hammer record_stage while snapshotters scrape; every
+        // snapshot must carry a distinct seq and a non-decreasing uptime.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        r.record_stage(Stage::BboxScan, 7, Duration::from_nanos(900));
+                    }
+                })
+            })
+            .collect();
+        let snappers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| {
+                            let json = r.snapshot_json();
+                            (field(&json, "seq"), field(&json, "uptime_ns"))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for s in snappers {
+            let per_thread = s.join().unwrap();
+            // Within one thread the sequence and uptime strictly advance.
+            for w in per_thread.windows(2) {
+                assert!(w[1].0 > w[0].0, "seq not monotonic within thread");
+                assert!(w[1].1 >= w[0].1, "uptime went backwards");
+            }
+            all.extend(per_thread);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Across all threads every snapshot got a distinct seq.
+        let mut seqs: Vec<u64> = all.iter().map(|(s, _)| *s).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), all.len(), "snapshot seq collided");
+        // reset() keeps ordering alive: the next snapshot still advances.
+        let before = field(&r.snapshot_json(), "seq");
+        r.reset();
+        assert!(field(&r.snapshot_json(), "seq") > before);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_log2_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile_ns(0.99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(700)); // bucket 9 -> le 1024
+        }
+        h.record(Duration::from_micros(50)); // bucket 15 -> le 65536
+        assert_eq!(h.percentile_ns(0.5), 1024);
+        assert_eq!(h.percentile_ns(0.99), 1024);
+        assert_eq!(h.percentile_ns(1.0), 65536);
     }
 
     #[test]

@@ -299,7 +299,23 @@ impl PointCloud {
         let m = crate::metrics::MetricsRegistry::global();
         m.wal_batches.inc();
         m.record_stage(crate::metrics::Stage::WalAppend, rows, t0.elapsed());
+        self.publish_wal_backlog();
         Ok((n, durable))
+    }
+
+    /// Mirror the applied-but-not-yet-durable row count into the
+    /// `wal_backlog_rows` gauge (last-writer-wins) so the recorder and
+    /// `/healthz` can watch flush lag without touching the WAL lock.
+    fn publish_wal_backlog(&self) {
+        if let Some(ing) = &self.ingest {
+            let backlog = self
+                .table
+                .num_rows()
+                .saturating_sub(ing.wal.durable_rows() as usize);
+            crate::metrics::MetricsRegistry::global()
+                .wal_backlog_rows
+                .set(backlog as u64);
+        }
     }
 
     /// Apply dumps to the table and refresh every cached imprint with the
@@ -571,6 +587,7 @@ impl PointCloud {
         if let Some(ing) = self.ingest.as_mut() {
             ing.wal.sync()?;
             self.publish_visible(self.table.num_rows());
+            self.publish_wal_backlog();
         }
         Ok(())
     }

@@ -365,18 +365,19 @@ impl PointCloud {
         // this function releases the in-flight slot.
         let token = CancelToken::with(deadline, budget);
         let queue_deadline = deadline.map(|d| d.saturating_sub(token.elapsed()));
-        let _permit = self.admission().admit(queue_deadline)?;
+        let permit = self.admission().admit(queue_deadline)?;
         // The wait may have consumed (nearly) the whole deadline; trip now
         // rather than starting a scan that dies at its first checkpoint.
         token.check(0)?;
-        let ctx = GovernCtx::new(token.clone(), self.fault_injector());
+        let ctx = GovernCtx::new(token.clone(), self.fault_injector())
+            .with_queue_wait(permit.queue_wait());
         let detail = match pred {
             Some(SpatialPredicate::Within(_)) => "select within",
             Some(SpatialPredicate::DWithin(..)) => "select dwithin",
             None => "select",
         };
         let _ticket = QueryRegistry::global()
-            .register(format!("{detail} ({} attr filters)", attrs.len()), &token);
+            .register_ctx(format!("{detail} ({} attr filters)", attrs.len()), &ctx);
         self.select_query_ctx(pred, attrs, strategy, parallelism, &ctx)
     }
 
@@ -427,6 +428,7 @@ impl PointCloud {
                     trace::SlowQueryLog::global().record(trace::SlowQuery {
                         trace_id: tid,
                         seconds: start.elapsed().as_secs_f64(),
+                        queue_wait_seconds: ctx.queue_wait().as_secs_f64(),
                         result_rows: rows.len(),
                         profile: profile.clone(),
                         spans: trace::Tracer::global().snapshot().for_trace(tid).spans,
@@ -447,6 +449,7 @@ impl PointCloud {
                     trace::SlowQueryLog::global().record(trace::SlowQuery {
                         trace_id: tid,
                         seconds: start.elapsed().as_secs_f64(),
+                        queue_wait_seconds: ctx.queue_wait().as_secs_f64(),
                         result_rows: ctx.partial_rows(),
                         profile: QueryProfile {
                             explain,

@@ -221,6 +221,25 @@ struct TileCache {
     resident: u64,
 }
 
+/// One row of [`TiledCloud::tile_residency`] (and of `sys.tiles`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileResidency {
+    /// Tile id within its cloud.
+    pub id: usize,
+    /// First global row of the tile.
+    pub row_start: usize,
+    /// Rows in the tile.
+    pub rows: usize,
+    /// Smallest SFC key in the tile.
+    pub key_lo: u64,
+    /// Largest SFC key in the tile.
+    pub key_hi: u64,
+    /// Column bytes held by the resident cache, `None` when not resident.
+    pub resident_bytes: Option<u64>,
+    /// Zone-map entries (one per column with a finite min/max).
+    pub zone_columns: usize,
+}
+
 /// A sealed, tiled point cloud opened for **lazy, out-of-core** querying.
 ///
 /// Tiles load on first touch and stay resident until the LRU evicts them
@@ -366,6 +385,27 @@ impl TiledCloud {
     /// Tiles evicted by the resident-budget LRU.
     pub fn tile_evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Per-tile residency snapshot — the backing rows of `sys.tiles`:
+    /// `(tile id, row_start, rows, key_lo, key_hi, resident bytes if the
+    /// tile is in the cache, zone-map column count)`. One lock take;
+    /// consistent with itself but not frozen against concurrent loads.
+    pub fn tile_residency(&self) -> Vec<TileResidency> {
+        let cache = self.cache.lock();
+        self.tiles
+            .tiles
+            .iter()
+            .map(|t| TileResidency {
+                id: t.id,
+                row_start: t.row_start,
+                rows: t.row_end - t.row_start,
+                key_lo: t.key_lo,
+                key_hi: t.key_hi,
+                resident_bytes: cache.map.get(&t.id).map(|c| c.bytes),
+                zone_columns: t.zones.len(),
+            })
+            .collect()
     }
 
     /// Default worker policy for query entry points without an explicit

@@ -643,6 +643,10 @@ pub struct SlowQuery {
     pub trace_id: u64,
     /// Total wall-clock seconds (the ranking key).
     pub seconds: f64,
+    /// Seconds spent waiting in the admission queue before execution
+    /// started — part of `seconds`, recorded separately so a slow entry
+    /// can be attributed to queueing vs scanning.
+    pub queue_wait_seconds: f64,
     /// Result cardinality.
     pub result_rows: usize,
     /// The query's full profile (Explain + stage samples).
@@ -944,6 +948,7 @@ mod tests {
             log.record(SlowQuery {
                 trace_id: i as u64 + 1,
                 seconds: secs,
+                queue_wait_seconds: secs / 10.0,
                 result_rows: i,
                 profile: QueryProfile::default(),
                 spans: Vec::new(),

@@ -310,6 +310,60 @@ fn hundred_governed_queries_with_attr_filters_all_resolve() {
 }
 
 #[test]
+fn slow_log_reports_nonzero_queue_wait_for_queued_query() {
+    // A query that had to wait in the admission queue must surface that
+    // wait in its slow-query-log entry: the whole point of the
+    // `queue_wait` column is separating "slow because queued" from "slow
+    // because scanning".
+    let _guard = SLOW_LOG_LOCK.lock().unwrap();
+    trace::SlowQueryLog::global().clear();
+    let mut pc = build_cloud(20_000, 0xBEEF);
+    let ctl = Arc::new(AdmissionController::new(1, 8));
+    pc.set_admission(Arc::clone(&ctl));
+    pc.set_tracing(true);
+    let held = ctl.admit(None).expect("take the only slot");
+    let pc = Arc::new(pc);
+    let worker = {
+        let pc = Arc::clone(&pc);
+        std::thread::spawn(move || {
+            pc.select_query_governed(
+                Some(&rect(100.0, 100.0, 900.0, 900.0)),
+                &[],
+                RefineStrategy::default(),
+                Parallelism::Serial,
+                Some(Duration::from_secs(30)),
+                None,
+            )
+        })
+    };
+    while ctl.queued() == 0 {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(Duration::from_millis(25));
+    drop(held);
+    worker
+        .join()
+        .expect("no panic")
+        .expect("query succeeds once admitted");
+    pc.set_tracing(false);
+    let worst = trace::SlowQueryLog::global().worst();
+    let entry = worst
+        .iter()
+        .find(|q| q.queue_wait_seconds > 0.0)
+        .unwrap_or_else(|| panic!("no entry with queue wait in {} entries", worst.len()));
+    assert!(
+        entry.queue_wait_seconds >= 0.020,
+        "queued ~25 ms, log says {}s",
+        entry.queue_wait_seconds
+    );
+    assert!(
+        entry.queue_wait_seconds <= entry.seconds,
+        "queue wait is part of total wall time"
+    );
+    trace::SlowQueryLog::global().clear();
+}
+
+#[test]
 fn queue_wait_counts_against_statement_deadline() {
     // A query that waits in the admission queue must have its statement
     // deadline clock running from enqueue, not from permit grant — a

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! lidardb-server [--listen ADDR]            bind address (default 127.0.0.1:5433)
+//!                [--metrics ADDR]           Prometheus /metrics + /healthz listener (default 127.0.0.1:9433; "off" disables)
+//!                [--sample-ms MS]           flight-recorder sampling interval (default 300)
 //!                [--synthetic N]            in-memory grid cloud with N points as table `points`
 //!                [--open DIR]               open a saved cloud directory as table `points`
 //!                [--ingest DIR]             open DIR for streaming ingest (GroupCommit) as table `stream`
@@ -14,7 +16,7 @@ use std::process::exit;
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-use lidardb_core::{AdmissionController, Durability, PointCloud};
+use lidardb_core::{AdmissionController, Durability, PointCloud, Recorder};
 use lidardb_server::Server;
 use lidardb_sql::Catalog;
 
@@ -52,6 +54,8 @@ fn synthetic(n: usize) -> PointCloud {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen = "127.0.0.1:5433".to_string();
+    let mut metrics = "127.0.0.1:9433".to_string();
+    let mut sample_ms: u64 = lidardb_core::DEFAULT_INTERVAL_MS;
     let mut n_synth: Option<usize> = None;
     let mut open_dir: Option<String> = None;
     let mut ingest_dir: Option<String> = None;
@@ -68,6 +72,10 @@ fn main() {
         };
         match a.as_str() {
             "--listen" => listen = val(),
+            "--metrics" => metrics = val(),
+            "--sample-ms" => {
+                sample_ms = val().parse().unwrap_or_else(|_| die("bad --sample-ms"))
+            }
             "--synthetic" => n_synth = Some(val().parse().unwrap_or_else(|_| die("bad --synthetic"))),
             "--open" => open_dir = Some(val()),
             "--ingest" => ingest_dir = Some(val()),
@@ -89,8 +97,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: lidardb-server [--listen ADDR] [--synthetic N] [--open DIR] \
-                     [--ingest DIR] [--admit IN_FLIGHT,QUEUE] [--deadline MS] [--batch-rows N]"
+                    "usage: lidardb-server [--listen ADDR] [--metrics ADDR|off] [--sample-ms MS] \
+                     [--synthetic N] [--open DIR] [--ingest DIR] [--admit IN_FLIGHT,QUEUE] \
+                     [--deadline MS] [--batch-rows N]"
                 );
                 return;
             }
@@ -138,9 +147,22 @@ fn main() {
         die("no tables: pass --synthetic, --open, or --ingest");
     }
 
+    // The flight recorder is always on: the sampler costs one registry
+    // read per interval and gives /metrics, sys.recorder, and post-hoc
+    // incident forensics a shared ~10-minute history.
+    Recorder::global().start_sampler(Duration::from_millis(sample_ms.max(1)));
+
     let mut server = Server::bind(&listen, catalog).unwrap_or_else(|e| die(&e.to_string()));
     if let Some(rows) = batch_rows {
         server = server.with_batch_rows(rows);
+    }
+    if metrics != "off" {
+        server = server
+            .with_metrics_addr(&metrics)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        if let Some(addr) = server.metrics_addr() {
+            eprintln!("lidardb-server: /metrics and /healthz on http://{addr}");
+        }
     }
     eprintln!(
         "lidardb-server: listening on {}",

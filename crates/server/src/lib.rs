@@ -20,9 +20,16 @@
 //!   selection.
 //!
 //! Server traffic shows up in `lidardb_core::metrics` under the
-//! `server_recv` / `server_send` stages.
+//! `server_recv` / `server_send` stages, and the server carries the
+//! **observability plane** ([`promtext`]): an optional second listener
+//! ([`Server::with_metrics_addr`]) answering `GET /metrics` with the
+//! Prometheus text exposition (scalars from the flight recorder's latest
+//! sample, per-stage log₂ latency histograms live) and `GET /healthz`
+//! with a 200/503 saturation verdict. Every connection is also visible
+//! in `SELECT * FROM sys.sessions` via the core `SessionRegistry`.
 
 pub mod client;
+pub mod promtext;
 pub mod protocol;
 pub mod server;
 

@@ -22,17 +22,18 @@
 //! `Durability::GroupCommit` cannot sit applied-but-unsynced waiting for
 //! traffic that will never come.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use lidardb_core::{CancelToken, MetricsRegistry, Stage};
+use lidardb_core::{CancelToken, MetricsRegistry, SessionRegistry, Stage};
 use lidardb_sql::{Catalog, RowSink, SqlError, SqlValue};
 
+use crate::promtext;
 use crate::protocol::{self, Message, ProtoError};
 
 /// The accepting server. Construct with [`Server::bind`], then either
@@ -40,6 +41,7 @@ use crate::protocol::{self, Message, ProtoError};
 /// [`Server::spawn`] it onto a background thread (tests, benches).
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     catalog: Catalog,
     batch_rows: usize,
     stop: Arc<AtomicBool>,
@@ -50,6 +52,7 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, catalog: Catalog) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
+            metrics_listener: None,
             catalog,
             batch_rows: lidardb_sql::STREAM_BATCH_ROWS,
             stop: Arc::new(AtomicBool::new(false)),
@@ -63,14 +66,35 @@ impl Server {
         self
     }
 
+    /// Bind a second listener serving the observability plane over
+    /// HTTP/1.0: `GET /metrics` (Prometheus text exposition, see
+    /// [`promtext`]) and `GET /healthz` (admission/WAL saturation →
+    /// 200/503). Kept off the SQL port on purpose: a scrape never speaks
+    /// the frame protocol, never takes an admission permit, and keeps
+    /// working while the query plane is saturated.
+    pub fn with_metrics_addr(mut self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        self.metrics_listener = Some(TcpListener::bind(addr)?);
+        Ok(self)
+    }
+
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
+    /// The bound metrics address, if [`Server::with_metrics_addr`] was
+    /// called.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
     /// Run the accept loop on this thread until the stop flag is set.
     pub fn run(self) {
         let stop = Arc::clone(&self.stop);
+        if let Some(ml) = self.metrics_listener {
+            let mstop = Arc::clone(&stop);
+            thread::spawn(move || metrics_accept_loop(ml, mstop));
+        }
         for conn in self.listener.incoming() {
             if stop.load(Ordering::Acquire) {
                 break;
@@ -89,10 +113,12 @@ impl Server {
     /// stops it.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let metrics_addr = self.metrics_addr();
         let stop = Arc::clone(&self.stop);
         let join = thread::spawn(move || self.run());
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             stop,
             join: Some(join),
         })
@@ -103,6 +129,7 @@ impl Server {
 /// Already-open sessions run until their clients hang up.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     join: Option<thread::JoinHandle<()>>,
 }
@@ -113,21 +140,91 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The metrics/health address, if one was bound.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Stop the accept loop and join it.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept() the loop is parked in.
+        // Unblock the accept() each loop is parked in.
         let _ = TcpStream::connect(self.addr);
+        if let Some(m) = self.metrics_addr {
+            let _ = TcpStream::connect(m);
+        }
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
     }
 }
 
+// --------------------------------------------------- observability plane
+
+/// Accept loop for the metrics listener. Each request is served inline —
+/// a scrape is one read + one buffered write of pre-rendered text, so
+/// there is nothing to parallelise and no thread to leak per scrape.
+fn metrics_accept_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Ok(stream) = conn {
+            let _ = serve_metrics_conn(stream);
+        }
+    }
+}
+
+/// Serve one HTTP/1.0 request on the metrics listener. Anything that is
+/// not `GET /metrics` or `GET /healthz` gets a 404; a malformed or
+/// oversized request line gets a 400. The connection always closes after
+/// one response (HTTP/1.0 semantics — curl and Prometheus both cope).
+fn serve_metrics_conn(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    // Bounded request-line read: the observability port gets the same
+    // hostile-input discipline as the frame protocol — a peer streaming
+    // garbage can burn at most 4 KiB and one line.
+    let mut line = String::new();
+    {
+        let mut r = BufReader::new(stream.try_clone()?).take(4096);
+        r.read_line(&mut line)?;
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        ("400 Bad Request", "text/plain", "bad request\n".to_string())
+    } else {
+        match path {
+            "/metrics" => ("200 OK", promtext::CONTENT_TYPE, promtext::render()),
+            "/healthz" => {
+                let (healthy, body) = promtext::health_now();
+                let status = if healthy { "200 OK" } else { "503 Service Unavailable" };
+                (status, "text/plain", body)
+            }
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let mut w = BufWriter::new(stream);
+    write!(
+        w,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
 /// One connection, start to finish.
 fn handle_conn(stream: TcpStream, catalog: Catalog, batch_rows: usize) {
     let _ = stream.set_nodelay(true);
-    let result = serve_session(&stream, &catalog, batch_rows);
+    // Visible in `SELECT * FROM sys.sessions` for the connection's whole
+    // life; dropping the ticket (any exit path) retires the row and the
+    // `open_connections` gauge.
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let session_ticket = SessionRegistry::global().register(peer);
+    let result = serve_session(&stream, &catalog, batch_rows, &session_ticket);
     // Unblock the reader thread if it is still parked in read().
     let _ = stream.shutdown(Shutdown::Both);
     // Durability on teardown: force the group-commit sync so rows this
@@ -151,6 +248,7 @@ fn serve_session(
     stream: &TcpStream,
     catalog: &Catalog,
     batch_rows: usize,
+    session: &lidardb_core::SessionTicket,
 ) -> Result<(), ProtoError> {
     let mut w = BufWriter::new(stream.try_clone()?);
 
@@ -206,7 +304,7 @@ fn serve_session(
             }
         });
 
-        let outcome = session_loop(&mut w, catalog, batch_rows, &rx, &current);
+        let outcome = session_loop(&mut w, catalog, batch_rows, &rx, &current, session);
         // Make sure the reader is not left parked in read() before we
         // drop the receiver.
         let _ = stream.shutdown(Shutdown::Read);
@@ -223,6 +321,7 @@ fn session_loop(
     batch_rows: usize,
     rx: &mpsc::Receiver<Result<Message, ProtoError>>,
     current: &Mutex<Option<CancelToken>>,
+    session: &lidardb_core::SessionTicket,
 ) -> Result<(), ProtoError> {
     loop {
         let msg = match rx.recv() {
@@ -243,7 +342,10 @@ fn session_loop(
             }
         };
         match msg {
-            Message::Query { sql } => run_statement(w, catalog, &sql, batch_rows, current)?,
+            Message::Query { sql } => {
+                session.bump_statements();
+                run_statement(w, catalog, &sql, batch_rows, current)?;
+            }
             other => {
                 // CRC-valid but role-reversed (a client sending Batch
                 // frames, say): reject the message, keep the session.

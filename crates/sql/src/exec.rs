@@ -396,6 +396,7 @@ fn show_slow_queries() -> ResultSet {
             vec![
                 SqlValue::Int(q.trace_id as i64),
                 SqlValue::Float(q.seconds),
+                SqlValue::Float(q.queue_wait_seconds),
                 SqlValue::Int(q.result_rows as i64),
                 SqlValue::Int(i64::from(cancelled)),
                 SqlValue::Int(tree.len() as i64),
@@ -407,6 +408,7 @@ fn show_slow_queries() -> ResultSet {
         columns: [
             "trace_id",
             "seconds",
+            "queue_wait",
             "result_rows",
             "cancelled",
             "spans",
@@ -639,6 +641,11 @@ pub fn execute(catalog: &Catalog, stmt: &Statement) -> Result<ResultSet, SqlErro
         Statement::ShowRecovery => return Ok(show_recovery(catalog)),
         Statement::Insert(ins) => return exec_insert(catalog, ins),
     };
+    // `sys.*` references get a scoped catalog clone with those virtual
+    // tables materialised for this statement; everything downstream
+    // (planner, projection, joins) treats them as ordinary vector tables.
+    let sys_scope = crate::sys::scoped_catalog(catalog, sel)?;
+    let catalog = sys_scope.as_ref().unwrap_or(catalog);
     // While session tracing is on, everything this statement runs — point
     // scans, join probes, aggregates — records spans (the guard drops
     // when execution finishes).
@@ -1402,6 +1409,10 @@ pub fn execute_streamed(
         }
         _ => return stream_materialised(catalog, stmt, batch_rows, sink),
     };
+    // `sys.*` scans stream like any vector table: materialise them on a
+    // scoped catalog before planning, then ride the materialised fallback.
+    let sys_scope = crate::sys::scoped_catalog(catalog, sel)?;
+    let catalog = sys_scope.as_ref().unwrap_or(catalog);
     let _trace_scope = catalog
         .trace_enabled()
         .then(lidardb_core::trace::force_thread);
@@ -1430,16 +1441,15 @@ pub fn execute_streamed(
     let budget = catalog.mem_budget().or_else(|| pc.mem_budget());
     let token = lidardb_core::CancelToken::with(deadline, budget);
     let queue_deadline = deadline.map(|d| d.saturating_sub(token.elapsed()));
-    let _permit = pc
+    let permit = pc
         .admission()
         .admit(queue_deadline)
         .map_err(|e| SqlError::Exec(e.to_string()))?;
     token.check(0).map_err(|e| SqlError::Exec(e.to_string()))?;
-    let ctx = lidardb_core::GovernCtx::new(token.clone(), pc.fault_injector());
-    let _ticket = lidardb_core::QueryRegistry::global().register(
-        format!("stream select {}", scan.table.name),
-        &token,
-    );
+    let ctx = lidardb_core::GovernCtx::new(token.clone(), pc.fault_injector())
+        .with_queue_wait(permit.queue_wait());
+    let _ticket = lidardb_core::QueryRegistry::global()
+        .register_ctx(format!("stream select {}", scan.table.name), &ctx);
 
     // Row ids via the two-step engine (pushdown only); residuals and the
     // projection are evaluated per batch below.

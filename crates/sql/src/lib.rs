@@ -34,6 +34,7 @@ pub mod functions;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod sys;
 pub mod value;
 
 pub use catalog::{Catalog, VectorTable};

@@ -296,7 +296,14 @@ impl Parser {
     fn parse_from(&mut self) -> Result<Vec<TableRef>, SqlError> {
         let mut out = Vec::new();
         loop {
-            let name = self.ident()?;
+            let mut name = self.ident()?;
+            // Qualified table name (`sys.metrics`): the dotted pair is one
+            // catalog name, kept joined — the catalog namespaces virtual
+            // tables with the `sys.` prefix.
+            if *self.peek() == TokenKind::Dot {
+                self.bump();
+                name = format!("{name}.{}", self.ident()?);
+            }
             // Optional alias: a bare identifier that is not a clause
             // keyword.
             let alias = match self.peek() {

@@ -743,3 +743,144 @@ fn insert_errors_are_reported() {
     let err = query(&c, "INSERT INTO points (x) VALUES (1)").unwrap_err();
     assert!(err.to_string().contains("read-only"), "{err}");
 }
+
+// ---- sys.* virtual tables ----------------------------------------------
+
+#[test]
+fn sys_metrics_readable_with_predicates_and_projection() {
+    let c = setup();
+    // Run a real query first so the counters are warm.
+    query(&c, "SELECT COUNT(*) FROM points WHERE x < 10").unwrap();
+    let rs = query(&c, "SELECT name, value FROM sys.metrics WHERE kind = 'counter'").unwrap();
+    assert_eq!(rs.columns, vec!["name", "value"]);
+    let queries = rs
+        .rows
+        .iter()
+        .find(|r| r[0] == SqlValue::Str("queries".into()))
+        .expect("queries counter row");
+    assert!(matches!(queries[1], SqlValue::Int(n) if n >= 1), "{queries:?}");
+    // Predicates narrow: only counter rows came back.
+    let all = query(&c, "SELECT kind FROM sys.metrics").unwrap();
+    assert!(all.rows.len() > rs.rows.len(), "kinds beyond counters exist");
+    // ORDER BY + LIMIT work like on any table.
+    let top = query(
+        &c,
+        "SELECT name, value FROM sys.metrics WHERE kind = 'counter' ORDER BY value DESC LIMIT 3",
+    )
+    .unwrap();
+    assert_eq!(top.rows.len(), 3);
+}
+
+#[test]
+fn sys_metrics_counters_match_snapshot_json_names() {
+    let c = setup();
+    let rs = query(&c, "SELECT name FROM sys.metrics WHERE kind = 'counter'").unwrap();
+    let json = lidardb_core::MetricsRegistry::global().snapshot_json();
+    assert!(!rs.rows.is_empty());
+    for row in &rs.rows {
+        let SqlValue::Str(name) = &row[0] else {
+            panic!("name not a string: {row:?}")
+        };
+        assert!(json.contains(&format!("\"{name}\"")), "{name} not in snapshot_json");
+    }
+}
+
+#[test]
+fn sys_queries_and_sessions_have_stable_schemas() {
+    let c = setup();
+    let rs = query(&c, "SELECT * FROM sys.queries").unwrap();
+    assert_eq!(
+        rs.columns,
+        vec![
+            "query_id",
+            "elapsed_seconds",
+            "queue_wait_seconds",
+            "state",
+            "rows_so_far",
+            "mem_bytes",
+            "detail"
+        ]
+    );
+    let rs = query(&c, "SELECT * FROM sys.sessions").unwrap();
+    assert_eq!(
+        rs.columns,
+        vec!["session_id", "peer", "elapsed_seconds", "statements"]
+    );
+    let rs = query(&c, "SELECT * FROM sys.wal").unwrap();
+    assert_eq!(
+        rs.columns,
+        vec![
+            "table_name",
+            "durability",
+            "total_rows",
+            "durable_rows",
+            "visible_rows",
+            "backlog_rows"
+        ]
+    );
+    // No streaming tables registered here.
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn sys_recorder_exposes_sampled_series() {
+    let c = setup();
+    lidardb_core::Recorder::global().sample_now();
+    let rs = query(
+        &c,
+        "SELECT seq, value FROM sys.recorder WHERE series = 'queries' ORDER BY seq",
+    )
+    .unwrap();
+    assert!(!rs.rows.is_empty(), "at least the sample just taken");
+    // seq ascends.
+    let seqs: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            SqlValue::Int(s) => s,
+            ref other => panic!("seq not an int: {other:?}"),
+        })
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+}
+
+#[test]
+fn sys_tiles_reports_residency() {
+    let dir = std::env::temp_dir().join(format!("lidardb-sys-tiles-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut pc = PointCloud::new();
+    let recs: Vec<PointRecord> = (0..4096)
+        .map(|i| PointRecord {
+            x: (i % 64) as f64,
+            y: (i / 64) as f64,
+            ..Default::default()
+        })
+        .collect();
+    pc.append_records(&recs).unwrap();
+    pc.save_tiled(&dir, &lidardb_core::TileOptions { target_rows: 512, ..Default::default() })
+        .unwrap();
+    let tc = Arc::new(lidardb_core::TiledCloud::open(&dir).unwrap());
+    let mut c = Catalog::new();
+    c.register_tiled("tiled_pts", Arc::clone(&tc));
+    let rs = query(&c, "SELECT COUNT(*) FROM sys.tiles WHERE table_name = 'tiled_pts'").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(tc.num_tiles() as i64));
+    // Touch one tile, then its residency flips to 1.
+    query(&c, "SELECT COUNT(*) FROM tiled_pts WHERE x < 4 AND y < 4").unwrap();
+    let rs = query(&c, "SELECT COUNT(*) FROM sys.tiles WHERE resident = 1").unwrap();
+    assert!(matches!(rs.rows[0][0], SqlValue::Int(n) if n >= 1), "{rs:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sys_tables_join_and_unknown_sys_name_errors() {
+    let c = setup();
+    // A sys table joins against another sys table like any pair of
+    // vector tables.
+    let rs = query(
+        &c,
+        "SELECT m.name FROM sys.metrics m, sys.sessions s WHERE m.kind = 'counter'",
+    );
+    assert!(rs.is_ok() || rs.unwrap_err().to_string().contains("join"));
+    let err = query(&c, "SELECT * FROM sys.bogus").unwrap_err();
+    assert!(err.to_string().contains("sys.bogus"), "{err}");
+}

@@ -9,6 +9,9 @@
 #                          BENCH_tiles.json (same shape as the query gate)
 #   BENCH_GATE_KIND=server gates E11 wire-protocol latency percentiles +
 #                          streamed-delivery throughput vs BENCH_server.json
+#   BENCH_GATE_KIND=obs    gates E14 flight-recorder overhead (absolute 5%
+#                          p99 ceiling + relative percentiles) vs
+#                          BENCH_obs.json
 #
 # Usage:
 #   scripts/bench_gate.sh                  # full run: rebuild, run harness, diff
@@ -25,7 +28,8 @@ case "$KIND" in
     ingest) EXPERIMENT=e12; ARTIFACT=BENCH_ingest.json ;;
     tiles)  EXPERIMENT=e13; ARTIFACT=BENCH_tiles.json ;;
     server) EXPERIMENT=e11; ARTIFACT=BENCH_server.json ;;
-    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, tiles, or server" >&2; exit 2 ;;
+    obs)    EXPERIMENT=e14; ARTIFACT=BENCH_obs.json ;;
+    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, tiles, server, or obs" >&2; exit 2 ;;
 esac
 BASE="${BENCH_GATE_BASE:-$REPO/$ARTIFACT}"
 

@@ -75,6 +75,17 @@ cargo test -q -p lidardb-server --test frame_properties
 cargo test -q -p lidardb-server --test loopback -- --test-threads=1
 cargo test -q -p lidardb-server --test disconnect_durability -- --test-threads=1
 
+echo "==> introspection plane: flight recorder (seqlock ring, delta decode) debug + release"
+cargo test -q -p lidardb-core recorder
+cargo test -q --release -p lidardb-core recorder
+
+echo "==> introspection plane: sys.* virtual tables (unit + end-to-end SELECTs)"
+cargo test -q -p lidardb-sql sys
+
+echo "==> introspection plane: Prometheus exposition (validator, proptests, scrape, healthz)"
+cargo test -q -p lidardb-server --test exposition -- --test-threads=1
+cargo test -q --release -p lidardb-server --test exposition -- --test-threads=1
+
 echo "==> morsel-split and gate-hardening regression tests"
 cargo test -q -p lidardb-imprints split_rows_degenerate_inputs_yield_no_empty_morsels
 cargo test -q -p lidardb-core --test differential differential_degenerate_candidate_sets
@@ -126,6 +137,29 @@ else
     echo "gate correctly rejected the degraded server run"
 fi
 rm -f "$SLOWED_SERVER"
+
+echo "==> E14 observability smoke (reduced scale; asserts shed-free burst + live scrapes)"
+E14_SCRATCH="$(mktemp -d)"
+(cd "$E14_SCRATCH" && LIDARDB_E14_POINTS=200000 LIDARDB_E14_CLIENTS=16 \
+    cargo run --release --quiet \
+    --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e14)
+rm -rf "$E14_SCRATCH"
+
+echo "==> obs gate (identity: committed baseline vs itself must pass)"
+BENCH_GATE_KIND=obs BENCH_GATE_FRESH=BENCH_obs.json scripts/bench_gate.sh
+
+echo "==> obs gate (negative: a 2x-degraded recorder must fail)"
+SLOWED_OBS="$(mktemp)"
+cargo run --release --quiet -p lidardb-bench --bin bench_gate -- \
+    --kind obs --base BENCH_obs.json --scale 2.0 --out "$SLOWED_OBS"
+if BENCH_GATE_KIND=obs BENCH_GATE_FRESH="$SLOWED_OBS" scripts/bench_gate.sh; then
+    echo "ci FAIL: obs gate accepted a 2x-degraded recorder run" >&2
+    rm -f "$SLOWED_OBS"
+    exit 1
+else
+    echo "gate correctly rejected the degraded observability run"
+fi
+rm -f "$SLOWED_OBS"
 
 echo "==> E12 ingest smoke (reduced scale; asserts snapshot isolation + recovery)"
 E12_SCRATCH="$(mktemp -d)"
