@@ -12,17 +12,17 @@
 //! it back through compare and asserts the gate trips).
 
 use lidardb_bench::gate::{
-    compare, compare_ingest, compare_obs, compare_server, extract_ingest_runs, extract_obs_doc,
-    extract_runs, extract_server_doc, render_ingest_runs, render_obs_doc, render_runs,
-    render_server_doc, scale_ingest, scale_obs, scale_server, scale_times, Json,
-    REGRESSION_THRESHOLD,
+    compare, compare_chaos, compare_ingest, compare_obs, compare_server, extract_chaos_doc,
+    extract_ingest_runs, extract_obs_doc, extract_runs, extract_server_doc, render_chaos_doc,
+    render_ingest_runs, render_obs_doc, render_runs, render_server_doc, scale_chaos,
+    scale_ingest, scale_obs, scale_server, scale_times, Json, REGRESSION_THRESHOLD,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate [--kind query|ingest|tiles|server|obs] --base <baseline.json> \
+        "usage: bench_gate [--kind query|ingest|tiles|server|obs|chaos] --base <baseline.json> \
          --fresh <fresh.json> [--threshold <frac>]\n       bench_gate \
-         [--kind query|ingest|tiles|server|obs] --base <baseline.json> \
+         [--kind query|ingest|tiles|server|obs|chaos] --base <baseline.json> \
          --scale <factor> --out <path>"
     );
     std::process::exit(2);
@@ -67,6 +67,13 @@ fn load_obs_doc(path: &str) -> lidardb_bench::gate::ObsDoc {
     })
 }
 
+fn load_chaos_doc(path: &str) -> lidardb_bench::gate::ChaosDoc {
+    extract_chaos_doc(&load_doc(path)).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut base = None;
@@ -90,7 +97,7 @@ fn main() {
     }
     // `tiles` documents (BENCH_tiles.json, experiment E13) share the E9
     // queries/runs shape, so the query extractor and comparator gate them.
-    if !["query", "ingest", "tiles", "server", "obs"].contains(&kind.as_str()) {
+    if !["query", "ingest", "tiles", "server", "obs", "chaos"].contains(&kind.as_str()) {
         usage();
     }
     let Some(base) = base else { usage() };
@@ -104,6 +111,8 @@ fn main() {
             render_server_doc(&scale_server(&load_server_doc(&base), factor))
         } else if kind == "obs" {
             render_obs_doc(&scale_obs(&load_obs_doc(&base), factor))
+        } else if kind == "chaos" {
+            render_chaos_doc(&scale_chaos(&load_chaos_doc(&base), factor))
         } else {
             render_runs(&scale_times(&load_runs(&base), factor))
         };
@@ -137,6 +146,11 @@ fn main() {
             base_doc.configs.len() + 1, // + the overhead cell
             compare_obs(&base_doc, &fresh_doc, threshold),
         )
+    } else if kind == "chaos" {
+        let base_doc = load_chaos_doc(&base);
+        let fresh_doc = load_chaos_doc(&fresh);
+        // integrity + coverage + the latency cell
+        (3, compare_chaos(&base_doc, &fresh_doc, threshold))
     } else {
         let base_runs = load_runs(&base);
         let fresh_runs = load_runs(&fresh);

@@ -67,6 +67,9 @@ fn main() {
     if want("e14") {
         e14_obs();
     }
+    if want("e15") {
+        e15_chaos();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1843,6 +1846,250 @@ fn e14_obs() {
     out.push_str("}\n");
     std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json\n");
+}
+
+// ---------------------------------------------------------------------------
+// E15 — network-chaos soak
+// ---------------------------------------------------------------------------
+
+/// End-to-end fault-domain soak: retrying clients push idempotent
+/// `INSERT` batches through a seeded [`ChaosProxy`] (delays, severed
+/// legs, black holes) at a streaming server that is drained and
+/// restarted mid-traffic several times, with a disk-full window injected
+/// into the WAL along the way. The invariant under all of it is
+/// exactly-once ingestion: every *acked* batch is present exactly once
+/// in the final table, and no batch — acked or not — appears twice.
+/// Emits `BENCH_chaos.json` for the CI chaos gate (`bench_gate --kind
+/// chaos`, integrity cells gated at absolute zero).
+fn e15_chaos() {
+    use lidardb_core::{Durability, FaultInjector, FaultKind, FaultStage};
+    use lidardb_server::{ChaosProxy, Client, RetryPolicy, RetryingClient, Server};
+    use lidardb_sql::{Catalog, SqlValue};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::RwLock;
+    use std::time::{Duration, Instant};
+
+    header(
+        "E15 (chaos soak)",
+        "retrying clients vs chaos proxy + drain/restart cycles + disk-full: exactly-once",
+    );
+    lidardb_core::MetricsRegistry::global().reset();
+
+    let clients: usize = std::env::var("LIDARDB_E15_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let batches: usize = std::env::var("LIDARDB_E15_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let cycles: usize = std::env::var("LIDARDB_E15_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    const ROWS_PER_BATCH: i64 = 2;
+    const DRAIN_MS: u64 = 1000;
+
+    let dir = std::env::temp_dir().join(format!("lidardb_e15_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fi = Arc::new(FaultInjector::new());
+
+    // One server incarnation: reopen the same ingest directory (WAL
+    // replay restores both the rows and the idempotency ledger, so
+    // replays of pre-restart acks still deduplicate) behind a fresh
+    // ephemeral port.
+    let serve = || {
+        let mut pc = PointCloud::open_ingest(
+            &dir,
+            Durability::GroupCommit {
+                max_batches: 8,
+                max_delay: Duration::from_millis(20),
+            },
+        )
+        .expect("open ingest dir");
+        pc.set_fault_injector(Arc::clone(&fi));
+        let mut catalog = Catalog::new();
+        catalog.register_stream("stream", Arc::new(RwLock::new(pc)));
+        Server::bind("127.0.0.1:0", catalog)
+            .expect("bind")
+            .with_drain_deadline(Duration::from_millis(DRAIN_MS))
+            .spawn()
+            .expect("spawn server")
+    };
+
+    // Behind an Option so the orchestrator (inside the thread scope, by
+    // mutable capture) can consume one incarnation and slot in the next.
+    let mut server = Some(serve());
+    let proxy = ChaosProxy::spawn(server.as_ref().unwrap().addr(), 0xE15_5EED)
+        .expect("spawn chaos proxy");
+    let total = clients * batches;
+    println!(
+        "{clients} retrying clients x {batches} batches through a seeded chaos proxy; \
+         {cycles} drain/restart cycles (drain {DRAIN_MS}ms) + one disk-full window\n"
+    );
+
+    // Attempts completed (acked or given up) — paces the drain cycles so
+    // traffic brackets every restart.
+    let progress = Arc::new(AtomicUsize::new(0));
+    let mut drains = 0usize;
+    let mut per_client: Vec<(Vec<usize>, usize, Vec<f64>, u64)> = Vec::new();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = proxy.addr();
+                let progress = Arc::clone(&progress);
+                s.spawn(move || {
+                    let mut rc = RetryingClient::new(
+                        addr,
+                        RetryPolicy {
+                            io_timeout: Duration::from_millis(800),
+                            deadline: Duration::from_secs(30),
+                            seed: 0xE15 + c as u64,
+                            ..RetryPolicy::default()
+                        },
+                    );
+                    let mut acked = Vec::new();
+                    let mut failed = 0usize;
+                    let mut lat_ms = Vec::new();
+                    for seq in 0..batches {
+                        // Batch identity rides in x; y distinguishes the
+                        // rows, so a double-applied batch is visible as
+                        // count > ROWS_PER_BATCH at verification.
+                        let id = c * 100_000 + seq;
+                        let sql = format!(
+                            "INSERT INTO stream (x, y, z) VALUES ({id}, 0, 1), ({id}, 1, 2)"
+                        );
+                        let t0 = Instant::now();
+                        match rc.insert(&sql) {
+                            Ok(_) => {
+                                lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                acked.push(id);
+                            }
+                            // Refused batches (disk-full window, drain
+                            // cancellations past the client deadline) are
+                            // simply not acked — the invariant owes them
+                            // nothing.
+                            Err(_) => failed += 1,
+                        }
+                        progress.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    (acked, failed, lat_ms, rc.retries())
+                })
+            })
+            .collect();
+
+        // The orchestrator: wait for a slice of the traffic, then yank
+        // the server out from under it. Cycle 2 additionally poisons the
+        // WAL with ENOSPC just before the drain, so the restart also
+        // exercises recovery out of degraded read-only mode.
+        for cycle in 1..=cycles {
+            let target = total * cycle / (cycles + 1);
+            let t0 = Instant::now();
+            while progress.load(Ordering::Relaxed) < target
+                && t0.elapsed() < Duration::from_secs(120)
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            if cycle == 2.min(cycles) {
+                fi.inject_n(FaultStage::WalAppend, None, FaultKind::DiskFull, 0, 1_000_000);
+                std::thread::sleep(Duration::from_millis(150));
+                fi.clear();
+            }
+            let t0 = Instant::now();
+            server.take().unwrap().shutdown();
+            let fresh = serve();
+            proxy.retarget(fresh.addr());
+            server = Some(fresh);
+            drains += 1;
+            println!(
+                "cycle {cycle}: drained + restarted in {:.0} ms at {} / {total} attempts",
+                t0.elapsed().as_secs_f64() * 1e3,
+                progress.load(Ordering::Relaxed),
+            );
+        }
+        for h in handles {
+            per_client.push(h.join().expect("client thread panicked"));
+        }
+    });
+    proxy.shutdown();
+
+    // Verification goes straight at the surviving server — no proxy, no
+    // retries — one batch at a time.
+    let acked_ids: Vec<usize> = per_client.iter().flat_map(|r| r.0.iter().copied()).collect();
+    let failed: usize = per_client.iter().map(|r| r.1).sum();
+    let retries: u64 = per_client.iter().map(|r| r.3).sum();
+    let mut lat_ms: Vec<f64> = per_client.iter().flat_map(|r| r.2.iter().copied()).collect();
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99) = (e10_percentile(&lat_ms, 0.50), e10_percentile(&lat_ms, 0.99));
+
+    let server = server.take().unwrap();
+    let mut check = Client::connect(server.addr()).expect("verification connect");
+    let mut lost = 0usize;
+    let mut duplicates = 0usize;
+    for c in 0..clients {
+        for seq in 0..batches {
+            let id = c * 100_000 + seq;
+            let (_, rows, _) = check
+                .query_collect(&format!("SELECT COUNT(*) FROM stream WHERE x = {id}"))
+                .expect("verification query");
+            let n = match &rows[0][0] {
+                SqlValue::Int(n) => *n,
+                other => panic!("COUNT(*) did not return an Int: {other:?}"),
+            };
+            // An acked batch must be present *whole* — a torn apply
+            // (1 of 2 rows) is as lost as an absent one.
+            if acked_ids.contains(&id) && n < ROWS_PER_BATCH {
+                lost += 1;
+            }
+            if n > ROWS_PER_BATCH {
+                duplicates += 1;
+            }
+        }
+    }
+    drop(check);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let acked = acked_ids.len();
+    println!(
+        "\n{:<10} {:>7} {:>7} {:>6} {:>11} {:>8} {:>9} {:>9}",
+        "batches", "acked", "failed", "lost", "duplicates", "retries", "p50 ms", "p99 ms"
+    );
+    println!(
+        "{total:<10} {acked:>7} {failed:>7} {lost:>6} {duplicates:>11} {retries:>8} \
+         {p50:>9.1} {p99:>9.1}"
+    );
+    assert!(acked > 0, "the soak never landed an insert");
+    assert_eq!(lost, 0, "{lost} acked batch(es) missing from the final table");
+    assert_eq!(duplicates, 0, "{duplicates} batch(es) applied more than once");
+    assert_eq!(drains, cycles, "every drain/restart cycle must run");
+    assert!(
+        p99 < 30_000.0,
+        "p99 insert latency {p99:.0} ms breached the client deadline"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e15_chaos\",\n");
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"batches_per_client\": {batches},\n"));
+    out.push_str(&format!("  \"rows_per_batch\": {ROWS_PER_BATCH},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!("  \"acked\": {acked},\n"));
+    out.push_str(&format!("  \"failed\": {failed},\n"));
+    out.push_str(&format!("  \"lost\": {lost},\n"));
+    out.push_str(&format!("  \"duplicates\": {duplicates},\n"));
+    out.push_str(&format!("  \"drain_cycles\": {drains},\n"));
+    out.push_str(&format!("  \"retries\": {retries},\n"));
+    out.push_str(&format!("  \"p50_ms\": {p50:.2},\n"));
+    out.push_str(&format!("  \"p99_ms\": {p99:.2}\n"));
+    out.push_str("}\n");
+    std::fs::write("BENCH_chaos.json", &out).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json\n");
 }
 
 // ---------------------------------------------------------------------------

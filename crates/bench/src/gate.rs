@@ -950,6 +950,148 @@ pub fn scale_obs(doc: &ObsDoc, factor: f64) -> ObsDoc {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos-gate extraction and comparison (BENCH_chaos.json)
+// ---------------------------------------------------------------------------
+
+/// The gateable content of one `BENCH_chaos.json` (experiment E15, the
+/// network-chaos soak): the exactly-once integrity counters plus the
+/// end-to-end insert latency measured through the fault proxy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosDoc {
+    /// Insert batches the retrying clients saw acknowledged.
+    pub acked: u64,
+    /// Acked batches missing from the final table scan. Integrity cell:
+    /// gated at absolute zero, never relative to a baseline.
+    pub lost: u64,
+    /// Batches applied more than once. Integrity cell: absolute zero.
+    pub duplicates: u64,
+    /// Drain/restart cycles the soak drove (coverage, not performance).
+    pub drain_cycles: u64,
+    /// End-to-end per-insert latency through the chaos proxy, in ms —
+    /// includes reconnects, backoff sleeps, and idempotent replays.
+    pub p50_ms: f64,
+    /// p99 of the same distribution (the retry tail).
+    pub p99_ms: f64,
+}
+
+/// Pull one non-negative integer cell out of a chaos document.
+fn chaos_count(doc: &Json, field: &str) -> Result<u64, GateError> {
+    let v = doc
+        .get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| GateError::Shape(format!("document has no \"{field}\"")))?;
+    Ok(check_measurement("chaos/soak", field, v)? as u64)
+}
+
+/// Pull the gateable cells out of a parsed `BENCH_chaos.json`. Counters
+/// must be present and non-negative; latencies get the usual screening.
+pub fn extract_chaos_doc(doc: &Json) -> Result<ChaosDoc, GateError> {
+    let cell = "chaos/insert";
+    let p50 = doc
+        .get("p50_ms")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| GateError::Shape("document has no \"p50_ms\"".into()))?;
+    let p99 = doc
+        .get("p99_ms")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| GateError::Shape("document has no \"p99_ms\"".into()))?;
+    Ok(ChaosDoc {
+        acked: chaos_count(doc, "acked")?,
+        lost: chaos_count(doc, "lost")?,
+        duplicates: chaos_count(doc, "duplicates")?,
+        drain_cycles: chaos_count(doc, "drain_cycles")?,
+        p50_ms: check_measurement(cell, "p50_ms", p50)?,
+        p99_ms: check_measurement(cell, "p99_ms", p99)?,
+    })
+}
+
+/// Compare fresh chaos-soak numbers against the baseline. The integrity
+/// cells (`lost`, `duplicates`) are gated at **absolute zero**: any loss
+/// or duplication fails regardless of what the baseline measured — a
+/// correctness bug in the baseline must not grandfather one in fresh
+/// code. Coverage must not shrink (a soak that acked nothing or drained
+/// fewer cycles proved nothing), and the insert latency percentiles get
+/// the usual relative gate above the measurement floor.
+pub fn compare_chaos(base: &ChaosDoc, fresh: &ChaosDoc, threshold: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    if fresh.lost > 0 {
+        out.push(Regression {
+            cell: "chaos/integrity".into(),
+            stage: "lost_acked_inserts".into(),
+            base: 0.0,
+            fresh: fresh.lost as f64,
+        });
+    }
+    if fresh.duplicates > 0 {
+        out.push(Regression {
+            cell: "chaos/integrity".into(),
+            stage: "duplicate_inserts".into(),
+            base: 0.0,
+            fresh: fresh.duplicates as f64,
+        });
+    }
+    if fresh.acked == 0 {
+        out.push(Regression {
+            cell: "chaos/coverage".into(),
+            stage: "acked_inserts".into(),
+            base: base.acked as f64,
+            fresh: 0.0,
+        });
+    }
+    if fresh.drain_cycles < base.drain_cycles {
+        out.push(Regression {
+            cell: "chaos/coverage".into(),
+            stage: "drain_cycles".into(),
+            base: base.drain_cycles as f64,
+            fresh: fresh.drain_cycles as f64,
+        });
+    }
+    for (stage, base_ms, fresh_ms) in [
+        ("p50_ms", base.p50_ms, fresh.p50_ms),
+        ("p99_ms", base.p99_ms, fresh.p99_ms),
+    ] {
+        if base_ms < SERVER_LATENCY_FLOOR_MS {
+            continue;
+        }
+        if fresh_ms > base_ms * (1.0 + threshold) {
+            out.push(Regression {
+                cell: "chaos/insert".into(),
+                stage: stage.into(),
+                base: base_ms,
+                fresh: fresh_ms,
+            });
+        }
+    }
+    out
+}
+
+/// Render a chaos doc back into a gate-readable document (`--scale`'s
+/// synthetically degraded copy for the negative CI test).
+pub fn render_chaos_doc(doc: &ChaosDoc) -> String {
+    format!(
+        "{{\n  \"experiment\": \"chaos_gate_scaled\",\n  \"acked\": {},\n  \
+         \"lost\": {},\n  \"duplicates\": {},\n  \"drain_cycles\": {},\n  \
+         \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3}\n}}\n",
+        doc.acked, doc.lost, doc.duplicates, doc.drain_cycles, doc.p50_ms, doc.p99_ms
+    )
+}
+
+/// Degrade a chaos doc by `factor`: latencies are multiplied, and —
+/// because the integrity cells are gated absolutely at zero — a
+/// synthetic lost *and* duplicated insert are injected, so the negative
+/// CI test proves both the relative latency gate and the absolute
+/// integrity gate trip.
+pub fn scale_chaos(doc: &ChaosDoc, factor: f64) -> ChaosDoc {
+    ChaosDoc {
+        lost: doc.lost.max(1),
+        duplicates: doc.duplicates.max(1),
+        p50_ms: doc.p50_ms * factor,
+        p99_ms: doc.p99_ms * factor,
+        ..*doc
+    }
+}
+
 /// Multiply every stage timing by `factor` (the synthetic-slowdown knob).
 pub fn scale_times(runs: &[BenchRun], factor: f64) -> Vec<BenchRun> {
     runs.iter()
@@ -1398,6 +1540,102 @@ mod tests {
             "committed baseline violates the overhead ceiling: {}",
             doc.overhead_p99_pct
         );
+    }
+
+    const CHAOS_SAMPLE: &str = r#"{
+      "experiment": "e15_chaos",
+      "clients": 4,
+      "acked": 96,
+      "lost": 0,
+      "duplicates": 0,
+      "drain_cycles": 3,
+      "retries": 17,
+      "p50_ms": 4.0,
+      "p99_ms": 180.0
+    }"#;
+
+    #[test]
+    fn chaos_doc_extracts_and_identical_passes() {
+        let doc = extract_chaos_doc(&Json::parse(CHAOS_SAMPLE).unwrap()).unwrap();
+        assert_eq!(doc.acked, 96);
+        assert_eq!((doc.lost, doc.duplicates), (0, 0));
+        assert_eq!(doc.drain_cycles, 3);
+        assert!((doc.p99_ms - 180.0).abs() < 1e-9);
+        assert!(compare_chaos(&doc, &doc, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn chaos_integrity_cells_are_absolute_zero() {
+        let doc = extract_chaos_doc(&Json::parse(CHAOS_SAMPLE).unwrap()).unwrap();
+        let degraded = scale_chaos(&doc, 2.0);
+        assert_eq!((degraded.lost, degraded.duplicates), (1, 1));
+        let regs = compare_chaos(&doc, &degraded, REGRESSION_THRESHOLD);
+        for stage in ["lost_acked_inserts", "duplicate_inserts", "p50_ms", "p99_ms"] {
+            assert!(regs.iter().any(|r| r.stage == stage), "{stage}: {regs:?}");
+        }
+        // Absolute: even against a baseline that itself lost inserts,
+        // a fresh lost/duplicated insert fails.
+        let regs = compare_chaos(&degraded, &degraded, REGRESSION_THRESHOLD);
+        assert!(
+            regs.iter().any(|r| r.cell == "chaos/integrity"),
+            "a corrupt baseline must not grandfather data loss: {regs:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_coverage_must_not_shrink() {
+        let doc = extract_chaos_doc(&Json::parse(CHAOS_SAMPLE).unwrap()).unwrap();
+        let mut fresh = doc.clone();
+        fresh.drain_cycles = 2;
+        fresh.acked = 0;
+        let regs = compare_chaos(&doc, &fresh, REGRESSION_THRESHOLD);
+        assert!(regs.iter().any(|r| r.stage == "acked_inserts"), "{regs:?}");
+        assert!(regs.iter().any(|r| r.stage == "drain_cycles"), "{regs:?}");
+    }
+
+    #[test]
+    fn chaos_bad_documents_are_typed_errors() {
+        let bad = Json::parse(&CHAOS_SAMPLE.replace("\"lost\": 0", "\"lost\": -1")).unwrap();
+        assert_eq!(
+            extract_chaos_doc(&bad).unwrap_err(),
+            GateError::InvalidMeasurement {
+                cell: "chaos/soak".into(),
+                field: "lost".into(),
+                value: -1.0,
+            }
+        );
+        let bad =
+            Json::parse(&CHAOS_SAMPLE.replace("\"duplicates\": 0,", "")).unwrap();
+        assert!(matches!(extract_chaos_doc(&bad).unwrap_err(), GateError::Shape(_)));
+    }
+
+    #[test]
+    fn chaos_render_round_trips_through_the_gate() {
+        let doc = extract_chaos_doc(&Json::parse(CHAOS_SAMPLE).unwrap()).unwrap();
+        let rendered = render_chaos_doc(&scale_chaos(&doc, 2.0));
+        let reparsed = extract_chaos_doc(&Json::parse(&rendered).unwrap()).unwrap();
+        assert!(!compare_chaos(&doc, &reparsed, REGRESSION_THRESHOLD).is_empty());
+        let identity = extract_chaos_doc(
+            &Json::parse(&render_chaos_doc(&doc)).unwrap(),
+        )
+        .unwrap();
+        assert!(compare_chaos(&doc, &identity, REGRESSION_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn parses_the_committed_chaos_baseline() {
+        // The gate must always be able to read the real artifact, and the
+        // committed soak must itself be loss-free.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_chaos.json"
+        ))
+        .expect("committed chaos baseline exists");
+        let doc = extract_chaos_doc(&Json::parse(&text).unwrap()).unwrap();
+        assert!(doc.acked > 0, "the soak acked work");
+        assert_eq!(doc.lost, 0, "committed baseline lost acked inserts");
+        assert_eq!(doc.duplicates, 0, "committed baseline duplicated inserts");
+        assert!(doc.drain_cycles >= 3, "the soak survived >= 3 drain cycles");
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub enum CoreError {
     /// The admission queue was full (or the wait deadline expired): the
     /// query was shed without starting. Retryable by definition.
     Overloaded,
+    /// The underlying device rejected a write with `ENOSPC`/`EIO` (or a
+    /// table is in read-only degraded mode after such a failure). Not
+    /// transient: retrying without operator intervention (freeing space,
+    /// replacing the device, `seal()`) cannot succeed.
+    StorageExhausted(String),
 }
 
 impl CoreError {
@@ -87,9 +92,22 @@ impl CoreError {
             // A shed query never started; retrying once load drains is
             // exactly what the admission queue is for.
             CoreError::Overloaded => true,
+            // A full or failing disk does not heal on retry: the caller
+            // must stop resending and surface the condition.
+            CoreError::StorageExhausted(_) => false,
             _ => false,
         }
     }
+}
+
+/// Whether an I/O error is a device-exhaustion condition (`ENOSPC`, or
+/// `EIO` from a failing device) that should flip the owning table into
+/// read-only degraded mode rather than surface as a generic I/O error.
+pub fn is_storage_exhausted_io(e: &std::io::Error) -> bool {
+    // ENOSPC = 28, EDQUOT = 122, EIO = 5 on Linux; `StorageFull` also
+    // covers the portable kind mapping.
+    matches!(e.kind(), std::io::ErrorKind::StorageFull)
+        || matches!(e.raw_os_error(), Some(28) | Some(122) | Some(5))
 }
 
 impl fmt::Display for CoreError {
@@ -119,6 +137,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Overloaded => {
                 f.write_str("overloaded: admission queue full, query shed")
+            }
+            CoreError::StorageExhausted(msg) => {
+                write!(f, "storage exhausted: {msg}")
             }
         }
     }
@@ -204,6 +225,26 @@ mod tests {
             partial_rows: 0,
         };
         assert!(!c.is_transient(), "a timed-out query times out again");
+        let e = CoreError::StorageExhausted("wal append: ENOSPC".into());
+        assert!(
+            !e.is_transient(),
+            "a full disk does not heal on retry: clients must stop resending"
+        );
+        assert!(e.to_string().contains("storage exhausted"), "{e}");
+        assert!(e.to_string().contains("ENOSPC"), "{e}");
+    }
+
+    #[test]
+    fn storage_exhausted_io_classification() {
+        for code in [28, 5, 122] {
+            let e = std::io::Error::from_raw_os_error(code);
+            assert!(is_storage_exhausted_io(&e), "errno {code} is exhaustion");
+        }
+        assert!(!is_storage_exhausted_io(&std::io::Error::other("boom")));
+        assert!(!is_storage_exhausted_io(&std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "try again"
+        )));
     }
 
     #[test]

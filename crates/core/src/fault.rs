@@ -47,6 +47,13 @@ pub enum FaultStage {
     /// Replaying the WAL during `open_ingest` recovery (target =
     /// `"frame:<seq>"`).
     Recover,
+    /// Bytes flowing server→client through the chaos proxy (target =
+    /// `"conn:<index>"`). Pairs with `IoError` (sever the connection) and
+    /// `Stall` (delay delivery).
+    NetRead,
+    /// Bytes flowing client→server through the chaos proxy (target =
+    /// `"conn:<index>"`).
+    NetWrite,
 }
 
 /// What kind of fault fires. Seeds make the corruption deterministic.
@@ -74,10 +81,17 @@ pub enum FaultKind {
     /// one bit of its tail is damaged — the classic power-cut shape a
     /// checksummed WAL frame must detect and truncate, never replay.
     TornWrite(u64),
+    /// The device rejects the write with `ENOSPC`: the WAL append fails
+    /// typed (`CoreError::StorageExhausted`) and the table flips into
+    /// read-only degraded mode. Nothing reaches the medium.
+    DiskFull,
 }
 
 /// One bounded-mix step of splitmix64; enough to spread a test seed.
-fn mix(seed: u64) -> u64 {
+/// Public: the chaos proxy and the retrying client derive their
+/// per-connection fault plans and backoff jitter from the same mixer, so
+/// a failing soak reproduces from its seed alone.
+pub fn mix(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -117,7 +131,11 @@ impl FaultKind {
                     bytes[tail + bit / 8] ^= 1 << (bit % 8);
                 }
             }
-            FaultKind::IoError | FaultKind::Crash | FaultKind::Cancel | FaultKind::Stall(_) => {}
+            FaultKind::IoError
+            | FaultKind::Crash
+            | FaultKind::Cancel
+            | FaultKind::Stall(_)
+            | FaultKind::DiskFull => {}
         }
     }
 
@@ -128,6 +146,9 @@ impl FaultKind {
                 std::io::ErrorKind::Interrupted,
                 "injected transient I/O error",
             ),
+            // Raw ENOSPC, so the same classifier handles injected and
+            // real device exhaustion.
+            FaultKind::DiskFull => std::io::Error::from_raw_os_error(28),
             other => std::io::Error::other(format!("injected fault: {other:?}")),
         }
     }
@@ -215,6 +236,13 @@ impl FaultInjector {
     pub fn fired(&self) -> Vec<(FaultStage, String, FaultKind)> {
         self.fired.lock().unwrap().clone()
     }
+
+    /// Drop every remaining rule (the fired history stays). Soaks use
+    /// this to end an injected fault window — e.g. "the operator freed
+    /// disk space" — without rebuilding the injector the table holds.
+    pub fn clear(&self) {
+        self.rules.lock().unwrap().clear();
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +290,22 @@ mod tests {
         assert!(fi.fire(FaultStage::LoadDecode, "dir/b.las").is_some());
         assert!(fi.fire(FaultStage::LoadDecode, "b.las").is_none());
         assert_eq!(fi.fired().len(), 2);
+        // clear() ends a fault window: live rules vanish, history stays.
+        fi.inject_n(FaultStage::WalAppend, None, FaultKind::DiskFull, 0, 100);
+        fi.clear();
+        assert!(fi.fire(FaultStage::WalAppend, "frame:0").is_none());
+        assert_eq!(fi.fired().len(), 2);
+    }
+
+    #[test]
+    fn disk_full_surfaces_as_enospc() {
+        let e = FaultKind::DiskFull.to_io_error();
+        assert_eq!(e.raw_os_error(), Some(28), "raw ENOSPC: {e}");
+        // Not byte-level: the buffer is untouched (the write never ran).
+        let orig: Vec<u8> = (0..32).collect();
+        let mut b = orig.clone();
+        FaultKind::DiskFull.corrupt(&mut b);
+        assert_eq!(b, orig);
     }
 
     #[test]

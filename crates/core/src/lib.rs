@@ -53,7 +53,7 @@ pub mod soa;
 pub mod trace;
 pub mod wal;
 
-pub use error::{CancelReason, CoreError};
+pub use error::{is_storage_exhausted_io, CancelReason, CoreError};
 pub use exec::{MorselTiming, Parallelism, MORSEL_MIN_ROWS};
 pub use governor::{
     AdmissionController, CancelToken, GovernCtx, MemBudget, QueryId, QueryInfo,
@@ -64,9 +64,9 @@ pub use fault::{FaultInjector, FaultKind, FaultStage};
 pub use loader::{
     FileOutcome, FileReport, LoadMethod, LoadPolicy, LoadReport, LoadStats, Loader,
 };
-pub use pointcloud::PointCloud;
+pub use pointcloud::{IngestAck, PointCloud};
 pub use query::{Aggregate, AttrRange, Explain, RefineStrategy, Selection, SpatialPredicate};
 pub use recorder::{Recorder, RecorderSample, DEFAULT_INTERVAL_MS, RECORDER_SLOTS};
 pub use segment::{TileOptions, TileResidency, TiledCloud};
 pub use trace::{SlowQuery, SlowQueryLog, SpanKind, SpanRecord, TraceSink, Tracer};
-pub use wal::{Durability, RecoveryReport};
+pub use wal::{Durability, RecoveryReport, LEDGER_CAP};

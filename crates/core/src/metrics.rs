@@ -341,6 +341,17 @@ pub struct MetricsRegistry {
     /// Rows applied but not yet WAL-durable on the most recently
     /// appended-to streaming table (the group-commit backlog).
     pub wal_backlog_rows: Gauge,
+    /// INSERT batches skipped because their idempotency token was already
+    /// in a table's replay ledger (a client retried after a lost ack).
+    pub wal_dedup_hits: Counter,
+    /// Streaming tables currently in read-only degraded mode after an
+    /// `ENOSPC`/`EIO` (queries serve the durable snapshot; INSERTs are
+    /// rejected typed until `seal()` succeeds).
+    pub degraded_tables: Gauge,
+    /// 1 while the server is draining (graceful shutdown in progress:
+    /// not accepting, in-flight statements running out their deadline),
+    /// else 0. `/healthz` reports 503 while set.
+    pub server_draining: Gauge,
     /// Monotonic snapshot sequence: bumped by every
     /// [`snapshot_json`](Self::snapshot_json) so two scrapes of the same
     /// registry are totally ordered even at equal wall-clock resolution.
@@ -422,6 +433,9 @@ impl MetricsRegistry {
         self.admission_queued.reset();
         self.inflight_queries.reset();
         self.wal_backlog_rows.reset();
+        self.wal_dedup_hits.reset();
+        self.degraded_tables.reset();
+        self.server_draining.reset();
         // `snapshot_seq` and the epoch survive a reset on purpose: they
         // order *snapshots*, not workload, and rate conversion between two
         // scrapes must stay valid across a benchmark's reset.
@@ -457,6 +471,7 @@ impl MetricsRegistry {
             ("tiles_probed", self.tiles_probed.get()),
             ("tiles_loaded", self.tiles_loaded.get()),
             ("tiles_evicted", self.tiles_evicted.get()),
+            ("wal_dedup_hits", self.wal_dedup_hits.get()),
             ("imprint_probes", lidardb_imprints::probe_count()),
             ("imprint_candidate_rows", lidardb_imprints::probe_rows()),
             ("scan_rows_examined", lidardb_storage::scan::rows_examined()),
@@ -474,6 +489,8 @@ impl MetricsRegistry {
             ("admission_queued", self.admission_queued.get()),
             ("inflight_queries", self.inflight_queries.get()),
             ("wal_backlog_rows", self.wal_backlog_rows.get()),
+            ("degraded_tables", self.degraded_tables.get()),
+            ("server_draining", self.server_draining.get()),
             ("scan_calls", lidardb_storage::scan::scan_calls()),
         ]
     }

@@ -60,6 +60,17 @@ fn io_err(e: std::io::Error) -> CoreError {
     CoreError::Las(lidardb_las::LasError::Io(e))
 }
 
+/// Write-path I/O mapping: device exhaustion (`ENOSPC`/`EIO`) becomes the
+/// typed [`CoreError::StorageExhausted`] so the owning table can enter
+/// read-only degraded mode; anything else stays a plain I/O error.
+fn wio_err(e: std::io::Error) -> CoreError {
+    if crate::error::is_storage_exhausted_io(&e) {
+        CoreError::StorageExhausted(format!("dump write: {e}"))
+    } else {
+        io_err(e)
+    }
+}
+
 fn corrupt(msg: impl Into<String>) -> CoreError {
     CoreError::Corrupt(msg.into())
 }
@@ -480,7 +491,7 @@ fn sync_file(f: &std::fs::File, durability: Durability) -> Result<(), CoreError>
     if durability == Durability::None {
         return Ok(());
     }
-    f.sync_all().map_err(io_err)
+    f.sync_all().map_err(wio_err)
 }
 
 /// fsync a *directory*, making the renames/creates inside it durable.
@@ -492,7 +503,7 @@ fn sync_dir(dir: &Path, durability: Durability) -> Result<(), CoreError> {
     }
     std::fs::File::open(dir)
         .and_then(|d| d.sync_all())
-        .map_err(io_err)
+        .map_err(wio_err)
 }
 
 impl PointCloud {
@@ -562,10 +573,10 @@ impl PointCloud {
             }
             let path = staging.path.join(format!("{}.bin", field.name));
             let mut f =
-                std::io::BufWriter::new(std::fs::File::create(&path).map_err(io_err)?);
+                std::io::BufWriter::new(std::fs::File::create(&path).map_err(wio_err)?);
             f.write_all(&bytes)
                 .and_then(|()| f.flush())
-                .map_err(io_err)?;
+                .map_err(wio_err)?;
             // Regression: the dump used to leave the page cache unflushed,
             // so a power cut after a "successful" save could lose or tear
             // column bytes the checksums were computed over.
@@ -581,8 +592,8 @@ impl PointCloud {
         }
         {
             let mut f =
-                std::fs::File::create(staging.path.join(MANIFEST)).map_err(io_err)?;
-            f.write_all(&manifest).map_err(io_err)?;
+                std::fs::File::create(staging.path.join(MANIFEST)).map_err(wio_err)?;
+            f.write_all(&manifest).map_err(wio_err)?;
             sync_file(&f, durability)?;
         }
         // The staged files themselves must be durable before the commit
@@ -723,22 +734,22 @@ pub(crate) fn save_tiled_inner(
                 .path
                 .join(tile_dir_name(t.id))
                 .join(format!("{}.bin", field.name));
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).map_err(io_err)?);
-            f.write_all(slice).and_then(|()| f.flush()).map_err(io_err)?;
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).map_err(wio_err)?);
+            f.write_all(slice).and_then(|()| f.flush()).map_err(wio_err)?;
             sync_file(f.get_ref(), durability)?;
         }
     }
     for t in &tm.tiles.tiles {
         let tdir = staging.path.join(tile_dir_name(t.id));
         let manifest = Manifest::render_v2(t.rows(), &tile_sums[t.id]);
-        let mut f = std::fs::File::create(tdir.join(MANIFEST)).map_err(io_err)?;
-        f.write_all(manifest.as_bytes()).map_err(io_err)?;
+        let mut f = std::fs::File::create(tdir.join(MANIFEST)).map_err(wio_err)?;
+        f.write_all(manifest.as_bytes()).map_err(wio_err)?;
         sync_file(&f, durability)?;
         sync_dir(&tdir, durability)?;
     }
     {
-        let mut f = std::fs::File::create(staging.path.join(MANIFEST)).map_err(io_err)?;
-        f.write_all(tm.render().as_bytes()).map_err(io_err)?;
+        let mut f = std::fs::File::create(staging.path.join(MANIFEST)).map_err(wio_err)?;
+        f.write_all(tm.render().as_bytes()).map_err(wio_err)?;
         sync_file(&f, durability)?;
     }
     sync_dir(&staging.path, durability)?;

@@ -40,8 +40,26 @@ pub struct PointCloud {
     /// only when the covering WAL frames are durable, so a reader can
     /// never observe a row that a crash would take back (no ghost rows).
     visible_rows: AtomicUsize,
+    /// Read-only degraded mode: set when the device under the WAL or dump
+    /// rejects a write (`ENOSPC`/`EIO`). Queries keep serving the durable
+    /// snapshot; ingest is refused with a typed
+    /// [`CoreError::StorageExhausted`] until an operator frees space and
+    /// a successful [`Self::seal`] clears the flag.
+    degraded: std::sync::atomic::AtomicBool,
     /// Streaming-ingest state (`None` for plain in-memory clouds).
     ingest: Option<IngestState>,
+}
+
+/// Acknowledgement of a (possibly idempotency-tagged) ingest batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Rows actually appended (0 when the batch was deduped).
+    pub inserted: usize,
+    /// Whether the batch — and every batch before it — is fsynced.
+    pub durable: bool,
+    /// Whether the batch's token was already logged: the rows were NOT
+    /// appended again; the original append is acknowledged instead.
+    pub deduped: bool,
 }
 
 /// Everything an ingesting cloud carries beyond the plain table.
@@ -68,6 +86,14 @@ impl Default for PointCloud {
     }
 }
 
+impl Drop for PointCloud {
+    fn drop(&mut self) {
+        // A dropped table no longer counts toward the process-wide
+        // `degraded_tables` gauge.
+        self.set_degraded(false);
+    }
+}
+
 impl PointCloud {
     /// An empty point cloud.
     pub fn new() -> Self {
@@ -81,8 +107,37 @@ impl PointCloud {
             mem_budget_bytes: std::sync::atomic::AtomicU64::new(0),
             admission: None,
             visible_rows: AtomicUsize::new(0),
+            degraded: std::sync::atomic::AtomicBool::new(false),
             ingest: None,
         }
+    }
+
+    /// Whether the table is in read-only degraded mode after a storage
+    /// exhaustion (`ENOSPC`/`EIO`) failure. Queries still serve the
+    /// durable snapshot; ingest is refused.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Flip the degraded flag, keeping the process-wide `degraded_tables`
+    /// gauge in step (one inc/dec per actual transition).
+    fn set_degraded(&self, on: bool) {
+        let was = self.degraded.swap(on, Ordering::AcqRel);
+        let g = &crate::metrics::MetricsRegistry::global().degraded_tables;
+        match (was, on) {
+            (false, true) => g.inc(),
+            (true, false) => g.dec(),
+            _ => {}
+        }
+    }
+
+    /// Pass a WAL/persist result through, flipping this table into
+    /// degraded mode when it reports storage exhaustion.
+    fn note_storage<T>(&self, r: Result<T, CoreError>) -> Result<T, CoreError> {
+        if matches!(r, Err(CoreError::StorageExhausted(_))) {
+            self.set_degraded(true);
+        }
+        r
     }
 
     /// Set the default statement timeout applied to every query on this
@@ -255,19 +310,61 @@ impl PointCloud {
     /// an `Ok(false)` batch becomes durable at the next group sync or an
     /// explicit [`Self::flush_wal`]. Plain clouds (no WAL) report `true`.
     pub fn ingest_records(&mut self, records: &[PointRecord]) -> Result<bool, CoreError> {
+        self.ingest_records_tagged(records, 0).map(|a| a.durable)
+    }
+
+    /// [`Self::ingest_records`] with an idempotency token (0 = none): a
+    /// batch whose token the WAL has already logged is acknowledged
+    /// without being applied again, so a client retrying an INSERT after
+    /// a lost acknowledgement cannot double-insert.
+    pub fn ingest_records_tagged(
+        &mut self,
+        records: &[PointRecord],
+        token: u64,
+    ) -> Result<IngestAck, CoreError> {
+        if self.degraded() {
+            return Err(CoreError::StorageExhausted(format!(
+                "table is read-only (degraded after a storage failure); \
+                 {} rows refused — free space and seal() to recover",
+                records.len()
+            )));
+        }
+        if token != 0 {
+            if let Some(ing) = &self.ingest {
+                if ing.wal.token_seen(token).is_some() {
+                    crate::metrics::MetricsRegistry::global()
+                        .wal_dedup_hits
+                        .inc();
+                    return Ok(IngestAck {
+                        inserted: 0,
+                        durable: true,
+                        deduped: true,
+                    });
+                }
+            }
+        }
         let soa = ColumnArrays::from_records(records);
         let dumps = soa.to_dumps();
         if self.ingest.is_none() {
-            self.append_dumps(&dumps)?;
-            return Ok(true);
+            let n = self.append_dumps(&dumps)?;
+            return Ok(IngestAck {
+                inserted: n,
+                durable: true,
+                deduped: false,
+            });
         }
-        self.append_dumps_ingest(&dumps).map(|(_, durable)| durable)
+        let (n, durable) = self.append_dumps_ingest_tagged(&dumps, token)?;
+        Ok(IngestAck {
+            inserted: n,
+            durable,
+            deduped: false,
+        })
     }
 
     /// `COPY BINARY`: append one little-endian dump per column.
     pub fn append_dumps(&mut self, dumps: &[Vec<u8>]) -> Result<usize, CoreError> {
         if self.ingest.is_some() {
-            return self.append_dumps_ingest(dumps).map(|(n, _)| n);
+            return self.append_dumps_ingest_tagged(dumps, 0).map(|(n, _)| n);
         }
         let n = self.apply_dumps(dumps)?;
         self.publish_visible(self.table.num_rows());
@@ -279,18 +376,23 @@ impl PointCloud {
     /// acknowledges durability (always under `Durability::Always`; at
     /// group boundaries under `GroupCommit`; immediately under `None`,
     /// which trades the no-ghost-rows guarantee for speed).
-    fn append_dumps_ingest(&mut self, dumps: &[Vec<u8>]) -> Result<(usize, bool), CoreError> {
+    fn append_dumps_ingest_tagged(
+        &mut self,
+        dumps: &[Vec<u8>],
+        token: u64,
+    ) -> Result<(usize, bool), CoreError> {
         let rows = dump_rows(dumps)?;
         if rows == 0 {
             return Ok((0, true));
         }
         let t0 = std::time::Instant::now();
-        let durable = self
+        let append = self
             .ingest
             .as_mut()
             .expect("ingest state checked by caller")
             .wal
-            .append_batch(dumps, rows)?;
+            .append_batch(dumps, rows, token);
+        let durable = self.note_storage(append)?;
         let n = self.apply_dumps(dumps)?;
         let ing = self.ingest.as_ref().expect("ingest state");
         if durable || ing.wal.durability() == Durability::None {
@@ -585,7 +687,8 @@ impl PointCloud {
     /// and visible. No-op on plain clouds.
     pub fn flush_wal(&mut self) -> Result<(), CoreError> {
         if let Some(ing) = self.ingest.as_mut() {
-            ing.wal.sync()?;
+            let r = ing.wal.sync();
+            self.note_storage(r)?;
             self.publish_visible(self.table.num_rows());
             self.publish_wal_backlog();
         }
@@ -608,7 +711,8 @@ impl PointCloud {
             ));
         };
         self.flush_wal()?;
-        self.save_dir_inner(&dir, self.fault.as_deref(), durability)?;
+        let saved = self.save_dir_inner(&dir, self.fault.as_deref(), durability);
+        self.note_storage(saved)?;
         if let Some(fi) = &self.fault {
             if let Some(kind) = fi.fire(crate::fault::FaultStage::Seal, "truncate") {
                 // Crash after the dump committed but before the WAL
@@ -625,6 +729,10 @@ impl PointCloud {
             .expect("ingest state checked above")
             .wal
             .reset(n)?;
+        // The full table just reached stable storage: if the device had
+        // been exhausted, the operator has freed space — leave degraded
+        // mode and accept ingest again.
+        self.set_degraded(false);
         Ok(())
     }
 
@@ -651,13 +759,15 @@ impl PointCloud {
         self.flush_wal()?;
         let tm = crate::segment::sort_and_plan(self, opts)?;
         let tiles = tm.tiles.len();
-        crate::persist::save_tiled_inner(self, &dir, &tm, durability)?;
+        let saved = crate::persist::save_tiled_inner(self, &dir, &tm, durability);
+        self.note_storage(saved)?;
         let n = self.table.num_rows() as u64;
         self.ingest
             .as_mut()
             .expect("ingest state checked above")
             .wal
             .reset(n)?;
+        self.set_degraded(false);
         Ok(tiles)
     }
 

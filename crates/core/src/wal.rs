@@ -7,21 +7,37 @@
 //! appended to a WAL *before* it touches the in-memory table, so a crash
 //! loses at most the batches that were never acknowledged as durable.
 //!
-//! # Frame format
+//! # Frame format (v02)
 //!
 //! ```text
-//! header:  "LDBWAL01" | base_rows u64 | crc32(magic ‖ base_rows)
-//! frame:   payload_len u32 | crc32 u32 | seq u64 | end_rows u64 | payload
+//! header:  "LDBWAL02" | base_rows u64 | ledger_count u32
+//!          | [token u64]*ledger_count | crc32(everything before)
+//! frame:   payload_len u32 | crc32 u32 | seq u64 | end_rows u64
+//!          | token u64 | payload
 //! payload: rows u32 | column dumps, little-endian, in schema order
 //! ```
 //!
-//! The frame CRC covers `seq ‖ end_rows ‖ payload`. Every length field is
-//! untrusted (PR 3 decoder discipline): `payload_len` is checked against
-//! the bytes actually remaining in the file and a hard cap before any
-//! allocation, `rows` against the derived per-column dump sizes, and
+//! The frame CRC covers `seq ‖ end_rows ‖ token ‖ payload`. Every length
+//! field is untrusted (PR 3 decoder discipline): `payload_len` is checked
+//! against the bytes actually remaining in the file and a hard cap before
+//! any allocation, `ledger_count` against [`LEDGER_CAP`] and the header
+//! bytes present, `rows` against the derived per-column dump sizes, and
 //! `end_rows` against the running row count — so a torn, truncated or
 //! bit-flipped tail is detected and cleanly truncated at recovery, never
 //! mis-replayed.
+//!
+//! # Idempotency ledger
+//!
+//! `token` (0 = none) is a client-chosen idempotency token for the batch:
+//! the writer keeps a bounded ledger of recent tokens so a client that
+//! retries an INSERT after a lost acknowledgement cannot double-insert.
+//! Tokens ride in the frame header (replayed into the ledger during
+//! recovery) and survive `seal()` through the header's ledger snapshot —
+//! written when the log resets, since the frames that carried them are
+//! folded into the dump and truncated away. Eviction is bounded
+//! ([`LEDGER_CAP`]) but never drops a token whose covering frame is not
+//! yet durable: an undurable batch is exactly the one a client may still
+//! be retrying.
 //!
 //! # Group commit and visibility
 //!
@@ -39,6 +55,7 @@
 //! contains every logged row; frames carry their cumulative `end_rows`
 //! exactly so replay can skip the prefix the dump already covers.
 
+use std::collections::VecDeque;
 use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -47,24 +64,42 @@ use std::time::{Duration, Instant};
 use lidardb_las::point_schema;
 
 use crate::crc::crc32;
-use crate::error::CoreError;
+use crate::error::{is_storage_exhausted_io, CoreError};
 use crate::fault::{FaultInjector, FaultKind, FaultStage};
 
 /// WAL header magic (8 bytes, versioned).
-const MAGIC: &[u8; 8] = b"LDBWAL01";
+const MAGIC: &[u8; 8] = b"LDBWAL02";
 
-/// Header size: magic + base_rows + crc.
-const HEADER_LEN: u64 = 8 + 8 + 4;
+/// Minimum header size (empty ledger): magic + base_rows + ledger_count
+/// + crc. A header carrying `n` ledger tokens is `HEADER_LEN + 8n` bytes.
+const HEADER_LEN: u64 = 8 + 8 + 4 + 4;
 
-/// Frame header size: payload_len + crc + seq + end_rows.
-const FRAME_HEADER_LEN: u64 = 4 + 4 + 8 + 8;
+/// Frame header size: payload_len + crc + seq + end_rows + token.
+const FRAME_HEADER_LEN: u64 = 4 + 4 + 8 + 8 + 8;
 
 /// Hard cap on a single frame payload (64 MiB ≈ 800k points); a declared
 /// length beyond it is rejected before any allocation.
 const MAX_PAYLOAD: u32 = 64 << 20;
 
+/// Soft capacity of the idempotency ledger. Eviction kicks in past this
+/// size but never drops an entry whose frame is not yet durable, so the
+/// true bound is `LEDGER_CAP` + the group-commit window.
+pub const LEDGER_CAP: usize = 1024;
+
 fn io_err(e: std::io::Error) -> CoreError {
     CoreError::Las(lidardb_las::LasError::Io(e))
+}
+
+/// Map a WAL write-path I/O failure: device exhaustion (`ENOSPC`/`EIO`)
+/// becomes the typed [`CoreError::StorageExhausted`] so the owning table
+/// can flip into read-only degraded mode; anything else stays a plain
+/// I/O error.
+fn write_err(op: &str, e: std::io::Error) -> CoreError {
+    if is_storage_exhausted_io(&e) {
+        CoreError::StorageExhausted(format!("{op}: {e}"))
+    } else {
+        io_err(e)
+    }
 }
 
 fn corrupt(msg: impl Into<String>) -> CoreError {
@@ -165,28 +200,48 @@ pub(crate) struct Frame {
     pub seq: u64,
     /// Cumulative row count (base + all frames through this one).
     pub end_rows: u64,
+    /// Idempotency token the batch was stamped with (0 = none).
+    pub token: u64,
     /// Per-column little-endian dumps in schema order.
     pub dumps: Vec<Vec<u8>>,
 }
 
 /// Encode a batch as one frame. `end_rows` is the cumulative row count
-/// after the batch.
-fn encode_frame(seq: u64, end_rows: u64, rows: u32, dumps: &[Vec<u8>]) -> Vec<u8> {
+/// after the batch; `token` is the batch's idempotency token (0 = none).
+fn encode_frame(seq: u64, end_rows: u64, token: u64, rows: u32, dumps: &[Vec<u8>]) -> Vec<u8> {
     let payload_len: usize = 4 + dumps.iter().map(Vec::len).sum::<usize>();
     let mut buf = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload_len);
     buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
     buf.extend_from_slice(&[0u8; 4]); // crc, patched below
     buf.extend_from_slice(&seq.to_le_bytes());
     buf.extend_from_slice(&end_rows.to_le_bytes());
+    buf.extend_from_slice(&token.to_le_bytes());
     buf.extend_from_slice(&rows.to_le_bytes());
     for d in dumps {
         buf.extend_from_slice(d);
     }
-    // The CRC'd region (seq ‖ end_rows ‖ payload) is contiguous on disk,
-    // so verification needs no reassembly copy.
+    // The CRC'd region (seq ‖ end_rows ‖ token ‖ payload) is contiguous
+    // on disk, so verification needs no reassembly copy.
     let crc = crc32(&buf[8..]);
     buf[4..8].copy_from_slice(&crc.to_le_bytes());
     buf
+}
+
+/// Encode a WAL header for a log restarting at `base_rows`, embedding a
+/// snapshot of (at most the newest [`LEDGER_CAP`]) idempotency tokens.
+fn encode_header(base_rows: u64, tokens: &[u64]) -> Vec<u8> {
+    let keep = tokens.len().min(LEDGER_CAP);
+    let tokens = &tokens[tokens.len() - keep..];
+    let mut hdr = Vec::with_capacity(HEADER_LEN as usize + keep * 8);
+    hdr.extend_from_slice(MAGIC);
+    hdr.extend_from_slice(&base_rows.to_le_bytes());
+    hdr.extend_from_slice(&(keep as u32).to_le_bytes());
+    for t in tokens {
+        hdr.extend_from_slice(&t.to_le_bytes());
+    }
+    let hcrc = crc32(&hdr);
+    hdr.extend_from_slice(&hcrc.to_le_bytes());
+    hdr
 }
 
 /// Byte size of `rows` rows across the point schema (81 bytes/row today,
@@ -236,13 +291,18 @@ pub struct WalWriter {
     /// Appends since the last sync (group-commit trigger).
     pending: usize,
     last_sync: Instant,
+    /// Idempotency ledger: `(token, end_rows)` of recent tagged batches,
+    /// oldest first. Bounded by [`LEDGER_CAP`] + the undurable window.
+    ledger: VecDeque<(u64, u64)>,
     fault: Option<Arc<FaultInjector>>,
 }
 
 impl WalWriter {
     /// Open (or create) the WAL at `path` for a table currently holding
     /// `base_rows` rows, positioned after `valid_len` bytes of verified
-    /// frames covering `wal_rows` rows at sequence `seq`.
+    /// frames covering `wal_rows` rows at sequence `seq`, with the
+    /// idempotency ledger recovered from the scan.
+    #[allow(clippy::too_many_arguments)]
     fn open_at(
         path: &Path,
         base_rows: u64,
@@ -250,6 +310,7 @@ impl WalWriter {
         rows: u64,
         seq: u64,
         durability: Durability,
+        ledger: VecDeque<(u64, u64)>,
         fault: Option<Arc<FaultInjector>>,
     ) -> Result<WalWriter, CoreError> {
         let mut file = std::fs::OpenOptions::new()
@@ -263,13 +324,10 @@ impl WalWriter {
         if len < HEADER_LEN {
             // Fresh (or sub-header) log: write the header for this base.
             file.set_len(0).map_err(io_err)?;
-            let mut hdr = Vec::with_capacity(HEADER_LEN as usize);
-            hdr.extend_from_slice(MAGIC);
-            hdr.extend_from_slice(&base_rows.to_le_bytes());
-            let hcrc = crc32(&hdr);
-            hdr.extend_from_slice(&hcrc.to_le_bytes());
-            file.write_all(&hdr).map_err(io_err)?;
-            file.sync_all().map_err(io_err)?;
+            let tokens: Vec<u64> = ledger.iter().map(|&(t, _)| t).collect();
+            let hdr = encode_header(base_rows, &tokens);
+            file.write_all(&hdr).map_err(|e| write_err("wal header", e))?;
+            file.sync_all().map_err(|e| write_err("wal header sync", e))?;
         } else if len > valid_len {
             // Recovery truncation: drop the torn/corrupt tail so the next
             // append starts at a verified frame boundary.
@@ -277,7 +335,7 @@ impl WalWriter {
             file.sync_all().map_err(io_err)?;
         }
         file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
-        Ok(WalWriter {
+        let mut w = WalWriter {
             file,
             path: path.to_path_buf(),
             durability,
@@ -286,8 +344,11 @@ impl WalWriter {
             durable_rows: rows.max(base_rows),
             pending: 0,
             last_sync: Instant::now(),
+            ledger,
             fault,
-        })
+        };
+        w.trim_ledger();
+        Ok(w)
     }
 
     /// The log's on-disk path.
@@ -310,19 +371,68 @@ impl WalWriter {
         self.durability
     }
 
+    /// If `token` (≠ 0) was already logged, return the cumulative row
+    /// count its batch ended at — the dedup signal for idempotent replay.
+    pub fn token_seen(&self, token: u64) -> Option<u64> {
+        if token == 0 {
+            return None;
+        }
+        self.ledger
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t == token)
+            .map(|&(_, end)| end)
+    }
+
+    /// Current ledger size (tests and `sys.wal`).
+    pub fn ledger_len(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// Evict oldest ledger entries past [`LEDGER_CAP`] — but only those
+    /// whose frames are durable. An undurable batch is exactly the one a
+    /// disconnected client may still be retrying; its token must survive
+    /// until the covering frame is fsynced.
+    fn trim_ledger(&mut self) {
+        while self.ledger.len() > LEDGER_CAP {
+            match self.ledger.front() {
+                Some(&(_, end)) if end <= self.durable_rows => {
+                    self.ledger.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
     /// Append one batch (per-column dumps, `rows` rows) as a frame, then
-    /// sync per the durability policy. Returns whether the frame (and all
-    /// before it) is durable on return.
-    pub fn append_batch(&mut self, dumps: &[Vec<u8>], rows: usize) -> Result<bool, CoreError> {
+    /// sync per the durability policy. `token` (0 = none) is the batch's
+    /// idempotency token, recorded in the ledger on success — the caller
+    /// is responsible for checking [`token_seen`](Self::token_seen) first.
+    /// Returns whether the frame (and all before it) is durable on return.
+    pub fn append_batch(
+        &mut self,
+        dumps: &[Vec<u8>],
+        rows: usize,
+        token: u64,
+    ) -> Result<bool, CoreError> {
         let seq = self.seq;
         let end_rows = self.rows + rows as u64;
-        let mut frame = encode_frame(seq, end_rows, rows as u32, dumps);
+        let mut frame = encode_frame(seq, end_rows, token, rows as u32, dumps);
         if let Some(kind) = self
             .fault
             .as_ref()
             .and_then(|fi| fi.fire(FaultStage::WalAppend, &format!("frame:{seq}")))
         {
             match kind {
+                FaultKind::DiskFull => {
+                    // The device rejected the write before any byte
+                    // landed; surface the typed exhaustion error so the
+                    // table degrades instead of crashing.
+                    return Err(CoreError::StorageExhausted(format!(
+                        "wal append of frame {seq}: {}",
+                        kind.to_io_error()
+                    )));
+                }
                 FaultKind::IoError => return Err(io_err(kind.to_io_error())),
                 FaultKind::Crash => {
                     // Process died before any byte of the frame reached
@@ -341,10 +451,16 @@ impl WalWriter {
                 }
             }
         }
-        self.file.write_all(&frame).map_err(io_err)?;
+        self.file
+            .write_all(&frame)
+            .map_err(|e| write_err(&format!("wal append of frame {seq}"), e))?;
         self.seq += 1;
         self.rows = end_rows;
         self.pending += 1;
+        if token != 0 {
+            self.ledger.push_back((token, end_rows));
+            self.trim_ledger();
+        }
         let due = match self.durability {
             Durability::Always => true,
             Durability::GroupCommit {
@@ -371,6 +487,14 @@ impl WalWriter {
             .and_then(|fi| fi.fire(FaultStage::WalSync, &format!("sync:{seq}")))
         {
             match kind {
+                FaultKind::DiskFull => {
+                    // The device refused the fsync: appended frames stay
+                    // in the page cache, durability cannot advance.
+                    return Err(CoreError::StorageExhausted(format!(
+                        "wal sync at seq {seq}: {}",
+                        kind.to_io_error()
+                    )));
+                }
                 FaultKind::IoError => return Err(io_err(kind.to_io_error())),
                 _ => {
                     // A crash at (or instead of) the fsync: unsynced page
@@ -400,10 +524,13 @@ impl WalWriter {
                 }
             }
         }
-        self.file.sync_all().map_err(io_err)?;
+        self.file
+            .sync_all()
+            .map_err(|e| write_err("wal sync", e))?;
         self.durable_rows = self.rows;
         self.pending = 0;
         self.last_sync = Instant::now();
+        self.trim_ledger();
         crate::metrics::MetricsRegistry::global().wal_syncs.inc();
         Ok(())
     }
@@ -417,7 +544,7 @@ impl WalWriter {
         let mut bytes = Vec::new();
         self.file.read_to_end(&mut bytes).map_err(io_err)?;
         let scan = scan_frames(&bytes, None)?;
-        let mut at = HEADER_LEN;
+        let mut at = scan.header_len;
         for (f, flen) in scan.frames.iter().zip(scan.frame_lens.iter()) {
             if f.end_rows > durable {
                 break;
@@ -428,22 +555,32 @@ impl WalWriter {
     }
 
     /// Reset the log after a successful seal: the dump now holds
-    /// `base_rows` rows, so the log restarts empty at that base.
+    /// `base_rows` rows, so the log restarts empty at that base. The
+    /// idempotency ledger is snapshotted into the fresh header — the
+    /// frames that carried the tokens are being truncated away, but a
+    /// client replaying a pre-seal INSERT must still be deduped.
     pub fn reset(&mut self, base_rows: u64) -> Result<(), CoreError> {
         self.file.set_len(0).map_err(io_err)?;
         self.file.seek(std::io::SeekFrom::Start(0)).map_err(io_err)?;
-        let mut hdr = Vec::with_capacity(HEADER_LEN as usize);
-        hdr.extend_from_slice(MAGIC);
-        hdr.extend_from_slice(&base_rows.to_le_bytes());
-        let hcrc = crc32(&hdr);
-        hdr.extend_from_slice(&hcrc.to_le_bytes());
-        self.file.write_all(&hdr).map_err(io_err)?;
-        self.file.sync_all().map_err(io_err)?;
+        let tokens: Vec<u64> = self.ledger.iter().map(|&(t, _)| t).collect();
+        let hdr = encode_header(base_rows, &tokens);
+        self.file
+            .write_all(&hdr)
+            .map_err(|e| write_err("wal reset header", e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| write_err("wal reset sync", e))?;
         self.seq = 0;
         self.rows = base_rows;
         self.durable_rows = base_rows;
         self.pending = 0;
         self.last_sync = Instant::now();
+        // Every logged row is now in the dump: clamp ledger watermarks to
+        // the new base so the eviction rule keeps working.
+        for e in self.ledger.iter_mut() {
+            e.1 = e.1.min(base_rows);
+        }
+        self.trim_ledger();
         Ok(())
     }
 }
@@ -453,6 +590,10 @@ impl WalWriter {
 pub(crate) struct WalScan {
     /// The log's base row count from the header (0 for an empty/absent log).
     pub base_rows: u64,
+    /// Idempotency tokens snapshotted into the header by the last `seal`.
+    pub ledger_tokens: Vec<u64>,
+    /// On-disk byte length of the (variable-size) header.
+    pub header_len: u64,
     /// Verified frames, in order.
     pub frames: Vec<Frame>,
     /// On-disk byte length of each verified frame.
@@ -470,22 +611,39 @@ pub(crate) fn scan_frames(bytes: &[u8], fi: Option<&FaultInjector>) -> Result<Wa
     if bytes.is_empty() {
         return Ok(WalScan {
             base_rows: 0,
+            ledger_tokens: Vec::new(),
+            header_len: 0,
             frames: Vec::new(),
             frame_lens: Vec::new(),
             valid_len: 0,
             tail_bytes: 0,
         });
     }
-    if bytes.len() < HEADER_LEN as usize
-        || &bytes[..8] != MAGIC
-        || crc32(&bytes[..16]) != u32::from_le_bytes(bytes[16..20].try_into().unwrap())
-    {
+    if bytes.len() < HEADER_LEN as usize || &bytes[..8] != MAGIC {
         return Err(corrupt("wal: bad header"));
     }
     let base_rows = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    // `ledger_count` is untrusted: bound it by the cap and by the bytes
+    // actually present before slicing anything.
+    let ledger_count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    if ledger_count > LEDGER_CAP {
+        return Err(corrupt("wal: header ledger count exceeds cap"));
+    }
+    let header_len = HEADER_LEN as usize + ledger_count * 8;
+    if bytes.len() < header_len {
+        return Err(corrupt("wal: short header"));
+    }
+    if crc32(&bytes[..header_len - 4])
+        != u32::from_le_bytes(bytes[header_len - 4..header_len].try_into().unwrap())
+    {
+        return Err(corrupt("wal: bad header"));
+    }
+    let ledger_tokens: Vec<u64> = (0..ledger_count)
+        .map(|i| u64::from_le_bytes(bytes[20 + i * 8..28 + i * 8].try_into().unwrap()))
+        .collect();
     let mut frames = Vec::new();
     let mut frame_lens = Vec::new();
-    let mut at = HEADER_LEN as usize;
+    let mut at = header_len;
     let mut prev_end = base_rows;
     let mut prev_seq: Option<u64> = None;
     while at < bytes.len() {
@@ -505,8 +663,9 @@ pub(crate) fn scan_frames(bytes: &[u8], fi: Option<&FaultInjector>) -> Result<Wa
         let declared_crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
         let seq = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
         let end_rows = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap());
-        let payload = &bytes[at + 24..at + 24 + payload_len as usize];
-        if crc32(&bytes[at + 8..at + 24 + payload_len as usize]) != declared_crc {
+        let token = u64::from_le_bytes(bytes[at + 24..at + 32].try_into().unwrap());
+        let payload = &bytes[at + 32..at + 32 + payload_len as usize];
+        if crc32(&bytes[at + 8..at + 32 + payload_len as usize]) != declared_crc {
             break;
         }
         if let Some(kind) = fi.and_then(|fi| fi.fire(FaultStage::Recover, &format!("frame:{seq}")))
@@ -533,6 +692,7 @@ pub(crate) fn scan_frames(bytes: &[u8], fi: Option<&FaultInjector>) -> Result<Wa
         frames.push(Frame {
             seq,
             end_rows,
+            token,
             dumps,
         });
         let flen = FRAME_HEADER_LEN + payload_len as u64;
@@ -541,6 +701,8 @@ pub(crate) fn scan_frames(bytes: &[u8], fi: Option<&FaultInjector>) -> Result<Wa
     }
     Ok(WalScan {
         base_rows,
+        ledger_tokens,
+        header_len: header_len as u64,
         frames,
         frame_lens,
         valid_len: at as u64,
@@ -572,6 +734,19 @@ pub(crate) fn open_writer(
         Some(f) => (f.end_rows, f.seq + 1),
         None => (scan.base_rows.max(table_rows), 0),
     };
+    // Rebuild the idempotency ledger: header snapshot first (those tokens
+    // predate the log, so their rows are covered by the dump base), then
+    // every tagged frame in scan order.
+    let mut ledger: VecDeque<(u64, u64)> = scan
+        .ledger_tokens
+        .iter()
+        .map(|&t| (t, scan.base_rows))
+        .collect();
+    for f in &scan.frames {
+        if f.token != 0 {
+            ledger.push_back((f.token, f.end_rows));
+        }
+    }
     WalWriter::open_at(
         path,
         table_rows,
@@ -579,6 +754,7 @@ pub(crate) fn open_writer(
         rows,
         seq,
         durability,
+        ledger,
         fault,
     )
 }
@@ -621,8 +797,8 @@ mod tests {
     fn frame_roundtrip_and_scan() {
         let p = twal("roundtrip");
         let mut w = open_writer(&p, 100, Durability::Always, None).unwrap();
-        assert!(w.append_batch(&dumps_of(10, 1), 10).unwrap());
-        assert!(w.append_batch(&dumps_of(3, 2), 3).unwrap());
+        assert!(w.append_batch(&dumps_of(10, 1), 10, 0).unwrap());
+        assert!(w.append_batch(&dumps_of(3, 2), 3, 0).unwrap());
         assert_eq!(w.durable_rows(), 113);
         let scan = scan_file(&p, None).unwrap();
         assert_eq!(scan.base_rows, 100);
@@ -637,8 +813,8 @@ mod tests {
     fn torn_tail_is_detected_and_prefix_survives() {
         let p = twal("torn");
         let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(8, 1), 8).unwrap();
-        w.append_batch(&dumps_of(8, 2), 8).unwrap();
+        w.append_batch(&dumps_of(8, 1), 8, 0).unwrap();
+        w.append_batch(&dumps_of(8, 2), 8, 0).unwrap();
         drop(w);
         let full = std::fs::read(&p).unwrap();
         // Cut the file mid-second-frame at every possible byte boundary:
@@ -658,7 +834,7 @@ mod tests {
     fn bit_flip_anywhere_in_a_frame_is_detected() {
         let p = twal("bitflip");
         let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(4, 9), 4).unwrap();
+        w.append_batch(&dumps_of(4, 9), 4, 0).unwrap();
         drop(w);
         let good = std::fs::read(&p).unwrap();
         // Flip one bit at a spread of offsets within the frame; the frame
@@ -676,7 +852,7 @@ mod tests {
     fn header_corruption_is_an_error_not_a_replay() {
         let p = twal("hdr");
         let mut w = open_writer(&p, 42, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(2, 3), 2).unwrap();
+        w.append_batch(&dumps_of(2, 3), 2, 0).unwrap();
         drop(w);
         let mut bytes = std::fs::read(&p).unwrap();
         bytes[9] ^= 0xFF; // base_rows byte — caught by the header CRC
@@ -690,7 +866,7 @@ mod tests {
     fn forged_giant_length_rejected_without_allocating() {
         let p = twal("forged");
         let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(2, 4), 2).unwrap();
+        w.append_batch(&dumps_of(2, 4), 2, 0).unwrap();
         drop(w);
         let mut bytes = std::fs::read(&p).unwrap();
         let at = HEADER_LEN as usize;
@@ -708,8 +884,8 @@ mod tests {
         // seq/row chains; the structural checks must stop the replay.
         let p1 = twal("splice1");
         let mut w = open_writer(&p1, 0, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(2, 1), 2).unwrap();
-        w.append_batch(&dumps_of(2, 2), 2).unwrap();
+        w.append_batch(&dumps_of(2, 1), 2, 0).unwrap();
+        w.append_batch(&dumps_of(2, 2), 2, 0).unwrap();
         drop(w);
         let bytes = std::fs::read(&p1).unwrap();
         let scan = scan_frames(&bytes, None).unwrap();
@@ -739,12 +915,12 @@ mod tests {
             None,
         )
         .unwrap();
-        assert!(!w.append_batch(&dumps_of(1, 1), 1).unwrap());
-        assert!(!w.append_batch(&dumps_of(1, 2), 1).unwrap());
+        assert!(!w.append_batch(&dumps_of(1, 1), 1, 0).unwrap());
+        assert!(!w.append_batch(&dumps_of(1, 2), 1, 0).unwrap());
         assert_eq!(w.durable_rows(), 0);
-        assert!(w.append_batch(&dumps_of(1, 3), 1).unwrap(), "3rd trips");
+        assert!(w.append_batch(&dumps_of(1, 3), 1, 0).unwrap(), "3rd trips");
         assert_eq!(w.durable_rows(), 3);
-        assert!(!w.append_batch(&dumps_of(1, 4), 1).unwrap());
+        assert!(!w.append_batch(&dumps_of(1, 4), 1, 0).unwrap());
         w.sync().unwrap();
         assert_eq!(w.durable_rows(), 4);
     }
@@ -753,15 +929,15 @@ mod tests {
     fn writer_resumes_after_reopen_with_torn_tail() {
         let p = twal("resume");
         let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(5, 1), 5).unwrap();
-        w.append_batch(&dumps_of(5, 2), 5).unwrap();
+        w.append_batch(&dumps_of(5, 1), 5, 0).unwrap();
+        w.append_batch(&dumps_of(5, 2), 5, 0).unwrap();
         drop(w);
         // Tear the second frame.
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() - 3]).unwrap();
         let mut w = open_writer(&p, 5, Durability::Always, None).unwrap();
         assert_eq!(w.durable_rows(), 5, "resumes at the committed prefix");
-        w.append_batch(&dumps_of(2, 3), 2).unwrap();
+        w.append_batch(&dumps_of(2, 3), 2, 0).unwrap();
         drop(w);
         let scan = scan_file(&p, None).unwrap();
         assert_eq!(scan.frames.len(), 2);
@@ -774,10 +950,10 @@ mod tests {
     fn reset_restarts_the_log_at_a_new_base() {
         let p = twal("reset");
         let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
-        w.append_batch(&dumps_of(6, 1), 6).unwrap();
+        w.append_batch(&dumps_of(6, 1), 6, 0).unwrap();
         w.reset(6).unwrap();
         assert_eq!(w.durable_rows(), 6);
-        w.append_batch(&dumps_of(2, 2), 2).unwrap();
+        w.append_batch(&dumps_of(2, 2), 2, 0).unwrap();
         let scan = scan_file(&p, None).unwrap();
         assert_eq!(scan.base_rows, 6);
         assert_eq!(scan.frames.len(), 1);
@@ -789,5 +965,117 @@ mod tests {
     fn wal_path_is_a_sibling_of_the_dump_dir() {
         let p = wal_path_for(Path::new("/data/clouds/tbl"));
         assert_eq!(p, Path::new("/data/clouds/tbl.wal"));
+    }
+
+    #[test]
+    fn tokens_ride_frames_and_rebuild_the_ledger_on_reopen() {
+        let p = twal("tokens");
+        let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
+        w.append_batch(&dumps_of(3, 1), 3, 71).unwrap();
+        w.append_batch(&dumps_of(2, 2), 2, 0).unwrap(); // untagged
+        w.append_batch(&dumps_of(4, 3), 4, 72).unwrap();
+        assert_eq!(w.token_seen(71), Some(3));
+        assert_eq!(w.token_seen(72), Some(9));
+        assert_eq!(w.token_seen(0), None, "0 is the no-token sentinel");
+        assert_eq!(w.token_seen(99), None);
+        assert_eq!(w.ledger_len(), 2, "untagged frames take no ledger slot");
+        drop(w);
+        let scan = scan_file(&p, None).unwrap();
+        assert_eq!(scan.frames[0].token, 71);
+        assert_eq!(scan.frames[1].token, 0);
+        assert_eq!(scan.frames[2].token, 72);
+        // Reopen: the ledger comes back from the scanned frames.
+        let w = open_writer(&p, 9, Durability::Always, None).unwrap();
+        assert_eq!(w.token_seen(71), Some(3));
+        assert_eq!(w.token_seen(72), Some(9));
+    }
+
+    #[test]
+    fn reset_snapshots_the_ledger_into_the_header() {
+        let p = twal("ledger_reset");
+        let mut w = open_writer(&p, 0, Durability::Always, None).unwrap();
+        w.append_batch(&dumps_of(5, 1), 5, 1001).unwrap();
+        w.append_batch(&dumps_of(5, 2), 5, 1002).unwrap();
+        // Seal: frames truncated away, tokens must survive in the header.
+        w.reset(10).unwrap();
+        assert!(w.token_seen(1001).is_some(), "token survives reset");
+        assert!(w.token_seen(1002).is_some());
+        drop(w);
+        let scan = scan_file(&p, None).unwrap();
+        assert_eq!(scan.ledger_tokens, vec![1001, 1002]);
+        assert_eq!(scan.frames.len(), 0);
+        // Reopen after the (sealed) restart: replayed tokens still dedup.
+        let w = open_writer(&p, 10, Durability::Always, None).unwrap();
+        assert_eq!(w.token_seen(1001), Some(10), "clamped to the new base");
+        assert_eq!(w.token_seen(1002), Some(10));
+    }
+
+    #[test]
+    fn ledger_eviction_respects_the_durable_watermark() {
+        let p = twal("ledger_evict");
+        let mut w = open_writer(
+            &p,
+            0,
+            Durability::GroupCommit {
+                max_batches: usize::MAX,
+                max_delay: Duration::from_secs(3600),
+            },
+            None,
+        )
+        .unwrap();
+        // Overfill the ledger with undurable tagged batches: nothing may
+        // be evicted — a disconnected client could still retry any one.
+        for i in 0..LEDGER_CAP + 10 {
+            w.append_batch(&dumps_of(1, i as u8), 1, 10_000 + i as u64)
+                .unwrap();
+        }
+        assert_eq!(
+            w.ledger_len(),
+            LEDGER_CAP + 10,
+            "undurable tokens are never evicted"
+        );
+        // Once durable, the overflow is trimmed back to the cap…
+        w.sync().unwrap();
+        assert_eq!(w.ledger_len(), LEDGER_CAP);
+        // …dropping the oldest tokens, keeping the newest.
+        assert_eq!(w.token_seen(10_000), None, "oldest evicted");
+        assert!(w.token_seen(10_000 + (LEDGER_CAP as u64 + 9)).is_some());
+    }
+
+    #[test]
+    fn forged_ledger_count_is_rejected_without_allocating() {
+        let p = twal("ledger_forged");
+        let mut w = open_writer(&p, 7, Durability::Always, None).unwrap();
+        w.append_batch(&dumps_of(2, 1), 2, 5).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Forge a giant ledger count; must be rejected by the cap check
+        // before any slice or allocation (and before the CRC even runs).
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(scan_frames(&bytes, None).is_err());
+        // A count within the cap but past EOF is a short header, also an
+        // error rather than a replay.
+        bytes[16..20].copy_from_slice(&64u32.to_le_bytes());
+        assert!(scan_frames(&bytes, None).is_err());
+    }
+
+    #[test]
+    fn injected_disk_full_is_typed_storage_exhaustion() {
+        let p = twal("diskfull");
+        let fi = Arc::new(FaultInjector::new());
+        fi.inject(FaultStage::WalAppend, None, FaultKind::DiskFull);
+        let mut w = open_writer(&p, 0, Durability::Always, Some(fi.clone())).unwrap();
+        let err = w.append_batch(&dumps_of(2, 1), 2, 0).unwrap_err();
+        assert!(
+            matches!(err, CoreError::StorageExhausted(_)),
+            "got {err:?}"
+        );
+        assert!(!err.is_transient());
+        // Nothing reached the medium: the next append succeeds cleanly
+        // and the log has no damaged bytes.
+        w.append_batch(&dumps_of(2, 2), 2, 0).unwrap();
+        let scan = scan_file(&p, None).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.tail_bytes, 0);
     }
 }

@@ -325,3 +325,59 @@ fn queries_on_recovered_cloud_match_a_never_crashed_one() {
     assert!(!a.is_empty());
     assert_eq!(a, b, "recovered cloud answers exactly like a fresh one");
 }
+
+#[test]
+fn crash_during_drain_triggered_flush_replays_exactly_the_acked_prefix() {
+    // The graceful-drain sequence force-flushes every stream table's
+    // group-commit window before joining connection threads. If the
+    // process dies *inside* that flush (power cut racing the drain), the
+    // restart must replay to exactly the acked prefix: durable batches
+    // survive, the unsynced drain window is lost — and it was never
+    // acknowledged, so no client believes otherwise.
+    for (i, kind) in [FaultKind::Crash, FaultKind::TornWrite(71)]
+        .into_iter()
+        .enumerate()
+    {
+        let ctx = format!("drain flush {kind:?}");
+        let dir = tdir(&format!("drainflush_{i}"));
+        let fi = std::sync::Arc::new(FaultInjector::new());
+        let mut pc = PointCloud::open_ingest_with_faults(
+            &dir,
+            Durability::GroupCommit {
+                max_batches: 3,
+                max_delay: std::time::Duration::from_secs(3600),
+            },
+            Some(fi.clone()),
+        )
+        .unwrap();
+        // Batches 0..3 sync at the group boundary (acked durable);
+        // batches 3..5 sit in the open group-commit window.
+        let mut acked = 0usize;
+        for b in 0..5 {
+            if pc.ingest_records(&batch(b)).unwrap() {
+                acked = (b + 1) * 50;
+            }
+        }
+        assert_eq!(acked, 150, "{ctx}: first group acked at the boundary");
+        assert_eq!(pc.visible_rows(), 150, "{ctx}: watermark at the group");
+        // Drain begins: the shutdown path calls flush_wal() — and dies.
+        fi.inject(FaultStage::WalSync, None, kind);
+        assert!(pc.flush_wal().is_err(), "{ctx}: injected death must fire");
+        drop(pc);
+        // Restart: every acked row survives, and whatever else comes back
+        // is whole frames only (a torn sync may leave extra complete
+        // frames on disk — recovering them is allowed, tearing mid-batch
+        // is not).
+        let pc = PointCloud::open_ingest(&dir, Durability::Always).unwrap();
+        let n = pc.num_points();
+        assert!(n >= acked, "{ctx}: lost acked rows ({n} < {acked})");
+        assert!(n <= 250, "{ctx}: invented rows ({n})");
+        assert_eq!(n % 50, 0, "{ctx}: partial batch replayed");
+        assert_exact_prefix(&pc, n, &ctx);
+        if kind == FaultKind::Crash {
+            // A clean crash loses the whole unsynced window: exactly the
+            // acked prefix comes back.
+            assert_eq!(n, acked, "{ctx}: crash keeps only the acked prefix");
+        }
+    }
+}

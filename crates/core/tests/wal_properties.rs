@@ -5,7 +5,7 @@
 //! error that silently replays damaged data.
 //!
 //! The expected prefix is computed independently from the frame layout
-//! (`header | [24-byte frame header + payload]*`), so these tests would
+//! (`header | [32-byte frame header + payload]*`), so these tests would
 //! catch a decoder that "helpfully" resynchronises past damage.
 
 use std::path::PathBuf;
@@ -15,8 +15,11 @@ use lidardb_core::{wal, Durability, PointCloud};
 use lidardb_las::{point_schema, PointRecord};
 use proptest::prelude::*;
 
-const WAL_HEADER: usize = 8 + 8 + 4;
-const FRAME_HEADER: usize = 4 + 4 + 8 + 8;
+// v02 layout: header magic + base_rows + ledger_count + crc (an empty
+// ledger — these logs carry no idempotency tokens), frame header
+// payload_len + crc + seq + end_rows + token.
+const WAL_HEADER: usize = 8 + 8 + 4 + 4;
+const FRAME_HEADER: usize = 4 + 4 + 8 + 8 + 8;
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
 

@@ -10,10 +10,20 @@
 //!                [--admit IN_FLIGHT,QUEUE]  admission control for `points`
 //!                [--deadline MS]            default statement deadline for `points`
 //!                [--batch-rows N]           rows per result batch frame
+//!                [--drain-ms MS]            graceful-drain deadline on SIGTERM/SIGINT (default 5000)
 //! ```
+//!
+//! SIGTERM and SIGINT both trigger a graceful drain: the server stops
+//! taking new sessions (late connections get a typed `ShuttingDown`
+//! frame), lets in-flight statements run up to `--drain-ms`, cancels the
+//! stragglers, force-fsyncs every streaming table's WAL group, and exits
+//! 0. A second signal during the drain is ignored — the drain already
+//! owns teardown.
 
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
+use std::thread;
 use std::time::Duration;
 
 use lidardb_core::{AdmissionController, Durability, PointCloud, Recorder};
@@ -23,6 +33,31 @@ use lidardb_sql::Catalog;
 fn die(msg: &str) -> ! {
     eprintln!("lidardb-server: {msg}");
     exit(2);
+}
+
+/// Set by the signal handler, polled by main. No allocation, no locks —
+/// everything async-signal-safe happens here; the drain itself runs on
+/// the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+// signal(2), bound directly — the toolchain image carries no libc crate,
+// and two handler installs do not justify vendoring one.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+fn install_signal_handlers() {
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
 }
 
 /// Deterministic grid cloud: x,y on a √N×√N grid, z = x/10,
@@ -62,6 +97,7 @@ fn main() {
     let mut admit: Option<(usize, usize)> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut batch_rows: Option<usize> = None;
+    let mut drain_ms: u64 = 5000;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -95,11 +131,12 @@ fn main() {
             "--batch-rows" => {
                 batch_rows = Some(val().parse().unwrap_or_else(|_| die("bad --batch-rows")))
             }
+            "--drain-ms" => drain_ms = val().parse().unwrap_or_else(|_| die("bad --drain-ms")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lidardb-server [--listen ADDR] [--metrics ADDR|off] [--sample-ms MS] \
                      [--synthetic N] [--open DIR] [--ingest DIR] [--admit IN_FLIGHT,QUEUE] \
-                     [--deadline MS] [--batch-rows N]"
+                     [--deadline MS] [--batch-rows N] [--drain-ms MS]"
                 );
                 return;
             }
@@ -152,7 +189,9 @@ fn main() {
     // incident forensics a shared ~10-minute history.
     Recorder::global().start_sampler(Duration::from_millis(sample_ms.max(1)));
 
-    let mut server = Server::bind(&listen, catalog).unwrap_or_else(|e| die(&e.to_string()));
+    let mut server = Server::bind(&listen, catalog)
+        .unwrap_or_else(|e| die(&e.to_string()))
+        .with_drain_deadline(Duration::from_millis(drain_ms));
     if let Some(rows) = batch_rows {
         server = server.with_batch_rows(rows);
     }
@@ -168,5 +207,15 @@ fn main() {
         "lidardb-server: listening on {}",
         server.local_addr().map_or(listen, |a| a.to_string())
     );
-    server.run();
+
+    // Serve on a background thread; main parks watching for SIGTERM/SIGINT
+    // so a signal turns into a typed drain instead of a process kill.
+    install_signal_handlers();
+    let handle = server.spawn().unwrap_or_else(|e| die(&e.to_string()));
+    while !SHUTDOWN.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("lidardb-server: draining (deadline {drain_ms}ms)");
+    handle.shutdown();
+    eprintln!("lidardb-server: drained, bye");
 }

@@ -25,14 +25,26 @@
 //! ([`Server::with_metrics_addr`]) answering `GET /metrics` with the
 //! Prometheus text exposition (scalars from the flight recorder's latest
 //! sample, per-stage log₂ latency histograms live) and `GET /healthz`
-//! with a 200/503 saturation verdict. Every connection is also visible
-//! in `SELECT * FROM sys.sessions` via the core `SessionRegistry`.
+//! with a 200/503 saturation verdict (503 also while draining or while
+//! any table is storage-degraded). Every connection is also visible in
+//! `SELECT * FROM sys.sessions` via the core `SessionRegistry`.
+//!
+//! **Fault domains**: [`ServerHandle::shutdown`] runs a typed graceful
+//! drain (idle sessions and late connections get `ShuttingDown` frames,
+//! in-flight statements get the drain deadline, WAL groups are
+//! force-fsynced); [`client::RetryingClient`] reconnects through drains
+//! and restarts with seeded backoff and replays `INSERT`s under
+//! idempotency tokens; and [`chaos::ChaosProxy`] is the deterministic
+//! network-fault harness that proves the two ends compose into
+//! exactly-once ingestion.
 
+pub mod chaos;
 pub mod client;
 pub mod promtext;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, QueryStats};
+pub use chaos::{ChaosProxy, ChaosScript};
+pub use client::{Client, ClientError, InsertOutcome, QueryStats, RetryPolicy, RetryingClient};
 pub use protocol::{Message, ProtoError, MAGIC, MAX_FRAME};
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, DEFAULT_DRAIN_DEADLINE};

@@ -141,10 +141,27 @@ pub const HEALTH_MAX_QUEUED: u64 = 64;
 /// window; a backlog this deep means the sync path has stalled.
 pub const HEALTH_MAX_WAL_BACKLOG: u64 = 1_000_000;
 
-/// Health verdict from the two saturation gauges: `(healthy, body)`.
-/// Pure so the thresholds are unit-testable without a listener.
-pub fn health_status(admission_queued: u64, wal_backlog_rows: u64) -> (bool, String) {
+/// Health verdict from the saturation gauges plus the two fault-domain
+/// flags: `(healthy, body)`. A draining server answers 503 so load
+/// balancers stop routing to it *before* its listener disappears; a
+/// degraded table (read-only after a storage failure) answers 503 so an
+/// operator page fires while reads still work. Pure so the thresholds are
+/// unit-testable without a listener.
+pub fn health_status(
+    admission_queued: u64,
+    wal_backlog_rows: u64,
+    draining: bool,
+    degraded_tables: u64,
+) -> (bool, String) {
     let mut problems = Vec::new();
+    if draining {
+        problems.push("draining: server is shutting down".to_string());
+    }
+    if degraded_tables > 0 {
+        problems.push(format!(
+            "degraded: {degraded_tables} table(s) read-only after a storage failure"
+        ));
+    }
     if admission_queued >= HEALTH_MAX_QUEUED {
         problems.push(format!(
             "admission saturated: {admission_queued} queued (limit {HEALTH_MAX_QUEUED})"
@@ -163,7 +180,9 @@ pub fn health_status(admission_queued: u64, wal_backlog_rows: u64) -> (bool, Str
 }
 
 /// Health verdict from the live gauges (recorder sample preferred, same
-/// source the scrape uses).
+/// source the scrape uses). The drain and degradation flags are read live
+/// — a drain must flip `/healthz` immediately, not a sampling interval
+/// later.
 pub fn health_now() -> (bool, String) {
     let registry = MetricsRegistry::global();
     let sample = Recorder::global().latest();
@@ -175,7 +194,9 @@ pub fn health_now() -> (bool, String) {
     };
     let queued = get("admission_queued", registry.admission_queued.get());
     let backlog = get("wal_backlog_rows", registry.wal_backlog_rows.get());
-    health_status(queued, backlog)
+    let draining = registry.server_draining.get() != 0;
+    let degraded = registry.degraded_tables.get();
+    health_status(queued, backlog, draining, degraded)
 }
 
 #[cfg(test)]
@@ -214,13 +235,28 @@ mod tests {
 
     #[test]
     fn health_thresholds() {
-        assert!(health_status(0, 0).0);
-        assert!(health_status(HEALTH_MAX_QUEUED - 1, HEALTH_MAX_WAL_BACKLOG - 1).0);
-        let (ok, body) = health_status(HEALTH_MAX_QUEUED, 0);
+        assert!(health_status(0, 0, false, 0).0);
+        assert!(health_status(HEALTH_MAX_QUEUED - 1, HEALTH_MAX_WAL_BACKLOG - 1, false, 0).0);
+        let (ok, body) = health_status(HEALTH_MAX_QUEUED, 0, false, 0);
         assert!(!ok && body.contains("admission saturated"));
-        let (ok, body) = health_status(0, HEALTH_MAX_WAL_BACKLOG);
+        let (ok, body) = health_status(0, HEALTH_MAX_WAL_BACKLOG, false, 0);
         assert!(!ok && body.contains("wal flush lag"));
-        let (ok, body) = health_status(HEALTH_MAX_QUEUED, HEALTH_MAX_WAL_BACKLOG);
+        let (ok, body) = health_status(HEALTH_MAX_QUEUED, HEALTH_MAX_WAL_BACKLOG, false, 0);
         assert!(!ok && body.contains(';'));
+    }
+
+    #[test]
+    fn health_fault_domains() {
+        // Draining flips health on its own, with a body a load balancer
+        // (and a human) can read.
+        let (ok, body) = health_status(0, 0, true, 0);
+        assert!(!ok && body.contains("draining"));
+        // So does any degraded (read-only) table.
+        let (ok, body) = health_status(0, 0, false, 2);
+        assert!(!ok && body.contains("degraded: 2 table(s)"));
+        // Compound failures list every problem.
+        let (ok, body) = health_status(HEALTH_MAX_QUEUED, 0, true, 1);
+        assert!(!ok && body.contains("draining") && body.contains("degraded"));
+        assert!(body.contains("admission saturated"));
     }
 }

@@ -110,6 +110,13 @@ pub enum Message {
     /// Statement failed (or, before a `Header`, was rejected). The session
     /// stays usable.
     Error { message: String },
+    /// The server is draining: no more statements will be accepted on this
+    /// connection (or, sent right after the hello, the connection was
+    /// refused). `drain_ms` is the server's drain deadline — a client that
+    /// reconnects sooner than that may be refused again. Typed so a retrying
+    /// client can classify the goodbye as transient instead of treating a
+    /// mid-drain hangup as data loss.
+    ShuttingDown { drain_ms: u64 },
 }
 
 const KIND_QUERY: u8 = 1;
@@ -117,6 +124,7 @@ const KIND_HEADER: u8 = 2;
 const KIND_BATCH: u8 = 3;
 const KIND_DONE: u8 = 4;
 const KIND_ERROR: u8 = 5;
+const KIND_SHUTTING_DOWN: u8 = 6;
 
 const VAL_NULL: u8 = 0;
 const VAL_BOOL: u8 = 1;
@@ -210,6 +218,10 @@ impl Message {
                 out.push(KIND_ERROR);
                 put_str(&mut out, message);
             }
+            Message::ShuttingDown { drain_ms } => {
+                out.push(KIND_SHUTTING_DOWN);
+                put_u64(&mut out, *drain_ms);
+            }
         }
         out
     }
@@ -251,6 +263,9 @@ impl Message {
             },
             KIND_ERROR => Message::Error {
                 message: r.string("error message")?,
+            },
+            KIND_SHUTTING_DOWN => Message::ShuttingDown {
+                drain_ms: r.u64("shutting down drain deadline")?,
             },
             tag => {
                 return Err(ProtoError::BadTag {
@@ -470,6 +485,7 @@ mod tests {
             Message::Error {
                 message: "nope".into(),
             },
+            Message::ShuttingDown { drain_ms: 5000 },
         ];
         for m in msgs {
             let mut wire = Vec::new();

@@ -184,7 +184,7 @@ fn validate_exposition(text: &str) -> Vec<Sample> {
             assert!(last_le.is_infinite(), "{fam}{{{key}}} missing +Inf bucket");
             assert_eq!(
                 Some(last_cum),
-                counts.get(&key).as_deref(),
+                counts.get(&key),
                 "{fam}{{{key}}} +Inf != _count"
             );
         }

@@ -41,6 +41,11 @@ pub struct InsertStmt {
     /// One expression list per `VALUES` tuple; each must be a numeric
     /// constant.
     pub rows: Vec<Vec<Expr>>,
+    /// Idempotency token (`TOKEN <n>` clause): a batch whose token the
+    /// table has already logged is acknowledged without being applied
+    /// again, so a retrying client cannot double-insert. `None` = plain
+    /// INSERT, no dedup.
+    pub token: Option<u64>,
 }
 
 /// A SELECT statement.

@@ -498,7 +498,10 @@ fn set_field(rec: &mut lidardb_las::PointRecord, name: &str, v: f64) -> Result<(
 /// `INSERT INTO t (cols) VALUES ...` against a streaming point-cloud
 /// table. The batch is WAL-logged before it is applied; `durable = 1`
 /// means the WAL acknowledged it (fsynced under the table's policy),
-/// `durable = 0` means it rides in an open group commit.
+/// `durable = 0` means it rides in an open group commit. With a
+/// `TOKEN <n>` clause the result gains a `deduped` column: `1` means the
+/// token was already logged and the rows were NOT applied again (the
+/// original insert is acknowledged instead — idempotent replay).
 fn exec_insert(catalog: &Catalog, ins: &crate::ast::InsertStmt) -> Result<ResultSet, SqlError> {
     for (i, c) in ins.columns.iter().enumerate() {
         if ins.columns[..i].contains(c) {
@@ -515,16 +518,32 @@ fn exec_insert(catalog: &Catalog, ins: &crate::ast::InsertStmt) -> Result<Result
     }
     let t0 = Instant::now();
     let mut pc = catalog.write_stream(&ins.table)?;
-    let durable = pc
-        .ingest_records(&recs)
+    let ack = pc
+        .ingest_records_tagged(&recs, ins.token.unwrap_or(0))
         .map_err(|e| SqlError::Exec(format!("ingest into {}: {e}", ins.table)))?;
     drop(pc);
+    let (columns, row) = if ins.token.is_some() {
+        (
+            ["inserted", "durable", "deduped"].map(String::from).to_vec(),
+            vec![
+                SqlValue::Int(ack.inserted as i64),
+                SqlValue::Int(i64::from(ack.durable)),
+                SqlValue::Int(i64::from(ack.deduped)),
+            ],
+        )
+    } else {
+        // Token-less inserts keep the original two-column shape.
+        (
+            ["inserted", "durable"].map(String::from).to_vec(),
+            vec![
+                SqlValue::Int(ack.inserted as i64),
+                SqlValue::Int(i64::from(ack.durable)),
+            ],
+        )
+    };
     Ok(ResultSet {
-        columns: ["inserted", "durable"].map(String::from).to_vec(),
-        rows: vec![vec![
-            SqlValue::Int(recs.len() as i64),
-            SqlValue::Int(i64::from(durable)),
-        ]],
+        columns,
+        rows: vec![row],
         trace: vec![TraceEntry {
             operator: format!("insert {}", ins.table),
             rows: recs.len(),

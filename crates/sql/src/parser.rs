@@ -263,10 +263,22 @@ impl Parser {
             }
             self.bump();
         }
+        // Optional idempotency token: `... TOKEN 12345`. 0 is reserved as
+        // the "no token" sentinel on the wire, so reject it here.
+        let token = if self.eat_kw("TOKEN") {
+            let t = self.integer()?;
+            if t == 0 {
+                return Err(self.err("TOKEN must be nonzero"));
+            }
+            Some(t)
+        } else {
+            None
+        };
         Ok(Statement::Insert(Box::new(InsertStmt {
             table,
             columns,
             rows,
+            token,
         })))
     }
 
@@ -666,6 +678,30 @@ mod tests {
         assert!(parse("INSERT pts (x) VALUES (1)").is_err());
         assert!(parse("INSERT INTO pts (x) VALUES (1),").is_err());
         assert!(parse("insert into pts (x) values (7)").is_ok(), "case-insensitive");
+    }
+
+    #[test]
+    fn insert_token_clause() {
+        let s = parse("INSERT INTO pts (x) VALUES (1) TOKEN 12345").unwrap();
+        let Statement::Insert(ins) = s else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(ins.token, Some(12345));
+        let s = parse("insert into pts (x) values (1) token 7").unwrap();
+        let Statement::Insert(ins) = s else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(ins.token, Some(7), "keyword is case-insensitive");
+        let Statement::Insert(ins) = parse("INSERT INTO pts (x) VALUES (1)").unwrap() else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(ins.token, None, "clause is optional");
+        // 0 is the wire-level "no token" sentinel; negative and fractional
+        // tokens are nonsense.
+        assert!(parse("INSERT INTO pts (x) VALUES (1) TOKEN 0").is_err());
+        assert!(parse("INSERT INTO pts (x) VALUES (1) TOKEN -3").is_err());
+        assert!(parse("INSERT INTO pts (x) VALUES (1) TOKEN 1.5").is_err());
+        assert!(parse("INSERT INTO pts (x) VALUES (1) TOKEN").is_err());
     }
 
     #[test]

@@ -175,6 +175,23 @@ fn sys_sessions() -> VectorTable {
             "statements",
             VColumn::Int(list.iter().map(|s| s.statements as i64).collect()),
         )
+        .with_column(
+            "state",
+            // Drain is server-wide, mirrored through the gauge so the
+            // embedded catalog needs no handle to the server: every open
+            // session is `draining` once shutdown begins, `active` before.
+            VColumn::Str(
+                list.iter()
+                    .map(|_| {
+                        if lidardb_core::MetricsRegistry::global().server_draining.get() != 0 {
+                            "draining".to_string()
+                        } else {
+                            "active".to_string()
+                        }
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 /// `sys.tiles`: per-tile residency and zone-map stats of every registered
@@ -225,11 +242,13 @@ fn sys_wal(catalog: &Catalog) -> VectorTable {
     let mut durable_rows = Vec::new();
     let mut visible_rows = Vec::new();
     let mut backlog_rows = Vec::new();
+    let mut degraded = Vec::new();
     for name in catalog.stream_names() {
         let Ok(pc) = catalog.read_points(name) else {
             continue;
         };
         let durable = pc.durable_rows().unwrap_or(0);
+        degraded.push(i64::from(pc.degraded()));
         table.push(name.to_string());
         durability.push(match pc.ingest_durability() {
             Some(lidardb_core::Durability::Always) => "always".to_string(),
@@ -250,6 +269,7 @@ fn sys_wal(catalog: &Catalog) -> VectorTable {
         .with_column("durable_rows", VColumn::Int(durable_rows))
         .with_column("visible_rows", VColumn::Int(visible_rows))
         .with_column("backlog_rows", VColumn::Int(backlog_rows))
+        .with_column("degraded", VColumn::Int(degraded))
 }
 
 /// `sys.recorder`: the flight recorder's retained history in long format

@@ -671,6 +671,31 @@ fn insert_is_wal_logged_and_queryable() {
 }
 
 #[test]
+fn insert_token_replay_is_deduped() {
+    let (c, dir) = streaming_catalog("ins_token", lidardb_core::Durability::Always);
+    let stmt = "INSERT INTO pts (x, y) VALUES (1, 2), (3, 4) TOKEN 424242";
+    let rs = query(&c, stmt).unwrap();
+    assert_eq!(rs.columns, vec!["inserted", "durable", "deduped"]);
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2), "first send inserts");
+    assert_eq!(rs.rows[0][2], SqlValue::Int(0), "not a dedup");
+    // The retry (same token — a client that lost the ack): acknowledged,
+    // applied zero rows.
+    let rs = query(&c, stmt).unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(0), "replay inserts nothing");
+    assert_eq!(rs.rows[0][1], SqlValue::Int(1), "original append is durable");
+    assert_eq!(rs.rows[0][2], SqlValue::Int(1), "flagged as deduped");
+    let rs = query(&c, "SELECT COUNT(*) FROM pts").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(2), "no double insert");
+    // A different token inserts normally; token-less keeps the old shape.
+    query(&c, "INSERT INTO pts (x, y) VALUES (5, 6) TOKEN 424243").unwrap();
+    let rs = query(&c, "INSERT INTO pts (x, y) VALUES (7, 8)").unwrap();
+    assert_eq!(rs.columns, vec!["inserted", "durable"]);
+    let rs = query(&c, "SELECT COUNT(*) FROM pts").unwrap();
+    assert_eq!(rs.rows[0][0], SqlValue::Int(4));
+    cleanup_stream(&dir);
+}
+
+#[test]
 fn group_commit_inserts_stay_invisible_until_flushed() {
     let (c, dir) = streaming_catalog(
         "groupvis",
@@ -804,7 +829,7 @@ fn sys_queries_and_sessions_have_stable_schemas() {
     let rs = query(&c, "SELECT * FROM sys.sessions").unwrap();
     assert_eq!(
         rs.columns,
-        vec!["session_id", "peer", "elapsed_seconds", "statements"]
+        vec!["session_id", "peer", "elapsed_seconds", "statements", "state"]
     );
     let rs = query(&c, "SELECT * FROM sys.wal").unwrap();
     assert_eq!(
@@ -815,7 +840,8 @@ fn sys_queries_and_sessions_have_stable_schemas() {
             "total_rows",
             "durable_rows",
             "visible_rows",
-            "backlog_rows"
+            "backlog_rows",
+            "degraded"
         ]
     );
     // No streaming tables registered here.

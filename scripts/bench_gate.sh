@@ -12,6 +12,9 @@
 #   BENCH_GATE_KIND=obs    gates E14 flight-recorder overhead (absolute 5%
 #                          p99 ceiling + relative percentiles) vs
 #                          BENCH_obs.json
+#   BENCH_GATE_KIND=chaos  gates E15 chaos-soak integrity (lost/duplicate
+#                          inserts at absolute zero) + insert latency vs
+#                          BENCH_chaos.json
 #
 # Usage:
 #   scripts/bench_gate.sh                  # full run: rebuild, run harness, diff
@@ -29,7 +32,8 @@ case "$KIND" in
     tiles)  EXPERIMENT=e13; ARTIFACT=BENCH_tiles.json ;;
     server) EXPERIMENT=e11; ARTIFACT=BENCH_server.json ;;
     obs)    EXPERIMENT=e14; ARTIFACT=BENCH_obs.json ;;
-    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, tiles, server, or obs" >&2; exit 2 ;;
+    chaos)  EXPERIMENT=e15; ARTIFACT=BENCH_chaos.json ;;
+    *) echo "bench_gate.sh: BENCH_GATE_KIND must be query, ingest, tiles, server, obs, or chaos" >&2; exit 2 ;;
 esac
 BASE="${BENCH_GATE_BASE:-$REPO/$ARTIFACT}"
 

@@ -161,6 +161,34 @@ else
 fi
 rm -f "$SLOWED_OBS"
 
+echo "==> fault-domain suites (graceful drain, retrying client, idempotency, disk-full)"
+cargo test -q -p lidardb-server --test drain -- --test-threads=1
+cargo test -q -p lidardb-core --test idempotency_ledger -- --test-threads=1
+cargo test -q -p lidardb-core --test disk_full -- --test-threads=1
+
+echo "==> E15 chaos smoke (reduced scale; asserts exactly-once through proxy + drains + disk-full)"
+E15_SCRATCH="$(mktemp -d)"
+(cd "$E15_SCRATCH" && LIDARDB_E15_CLIENTS=2 LIDARDB_E15_BATCHES=12 LIDARDB_E15_CYCLES=3 \
+    cargo run --release --quiet \
+    --manifest-path "$REPO/Cargo.toml" -p lidardb-bench --bin harness -- e15)
+rm -rf "$E15_SCRATCH"
+
+echo "==> chaos gate (identity: committed baseline vs itself must pass)"
+BENCH_GATE_KIND=chaos BENCH_GATE_FRESH=BENCH_chaos.json scripts/bench_gate.sh
+
+echo "==> chaos gate (negative: injected loss + 2x latency must fail)"
+SLOWED_CHAOS="$(mktemp)"
+cargo run --release --quiet -p lidardb-bench --bin bench_gate -- \
+    --kind chaos --base BENCH_chaos.json --scale 2.0 --out "$SLOWED_CHAOS"
+if BENCH_GATE_KIND=chaos BENCH_GATE_FRESH="$SLOWED_CHAOS" scripts/bench_gate.sh; then
+    echo "ci FAIL: chaos gate accepted lost/duplicated inserts" >&2
+    rm -f "$SLOWED_CHAOS"
+    exit 1
+else
+    echo "gate correctly rejected the lossy chaos run"
+fi
+rm -f "$SLOWED_CHAOS"
+
 echo "==> E12 ingest smoke (reduced scale; asserts snapshot isolation + recovery)"
 E12_SCRATCH="$(mktemp -d)"
 (cd "$E12_SCRATCH" && LIDARDB_E12_POINTS=30000 cargo run --release --quiet \
